@@ -1,0 +1,73 @@
+"""Ablation studies for MG-Join's design choices (DESIGN.md §5).
+
+These are not paper figures; they probe the knobs the paper fixes by
+profiling (packet size 2 MB, batch 8, <=3 relay hops, compression on,
+P_max partitions) and confirm each choice earns its keep.
+"""
+
+from repro.bench.figures import (
+    ablation_compression,
+    ablation_dma_engines,
+    ablation_histogram_partitions,
+    ablation_packet_batch,
+    ablation_route_cap,
+)
+
+
+def test_ablation_packet_batch(run_figure):
+    result = run_figure(ablation_packet_batch)
+
+    def time_of(packet_kb, batch):
+        return [
+            r["time_ms"] for r in result.rows
+            if r["packet_kb"] == packet_kb and r["batch"] == batch
+        ][0]
+
+    # Tiny packets with no batching waste link efficiency.
+    assert time_of(256, 1) > time_of(2048, 8)
+    # The paper's 2 MB / 8 choice is within 25% of the sweep's best.
+    best = min(r["time_ms"] for r in result.rows)
+    assert time_of(2048, 8) <= 1.25 * best
+
+
+def test_ablation_dma_engines(run_figure):
+    result = run_figure(ablation_dma_engines)
+    times = {r["dma_engines"]: r["time_ms"] for r in result.rows}
+    # One engine serializes everything; more engines help up to the
+    # NVLink port count.
+    assert times[1] > 1.5 * times[6]
+    assert times[6] <= times[2]
+    # Beyond one engine per port there is little left to gain.
+    assert times[8] > 0.9 * times[6]
+
+
+def test_ablation_route_cap(run_figure):
+    result = run_figure(ablation_route_cap)
+    times = {r["max_intermediates"]: r["time_ms"] for r in result.rows}
+    hops = {r["max_intermediates"]: r["average_hops"] for r in result.rows}
+    # No relays = direct routing; allowing relays is a large win.
+    assert times[0] > 1.5 * times[2]
+    assert hops[0] == 1.0
+    # The paper's cap of 3 is within noise of 2 (diminishing returns).
+    assert times[3] <= times[1] * 1.1
+
+
+def test_ablation_compression(run_figure):
+    result = run_figure(ablation_compression)
+    on = [r for r in result.rows if r["compression"]][0]
+    off = [r for r in result.rows if not r["compression"]][0]
+    assert on["compression_ratio"] > 1.3
+    assert off["compression_ratio"] == 1.0
+    # Compression never hurts; with the distribution already hidden
+    # under compute its end-to-end gain is modest (the win is headroom).
+    assert on["distribution_ms"] <= off["distribution_ms"] * 1.05
+    assert on["throughput_btps"] >= off["throughput_btps"] * 0.999
+
+
+def test_ablation_histogram_partitions(run_figure):
+    result = run_figure(ablation_histogram_partitions)
+    rows = {r["partitions"]: r for r in result.rows}
+    # Fewer global partitions push work into extra local passes
+    # (Rationale 3: generate the largest histogram P_max allows).
+    assert rows[256]["local_passes"] >= rows[4096]["local_passes"]
+    assert rows[4096]["throughput_btps"] >= rows[256]["throughput_btps"]

@@ -1,0 +1,24 @@
+"""Figure 1: the motivation experiment.
+
+UMJ and DPRJ cycles/tuple with transfer-vs-compute breakdown on 1-8
+GPUs.  Paper claims: both scale poorly; DPRJ's transfer share reaches
+~66%; UMJ on 8 GPUs is slower than on a single GPU.
+"""
+
+from repro.bench.figures import fig01_motivation
+
+
+def test_fig01_motivation(run_figure):
+    result = run_figure(fig01_motivation)
+    umj = {r["gpus"]: r for r in result.series("algorithm", "umj")}
+    dprj = {r["gpus"]: r for r in result.series("algorithm", "dprj")}
+
+    # UMJ degrades monotonically and is far worse at 8 than at 1 GPU.
+    assert umj[8]["cycles_per_tuple"] > 3 * umj[1]["cycles_per_tuple"]
+    # DPRJ also pays more cycles per tuple at 8 GPUs than at 1.
+    assert dprj[8]["cycles_per_tuple"] > 1.5 * dprj[1]["cycles_per_tuple"]
+    # DPRJ's transfer share at 8 GPUs is dominant (paper: up to 66%).
+    assert dprj[8]["transfer_share"] > 0.45
+    # At a single GPU there is no cross-GPU transfer at all.
+    assert dprj[1]["transfer_share"] == 0.0
+    assert umj[1]["transfer_share"] == 0.0

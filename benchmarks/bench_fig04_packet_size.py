@@ -1,0 +1,25 @@
+"""Figure 4: NVLink / PCIe throughput vs packet size.
+
+Paper claims: up to ~20x degradation for tiny packets; saturation
+around 12 MB; NVLink strictly faster than PCIe.
+"""
+
+from repro.bench.figures import fig04_packet_size
+
+
+def test_fig04_packet_size(run_figure):
+    result = run_figure(fig04_packet_size)
+    rows = {r["packet_kb"]: r for r in result.rows}
+
+    nvlink_peak = max(r["nvlink_gbps"] for r in result.rows)
+    pcie_peak = max(r["pcie_gbps"] for r in result.rows)
+    # ~20x degradation at 2 KB packets.
+    assert nvlink_peak / rows[2]["nvlink_gbps"] > 10
+    assert pcie_peak / rows[2]["pcie_gbps"] > 10
+    # Saturation: 16 MB buys < 1% over 8 MB.
+    assert rows[16384]["nvlink_gbps"] / rows[8192]["nvlink_gbps"] < 1.01
+    # NVLink beats PCIe at every size.
+    assert all(r["nvlink_gbps"] > r["pcie_gbps"] for r in result.rows)
+    # Peaks approach the specs (25 and 16 GB/s).
+    assert 24 < nvlink_peak <= 25
+    assert 15 < pcie_peak <= 16

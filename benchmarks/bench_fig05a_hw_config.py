@@ -1,0 +1,24 @@
+"""Figure 5a: static-policy cost across hardware configurations.
+
+Paper claim: no static metric wins everywhere — the best policy flips
+with the GPU configuration, motivating adaptive routing.
+"""
+
+from repro.bench.figures import fig05a_hw_config
+
+
+def test_fig05a_hw_config(run_figure):
+    result = run_figure(fig05a_hw_config)
+    configs = sorted({r["config"] for r in result.rows})
+    winners = {}
+    spreads = {}
+    for config in configs:
+        rows = result.series("config", config)
+        best = min(rows, key=lambda r: r["time_ms"])
+        worst = max(rows, key=lambda r: r["time_ms"])
+        winners[config] = best["policy"]
+        spreads[config] = worst["time_ms"] / best["time_ms"]
+    # The policies genuinely differ on at least one configuration...
+    assert max(spreads.values()) > 1.2
+    # ...and bandwidth-based routing is not the universal answer.
+    assert any(winner != "bandwidth" for winner in winners.values())

@@ -1,0 +1,37 @@
+"""Figure 5b: static policies vs packet size and placement skew.
+
+Paper claim: the winning static metric also flips with packet size and
+data distribution; larger packets distribute faster overall.
+"""
+
+from repro.bench.figures import fig05b_packet_skew
+
+
+def test_fig05b_packet_skew(run_figure):
+    result = run_figure(fig05b_packet_skew)
+
+    def time_of(packet_kb, zipf, policy):
+        rows = [
+            r for r in result.rows
+            if r["packet_kb"] == packet_kb and r["zipf"] == zipf
+            and r["policy"] == policy
+        ]
+        assert len(rows) == 1
+        return rows[0]["time_ms"]
+
+    # Larger packets are never slower for the same policy/skew (the
+    # Figure 4 efficiency effect at the flow level).
+    for zipf in (0.0, 0.5, 1.0):
+        for policy in ("bandwidth", "hop-count", "latency"):
+            assert time_of(2048, zipf, policy) <= time_of(128, zipf, policy) * 1.05
+
+    # Policies disagree for at least one (packet, skew) combination.
+    max_spread = 0.0
+    for packet_kb in (128, 512, 2048):
+        for zipf in (0.0, 0.5, 1.0):
+            times = [
+                time_of(packet_kb, zipf, p)
+                for p in ("bandwidth", "hop-count", "latency")
+            ]
+            max_spread = max(max_spread, max(times) / min(times))
+    assert max_spread > 1.15

@@ -1,0 +1,28 @@
+"""Figure 6: multi-hop routing vs direct routing throughput.
+
+Paper claims: equal for few GPUs (direct is already fine); multi-hop
+wins by ~2.35x as the GPU count grows and the slow shared PCIe/QPI
+paths start carrying direct traffic.
+"""
+
+from repro.bench.figures import fig06_multihop
+
+
+def test_fig06_multihop(run_figure):
+    result = run_figure(fig06_multihop)
+    direct = {
+        r["gpus"]: r["throughput_gbps"]
+        for r in result.series("policy", "dprj-direct")
+    }
+    multihop = {
+        r["gpus"]: r["throughput_gbps"]
+        for r in result.series("policy", "mg-join")
+    }
+    # Parity at 2-3 GPUs (all pairs NVLink-adjacent).
+    for gpus in (2, 3):
+        assert multihop[gpus] == direct[gpus]
+    # Strong multi-hop wins once staged pairs appear (paper: 2.35x).
+    assert multihop[8] > 2.0 * direct[8]
+    assert multihop[6] > 2.0 * direct[6]
+    # Multi-hop never loses.
+    assert all(multihop[g] >= direct[g] * 0.99 for g in direct)

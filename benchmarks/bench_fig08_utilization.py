@@ -1,0 +1,27 @@
+"""Figure 8: bisection-bandwidth utilization of the distribution step.
+
+Paper claims: DPRJ's utilization falls toward 30% as GPUs grow;
+MG-Join's rises with GPU count (97% at 8 in the paper) because more
+GPUs mean more alternative routes to spread over.
+"""
+
+from repro.bench.figures import fig08_utilization
+
+
+def test_fig08_utilization(run_figure):
+    result = run_figure(fig08_utilization)
+    dprj = {
+        r["gpus"]: r["utilization_pct"]
+        for r in result.series("algorithm", "dprj")
+    }
+    mgjoin = {
+        r["gpus"]: r["utilization_pct"]
+        for r in result.series("algorithm", "mg-join")
+    }
+    # DPRJ collapses at scale (paper: "as low as 30%").
+    assert dprj[8] < 35
+    assert dprj[8] < dprj[4]
+    # MG-Join stays high and beats DPRJ decisively at 6-8 GPUs.
+    assert mgjoin[8] > 2 * dprj[8]
+    assert mgjoin[6] > dprj[6]
+    assert mgjoin[8] > 60

@@ -1,0 +1,35 @@
+"""Figure 11: end-to-end join throughput of UMJ / DPRJ / MG-Join.
+
+Paper claims: MG-Join scales near-linearly (7.2x at 8 GPUs), beating
+DPRJ by up to 2.5x and UMJ by ~10x; DPRJ manages only ~2.13x from 1 to
+8 GPUs; UMJ on 5-8 GPUs is slower than on one.
+"""
+
+from repro.bench.figures import fig11_join_throughput
+
+
+def test_fig11_join_throughput(run_figure):
+    result = run_figure(fig11_join_throughput)
+
+    def curve(algorithm):
+        return {
+            r["gpus"]: r["throughput_btps"]
+            for r in result.series("algorithm", algorithm)
+        }
+
+    mgjoin, dprj, umj = curve("mg-join"), curve("dprj"), curve("umj")
+
+    # All three coincide on one GPU (no communication involved).
+    assert mgjoin[1] == dprj[1] == umj[1]
+    # MG-Join scales near-linearly (paper: 7.2x at 8 GPUs).
+    assert mgjoin[8] / mgjoin[1] > 6.0
+    # DPRJ scales poorly (paper: 2.13x).
+    assert dprj[8] / dprj[1] < 4.0
+    # UMJ at 8 GPUs is slower than at 1 (paper §5.3).
+    assert umj[8] < umj[1]
+    # Headline gaps at 8 GPUs (paper: 2.5x over DPRJ, ~10x over UMJ).
+    assert mgjoin[8] > 2.0 * dprj[8]
+    assert mgjoin[8] > 6.0 * umj[8]
+    # MG-Join throughput is monotone in GPU count.
+    values = [mgjoin[g] for g in sorted(mgjoin)]
+    assert all(b >= a for a, b in zip(values, values[1:]))

@@ -1,0 +1,28 @@
+"""Figure 13: join throughput vs total input size on 8 GPUs.
+
+Paper claims: MG-Join wins at every input size from 512M to 4096M
+tuples — overall 10.2x over UMJ and 3.6x over DPRJ.
+"""
+
+from repro.bench.figures import fig13_input_size
+
+
+def test_fig13_input_size(run_figure):
+    result = run_figure(fig13_input_size)
+    sizes = sorted({r["total_m_tuples"] for r in result.rows})
+    assert sizes == [512, 1024, 1536, 2048, 3072, 4096]
+
+    def curve(algorithm):
+        return {
+            r["total_m_tuples"]: r["throughput_btps"]
+            for r in result.series("algorithm", algorithm)
+        }
+
+    mgjoin, dprj, umj = curve("mg-join"), curve("dprj"), curve("umj")
+    for size in sizes:
+        assert mgjoin[size] > dprj[size]
+        assert mgjoin[size] > umj[size]
+    # Aggregate gaps in the paper's direction.
+    avg = lambda c: sum(c.values()) / len(c)
+    assert avg(mgjoin) > 2.0 * avg(dprj)
+    assert avg(mgjoin) > 5.0 * avg(umj)

@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Every driver runs one figure generator exactly once (these are
+simulations measured in simulated seconds; wall-clock repetition adds
+nothing), prints the regenerated table, persists it under
+``bench_results/`` and asserts the paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import FigureResult
+from repro.bench.reporting import save_figure_result
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Run a figure generator under pytest-benchmark and report it."""
+
+    def runner(figure_fn, *args, **kwargs) -> FigureResult:
+        result = benchmark.pedantic(
+            figure_fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        print()
+        print(result.to_markdown())
+        save_figure_result(result)
+        return result
+
+    return runner

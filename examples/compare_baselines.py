@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Scalability shoot-out: MG-Join vs DPRJ vs UMJ (Figure 11 in small).
+
+Sweeps the GPU count on the simulated DGX-1 with the paper's per-GPU
+input (512M tuples per relation) and prints the throughput and
+data-distribution share of each algorithm — the story of Figures 11
+and 12 in one table.
+
+Usage::
+
+    python examples/compare_baselines.py
+"""
+
+from repro import DPRJJoin, MGJoin, UMJJoin, WorkloadSpec, dgx1_topology
+from repro.workloads import generate_workload
+
+
+def main() -> None:
+    machine = dgx1_topology()
+    algorithms = (MGJoin(machine), DPRJJoin(machine), UMJJoin(machine))
+
+    header = f"{'GPUs':>4} | " + " | ".join(
+        f"{algo.algorithm:>22}" for algo in algorithms
+    )
+    print(header)
+    print("-" * len(header))
+    baselines = {}
+    for num_gpus in (1, 2, 4, 8):
+        workload = generate_workload(
+            WorkloadSpec(
+                gpu_ids=tuple(range(num_gpus)),
+                logical_tuples_per_gpu=512 * 1024 * 1024,
+                real_tuples_per_gpu=1 << 15,
+            )
+        )
+        cells = []
+        for algo in algorithms:
+            result = algo.run(workload)
+            if num_gpus == 1:
+                baselines[algo.algorithm] = result.throughput
+            speedup = result.throughput / baselines[algo.algorithm]
+            cells.append(
+                f"{result.throughput / 1e9:5.1f} B/s "
+                f"({speedup:4.1f}x, {result.breakdown.distribution_share * 100:4.1f}% xfer)"
+            )
+        print(f"{num_gpus:>4} | " + " | ".join(f"{c:>22}" for c in cells))
+
+    print()
+    print("Reading: MG-Join scales near-linearly with a tiny exposed")
+    print("transfer share; DPRJ is transfer-bound at 8 GPUs; UMJ's page")
+    print("faults make 8 GPUs slower than one (paper §5.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""TPC-H analytics on MG-Join (the Figure 14 scenario).
+
+Generates a TPC-H database, scales it logically to SF 250, and runs
+the paper's six queries on all four engines — MG-Join, DPRJ, OmniSci
+GPU (shared-nothing) and OmniSci CPU — printing times, NA outcomes and
+one decoded answer.
+
+Usage::
+
+    python examples/tpch_analytics.py [real_scale_factor]
+"""
+
+import sys
+
+from repro.relational import (
+    DPRJQueryEngine,
+    MGJoinQueryEngine,
+    OmnisciCpuEngine,
+    OmnisciGpuEngine,
+)
+from repro.relational.tpch import generate_tpch, run_query
+from repro.relational.tpch.dates import days_to_date
+from repro.topology import dgx1_topology
+
+
+def main() -> None:
+    real_sf = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+    machine = dgx1_topology()
+    database = generate_tpch(scale_factor=real_sf)
+    scale = 250.0 / real_sf
+    print(f"TPC-H generated at SF {real_sf} "
+          f"({database.lineitem.num_rows:,} lineitems), "
+          f"costed at SF 250\n")
+
+    engines = (
+        MGJoinQueryEngine(machine, logical_scale=scale),
+        DPRJQueryEngine(machine, logical_scale=scale),
+        OmnisciGpuEngine(machine, logical_scale=scale),
+        OmnisciCpuEngine(machine, logical_scale=scale),
+    )
+    names = [engine.name for engine in engines]
+    print(f"{'query':>6} | " + " | ".join(f"{n:>12}" for n in names))
+    print("-" * (9 + 15 * len(names)))
+    for query in ("q3", "q5", "q10", "q12", "q14", "q19"):
+        cells = []
+        for engine in engines:
+            outcome = run_query(query, engine, database)
+            cells.append("NA" if outcome.is_na else f"{outcome.seconds:9.2f} s")
+        print(f"{query:>6} | " + " | ".join(f"{c:>12}" for c in cells))
+
+    # Show a real answer: Q3's top shipping-priority orders.
+    outcome = run_query("q3", engines[0], database)
+    table = outcome.table
+    print("\nQ3 top orders (MG-Join engine):")
+    for row in range(min(5, table.num_rows)):
+        date = days_to_date(int(table["o_orderdate"][row]))
+        print(f"  order {int(table['l_orderkey'][row]):>9}  "
+              f"revenue {table['revenue'][row]:14,.2f}  "
+              f"orderdate {date}")
+
+
+if __name__ == "__main__":
+    main()

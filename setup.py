@@ -1,0 +1,16 @@
+"""Legacy setup shim so editable installs work without the wheel package."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "MG-Join (SIGMOD 2021) reproduction: scalable multi-GPU hash join "
+        "with adaptive multi-hop routing, on a simulated multi-GPU machine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,71 @@
+"""MG-Join reproduction: scalable joins for multi-GPU machines.
+
+A full implementation of *MG-Join: A Scalable Join for Massively
+Parallel Multi-GPU Architectures* (SIGMOD 2021) on a simulated
+multi-GPU machine:
+
+* :mod:`repro.topology` — the DGX-1 / DGX-Station interconnects,
+* :mod:`repro.sim` — discrete-event link/GPU simulation + kernel costs,
+* :mod:`repro.routing` — adaptive multi-hop (ARM), static and
+  centralized routing policies,
+* :mod:`repro.core` — the MG-Join pipeline (exact numpy execution),
+* :mod:`repro.baselines` — DPRJ, UMJ and single-GPU joins,
+* :mod:`repro.workloads` — the paper's synthetic workloads,
+* :mod:`repro.relational` — columnar engine + TPC-H (Figure 14),
+* :mod:`repro.bench` — regenerates every figure of the evaluation.
+
+Quickstart::
+
+    from repro import MGJoin, WorkloadSpec, dgx1_topology, generate_workload
+
+    machine = dgx1_topology()
+    workload = generate_workload(WorkloadSpec(gpu_ids=(0, 1, 2, 3)))
+    result = MGJoin(machine).run(workload)
+    print(f"{result.throughput / 1e9:.1f}B tuples/s,"
+          f" {result.matches_logical} matches")
+"""
+
+from repro.baselines import DPRJJoin, SingleGpuJoin, UMJJoin
+from repro.core import JoinResult, MGJoin, MGJoinConfig
+from repro.routing import (
+    AdaptiveArmPolicy,
+    BandwidthPolicy,
+    CentralizedPolicy,
+    DirectPolicy,
+    HopCountPolicy,
+    LatencyPolicy,
+)
+from repro.sim import FlowMatrix, ShuffleConfig, ShuffleSimulator
+from repro.topology import (
+    MachineTopology,
+    TopologyBuilder,
+    dgx1_topology,
+    dgx_station_topology,
+)
+from repro.workloads import WorkloadSpec, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveArmPolicy",
+    "BandwidthPolicy",
+    "CentralizedPolicy",
+    "DPRJJoin",
+    "DirectPolicy",
+    "FlowMatrix",
+    "HopCountPolicy",
+    "JoinResult",
+    "LatencyPolicy",
+    "MGJoin",
+    "MGJoinConfig",
+    "MachineTopology",
+    "ShuffleConfig",
+    "ShuffleSimulator",
+    "SingleGpuJoin",
+    "TopologyBuilder",
+    "UMJJoin",
+    "WorkloadSpec",
+    "dgx1_topology",
+    "dgx_station_topology",
+    "generate_workload",
+]

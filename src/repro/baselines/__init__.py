@@ -1,0 +1,17 @@
+"""The joins MG-Join is evaluated against (paper §5).
+
+* :class:`DPRJJoin` — the state-of-the-art distributed GPU partitioned
+  join of Guo et al., which shuffles over *direct* CUDA routes with no
+  transfer/compute overlap and hash-modulo partition placement.
+* :class:`UMJJoin` — the unified-memory join of Paul et al.: no
+  explicit shuffle at all; remote tuples arrive through driver-handled
+  page faults, which serialize on locked page tables as GPU count grows.
+* :class:`SingleGpuJoin` — the classic single-GPU radix join, the
+  scalability yardstick of Figures 1 and 11.
+"""
+
+from repro.baselines.dprj import DPRJJoin
+from repro.baselines.umj import UMJJoin
+from repro.baselines.single_gpu import SingleGpuJoin, gather_to_one_gpu
+
+__all__ = ["DPRJJoin", "SingleGpuJoin", "UMJJoin", "gather_to_one_gpu"]

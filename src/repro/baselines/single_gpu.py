@@ -1,0 +1,50 @@
+"""The single-GPU radix hash join baseline.
+
+Figures 1 and 11 anchor every scalability claim against the classic
+one-GPU partitioned join (He et al., Rui et al.): histogram, radix
+partitioning passes until co-partitions fit in shared memory, then
+probe — no interconnect involved.  :class:`SingleGpuJoin` is simply
+:class:`~repro.core.mgjoin.MGJoin` run on a one-GPU workload; the
+orchestrator already skips assignment and shuffling in that case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mgjoin import JoinResult, MGJoin
+from repro.core.relation import DistributedRelation, GpuShard, JoinWorkload
+
+
+def gather_to_one_gpu(workload: JoinWorkload, gpu_id: int | None = None) -> JoinWorkload:
+    """Re-shard a workload so a single GPU holds everything.
+
+    Used to give the single-GPU baseline the same *total* input as a
+    multi-GPU run (the paper instead grows input with GPU count; both
+    comparisons are exposed by the bench harness).
+    """
+    target = gpu_id if gpu_id is not None else workload.gpu_ids[0]
+
+    def gather(relation: DistributedRelation) -> DistributedRelation:
+        merged = GpuShard(
+            np.concatenate([relation.shard(g).keys for g in relation.gpu_ids]),
+            np.concatenate([relation.shard(g).ids for g in relation.gpu_ids]),
+        )
+        return DistributedRelation(name=relation.name, shards={target: merged})
+
+    return JoinWorkload(
+        r=gather(workload.r),
+        s=gather(workload.s),
+        logical_scale=workload.logical_scale,
+    )
+
+
+class SingleGpuJoin(MGJoin):
+    """Radix join on one GPU (the paper's 1-GPU data points)."""
+
+    algorithm = "single-gpu"
+
+    def run(self, workload: JoinWorkload) -> JoinResult:
+        if len(workload.gpu_ids) != 1:
+            workload = gather_to_one_gpu(workload)
+        return super().run(workload)

@@ -1,0 +1,20 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+Each ``fig*`` function in :mod:`repro.bench.figures` reruns one
+experiment of the paper's §5 and returns a :class:`FigureResult` whose
+rows mirror the figure's series.  The pytest-benchmark drivers under
+``benchmarks/`` call these, print the tables and assert the paper's
+qualitative claims (who wins, by roughly what factor).
+"""
+
+from repro.bench.harness import FigureResult, bench_workload
+from repro.bench import figures
+from repro.bench.reporting import format_markdown_table, save_figure_result
+
+__all__ = [
+    "FigureResult",
+    "bench_workload",
+    "figures",
+    "format_markdown_table",
+    "save_figure_result",
+]

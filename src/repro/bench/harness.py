@@ -1,0 +1,74 @@
+"""Shared infrastructure for the figure benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.core.relation import JoinWorkload
+from repro.workloads import WorkloadSpec, generate_workload
+
+#: The paper's per-GPU input: 512M tuples per relation (§5.1).
+PAPER_TUPLES_PER_GPU = 512 * 1024 * 1024
+#: Real tuples materialized per GPU in bench runs; large enough for
+#: smooth histograms, small enough to keep a full figure under minutes.
+BENCH_REAL_TUPLES = 1 << 16
+
+
+@dataclass
+class FigureResult:
+    """Rows of one regenerated figure, ready for printing/saving."""
+
+    figure: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **row) -> None:
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def series(self, key: str, value) -> list[dict]:
+        """Rows whose ``key`` column equals ``value``."""
+        return [row for row in self.rows if row.get(key) == value]
+
+    def column(self, name: str, where: dict | None = None) -> list:
+        rows = self.rows
+        if where:
+            rows = [
+                row
+                for row in rows
+                if all(row.get(k) == v for k, v in where.items())
+            ]
+        return [row[name] for row in rows]
+
+    def to_markdown(self) -> str:
+        from repro.bench.reporting import format_markdown_table
+
+        header = f"### {self.figure}: {self.title}\n\n"
+        body = format_markdown_table(self.rows)
+        notes = "".join(f"\n> {note}" for note in self.notes)
+        return header + body + notes
+
+
+@lru_cache(maxsize=32)
+def bench_workload(
+    gpu_ids: tuple[int, ...],
+    logical_tuples_per_gpu: int = PAPER_TUPLES_PER_GPU,
+    real_tuples_per_gpu: int = BENCH_REAL_TUPLES,
+    placement_zipf: float = 0.0,
+    key_zipf: float = 0.0,
+    seed: int = 42,
+) -> JoinWorkload:
+    """Cached workload generation so figures sharing inputs reuse them."""
+    spec = WorkloadSpec(
+        gpu_ids=gpu_ids,
+        logical_tuples_per_gpu=logical_tuples_per_gpu,
+        real_tuples_per_gpu=real_tuples_per_gpu,
+        placement_zipf=placement_zipf,
+        key_zipf=key_zipf,
+        seed=seed,
+    )
+    return generate_workload(spec)

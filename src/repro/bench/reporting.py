@@ -1,0 +1,71 @@
+"""Rendering and persisting figure results."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.bench.harness import FigureResult
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_markdown_table(rows: list[dict]) -> str:
+    """Render homogeneous dict rows as a GitHub-flavoured table."""
+    if not rows:
+        return "(no rows)\n"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| "
+            + " | ".join(_format_value(row.get(c, "")) for c in columns)
+            + " |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def save_figure_result(
+    result: FigureResult, directory: str | pathlib.Path = "bench_results"
+) -> pathlib.Path:
+    """Persist a figure's rows as JSON + markdown for EXPERIMENTS.md."""
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = (
+        result.figure.lower()
+        .replace(" ", "_")
+        .replace(".", "")
+        .replace("/", "-")
+    )
+    json_path = out_dir / f"{stem}.json"
+    json_path.write_text(
+        json.dumps(
+            {
+                "figure": result.figure,
+                "title": result.title,
+                "rows": result.rows,
+                "notes": result.notes,
+            },
+            indent=2,
+            default=str,
+        )
+    )
+    (out_dir / f"{stem}.md").write_text(result.to_markdown())
+    return json_path

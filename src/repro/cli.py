@@ -1,0 +1,291 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``topology`` — describe a machine (links, bisection, staged pairs).
+* ``join`` — run one join (mg-join / dprj / umj) and print the report.
+* ``shuffle`` — run one distribution step under a routing policy.
+* ``figure`` — regenerate a paper figure (fig01 .. fig14).
+* ``tpch`` — run TPC-H queries on a chosen engine.
+
+Sizes accept suffixes: ``512M``, ``2G``, ``64K``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.baselines import DPRJJoin, UMJJoin
+from repro.core import MGJoin
+from repro.routing import (
+    AdaptiveArmPolicy,
+    BandwidthPolicy,
+    CentralizedPolicy,
+    DirectPolicy,
+    HopCountPolicy,
+    LatencyPolicy,
+)
+from repro.sim import FlowMatrix, ShuffleSimulator
+from repro.topology import (
+    dgx1_topology,
+    dgx2_topology,
+    dgx_station_topology,
+    multi_node_dgx1,
+)
+from repro.workloads import WorkloadSpec, generate_workload
+
+MACHINES: dict[str, Callable] = {
+    "dgx1": dgx1_topology,
+    "dgx2": dgx2_topology,
+    "dgx-station": dgx_station_topology,
+    "dgx1x2": lambda: multi_node_dgx1(2),
+    "dgx1x4": lambda: multi_node_dgx1(4),
+}
+
+POLICIES: dict[str, Callable] = {
+    "adaptive": AdaptiveArmPolicy,
+    "direct": DirectPolicy,
+    "bandwidth": BandwidthPolicy,
+    "hop-count": HopCountPolicy,
+    "latency": LatencyPolicy,
+    "centralized": CentralizedPolicy,
+}
+
+ALGORITHMS = {"mg-join": MGJoin, "dprj": DPRJJoin, "umj": UMJJoin}
+
+_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3, "b": 1024**3}
+
+
+def parse_size(text: str) -> int:
+    """Parse ``512M``-style sizes into integers."""
+    text = text.strip().lower()
+    if not text:
+        raise argparse.ArgumentTypeError("empty size")
+    multiplier = 1
+    if text[-1] in _SUFFIXES:
+        multiplier = _SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        value = int(float(text) * multiplier)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"cannot parse size {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("size must be positive")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MG-Join (SIGMOD 2021) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    topo = commands.add_parser("topology", help="describe a machine")
+    topo.add_argument("--machine", choices=sorted(MACHINES), default="dgx1")
+
+    join = commands.add_parser("join", help="run one distributed join")
+    join.add_argument("--machine", choices=sorted(MACHINES), default="dgx1")
+    join.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="mg-join")
+    join.add_argument("--policy", choices=sorted(POLICIES), default="adaptive")
+    join.add_argument("--gpus", type=int, default=8)
+    join.add_argument(
+        "--tuples-per-gpu", type=parse_size, default=parse_size("512M"),
+        help="logical tuples per relation per GPU",
+    )
+    join.add_argument(
+        "--real-tuples", type=parse_size, default=parse_size("64K"),
+        help="materialized tuples per relation per GPU",
+    )
+    join.add_argument("--zipf-placement", type=float, default=0.0)
+    join.add_argument("--zipf-keys", type=float, default=0.0)
+    join.add_argument("--seed", type=int, default=42)
+
+    shuffle = commands.add_parser("shuffle", help="run one distribution step")
+    shuffle.add_argument("--machine", choices=sorted(MACHINES), default="dgx1")
+    shuffle.add_argument("--policy", choices=sorted(POLICIES), default="adaptive")
+    shuffle.add_argument("--gpus", type=int, default=8)
+    shuffle.add_argument(
+        "--bytes-per-flow", type=parse_size, default=parse_size("1G")
+    )
+
+    figure = commands.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", help="fig01, fig04, ..., fig14")
+    figure.add_argument("--out", default=None, help="directory for results")
+
+    tpch = commands.add_parser("tpch", help="run TPC-H queries")
+    tpch.add_argument("--query", default="all")
+    tpch.add_argument(
+        "--engine",
+        choices=("mg-join", "dprj", "omnisci-gpu", "omnisci-cpu"),
+        default="mg-join",
+    )
+    tpch.add_argument("--scale-factor", type=float, default=250.0)
+    tpch.add_argument("--real-scale-factor", type=float, default=0.01)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "topology": _cmd_topology,
+        "join": _cmd_join,
+        "shuffle": _cmd_shuffle,
+        "figure": _cmd_figure,
+        "tpch": _cmd_tpch,
+    }[args.command]
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def _cmd_topology(args) -> int:
+    machine = MACHINES[args.machine]()
+    print(f"machine   : {machine.name}")
+    print(f"gpus      : {machine.num_gpus}")
+    print(f"links     : {len(machine.links)} directed")
+    print(f"bisection : {machine.bisection_bandwidth() / 1e9:.1f} GB/s per direction")
+    staged = [
+        (a, b)
+        for a in machine.gpu_ids
+        for b in machine.gpu_ids
+        if a < b and machine.nvlink_between(a, b) is None
+    ]
+    print(f"GPU pairs without direct GPU-GPU NVLink: {len(staged)}")
+    for gpu_id in machine.gpu_ids:
+        neighbors = machine.nvlink_neighbors(gpu_id)
+        if neighbors:
+            print(f"  gpu{gpu_id}: NVLink to {list(neighbors)}")
+    return 0
+
+
+def _select_gpus(machine, count: int) -> tuple[int, ...]:
+    if count < 1 or count > machine.num_gpus:
+        raise SystemExit(f"--gpus must be 1..{machine.num_gpus}")
+    return tuple(machine.gpu_ids[:count])
+
+
+def _cmd_join(args) -> int:
+    machine = MACHINES[args.machine]()
+    gpu_ids = _select_gpus(machine, args.gpus)
+    workload = generate_workload(
+        WorkloadSpec(
+            gpu_ids=gpu_ids,
+            logical_tuples_per_gpu=_round_to_multiple(
+                args.tuples_per_gpu, args.real_tuples
+            ),
+            real_tuples_per_gpu=args.real_tuples,
+            placement_zipf=args.zipf_placement,
+            key_zipf=args.zipf_keys,
+            seed=args.seed,
+        )
+    )
+    algorithm_cls = ALGORITHMS[args.algorithm]
+    if args.algorithm == "umj":
+        algorithm = algorithm_cls(machine)
+    else:
+        algorithm = algorithm_cls(machine, policy=POLICIES[args.policy]())
+    result = algorithm.run(workload)
+    print(f"algorithm        : {result.algorithm}")
+    print(f"gpus             : {result.num_gpus}")
+    print(f"logical tuples   : {result.logical_tuples:,}")
+    print(f"matches (logical): {result.matches_logical:,}")
+    print(f"total time       : {result.total_time * 1e3:.2f} ms")
+    print(f"throughput       : {result.throughput / 1e9:.2f} B tuples/s")
+    print(f"cycles / tuple   : {result.cycles_per_tuple:.1f}")
+    for phase, seconds in result.breakdown.as_dict().items():
+        print(f"  {phase:22s}: {seconds * 1e3:9.2f} ms")
+    return 0
+
+
+def _round_to_multiple(logical: int, real: int) -> int:
+    if logical < real:
+        return real
+    return (logical // real) * real
+
+
+def _cmd_shuffle(args) -> int:
+    machine = MACHINES[args.machine]()
+    gpu_ids = _select_gpus(machine, args.gpus)
+    flows = FlowMatrix.all_to_all(gpu_ids, args.bytes_per_flow)
+    policy = POLICIES[args.policy]()
+    report = ShuffleSimulator(machine, gpu_ids).run(flows, policy)
+    print(f"policy               : {report.policy_name}")
+    print(f"payload              : {report.payload_bytes / 1e9:.2f} GB")
+    print(f"elapsed              : {report.elapsed * 1e3:.2f} ms")
+    print(f"throughput           : {report.throughput / 1e9:.1f} GB/s")
+    print(f"average hops         : {report.average_hops:.2f}")
+    print(f"bisection utilization: {report.bisection_utilization * 100:.1f}%")
+    busiest = sorted(
+        report.link_stats.values(),
+        key=lambda stats: stats.busy_time,
+        reverse=True,
+    )[:5]
+    print("busiest links:")
+    for stats in busiest:
+        print(
+            f"  {str(stats.spec):28s} {stats.bytes_sent / 1e9:7.2f} GB "
+            f"{stats.utilization(report.elapsed) * 100:5.1f}% busy"
+        )
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.bench import figures
+    from repro.bench.reporting import save_figure_result
+
+    name = args.name.lower()
+    if name not in figures.ALL_FIGURES:
+        raise SystemExit(
+            f"unknown figure {args.name!r}; have {sorted(figures.ALL_FIGURES)}"
+        )
+    result = figures.ALL_FIGURES[name]()
+    print(result.to_markdown())
+    if args.out:
+        path = save_figure_result(result, args.out)
+        print(f"\nsaved to {path}")
+    return 0
+
+
+def _cmd_tpch(args) -> int:
+    from repro.relational import (
+        DPRJQueryEngine,
+        MGJoinQueryEngine,
+        OmnisciCpuEngine,
+        OmnisciGpuEngine,
+    )
+    from repro.relational.tpch import QUERIES, generate_tpch, run_query
+
+    machine = dgx1_topology()
+    database = generate_tpch(scale_factor=args.real_scale_factor)
+    scale = args.scale_factor / args.real_scale_factor
+    engine_cls = {
+        "mg-join": MGJoinQueryEngine,
+        "dprj": DPRJQueryEngine,
+        "omnisci-gpu": OmnisciGpuEngine,
+        "omnisci-cpu": OmnisciCpuEngine,
+    }[args.engine]
+    engine = engine_cls(machine, logical_scale=scale)
+    queries = sorted(QUERIES) if args.query == "all" else [args.query]
+    for query in queries:
+        outcome = run_query(query, engine, database)
+        if outcome.is_na:
+            print(f"{query:>4}: NA ({outcome.na_reason})")
+        else:
+            print(f"{query:>4}: {outcome.seconds:8.3f} s "
+                  f"({outcome.table.num_rows} result rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

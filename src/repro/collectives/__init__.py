@@ -1,0 +1,29 @@
+"""Collective communication over the routed multi-GPU fabric.
+
+The paper's related work (§6) observes that existing multi-GPU
+communication frameworks — NCCL above all — "adopt static routing
+policies which are highly inefficient on modern multi-GPU hardware".
+This package makes that comparison concrete: classic collective
+algorithms (ring all-gather, ring all-reduce, broadcast, all-to-all)
+expressed as flow matrices and executed by the same shuffle simulator
+under any routing policy, so NCCL-style ring schedules over direct
+links can be measured against MG-Join's adaptive multi-hop routing.
+"""
+
+from repro.collectives.ops import (
+    CollectiveResult,
+    all_gather,
+    all_reduce,
+    all_to_all,
+    broadcast,
+    ring_neighbors,
+)
+
+__all__ = [
+    "CollectiveResult",
+    "all_gather",
+    "all_reduce",
+    "all_to_all",
+    "broadcast",
+    "ring_neighbors",
+]

@@ -1,0 +1,163 @@
+"""Collective operations as flow programs on the shuffle simulator.
+
+Each collective is expressed as one or more *rounds* of flows; rounds
+are simulated back-to-back (a round's flows must complete before the
+next starts, matching the synchronization structure of ring/tree
+algorithms).  The routing policy decides how each round's flows
+traverse the machine, which is exactly where NCCL-style static
+schedules and MG-Join's adaptive routing part ways.
+
+Conventions: ``nbytes`` is the payload *per GPU* (the shard each rank
+contributes); results report the total time and the effective
+algorithm bandwidth ``busbw``-style, as collective benchmarks do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.routing.base import RoutingPolicy
+from repro.sim.shuffle import FlowMatrix, ShuffleConfig, ShuffleSimulator
+from repro.sim.stats import ShuffleReport
+from repro.topology.machine import MachineTopology
+
+
+@dataclass
+class CollectiveResult:
+    """Outcome of one collective execution."""
+
+    operation: str
+    num_gpus: int
+    payload_bytes_per_gpu: int
+    elapsed: float
+    rounds: list[ShuffleReport] = field(default_factory=list)
+
+    @property
+    def algorithm_bandwidth(self) -> float:
+        """Payload each GPU contributed / total time (bytes/s)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.payload_bytes_per_gpu / self.elapsed
+
+
+def ring_neighbors(gpu_ids: tuple[int, ...]) -> list[tuple[int, int]]:
+    """The (src, dst) pairs of a unidirectional ring over the GPUs."""
+    ordered = tuple(gpu_ids)
+    if len(ordered) < 2:
+        raise ValueError("a ring needs at least two GPUs")
+    return [
+        (ordered[i], ordered[(i + 1) % len(ordered)])
+        for i in range(len(ordered))
+    ]
+
+
+def _run_rounds(
+    machine: MachineTopology,
+    gpu_ids: tuple[int, ...],
+    policy: RoutingPolicy,
+    rounds: list[FlowMatrix],
+    operation: str,
+    payload: int,
+    config: ShuffleConfig | None,
+) -> CollectiveResult:
+    config = config or ShuffleConfig(injection_rate=None, consume_rate=None)
+    simulator = ShuffleSimulator(machine, gpu_ids, config)
+    reports: list[ShuffleReport] = []
+    elapsed = 0.0
+    for flows in rounds:
+        if flows.total_bytes == 0:
+            continue
+        report = simulator.run(flows, policy)
+        reports.append(report)
+        elapsed += report.elapsed
+    return CollectiveResult(
+        operation=operation,
+        num_gpus=len(gpu_ids),
+        payload_bytes_per_gpu=payload,
+        elapsed=elapsed,
+        rounds=reports,
+    )
+
+
+def all_gather(
+    machine: MachineTopology,
+    gpu_ids: tuple[int, ...],
+    nbytes: int,
+    policy: RoutingPolicy,
+    config: ShuffleConfig | None = None,
+) -> CollectiveResult:
+    """Ring all-gather: G-1 rounds, each GPU forwards the shard it just
+    received to its ring successor (the NCCL schedule)."""
+    ring = ring_neighbors(gpu_ids)
+    rounds = []
+    for _ in range(len(gpu_ids) - 1):
+        flows = FlowMatrix()
+        for src, dst in ring:
+            flows.add(src, dst, nbytes)
+        rounds.append(flows)
+    return _run_rounds(
+        machine, gpu_ids, policy, rounds, "all-gather", nbytes, config
+    )
+
+
+def all_reduce(
+    machine: MachineTopology,
+    gpu_ids: tuple[int, ...],
+    nbytes: int,
+    policy: RoutingPolicy,
+    config: ShuffleConfig | None = None,
+) -> CollectiveResult:
+    """Ring all-reduce: reduce-scatter + all-gather, 2(G-1) rounds of
+    1/G-sized chunks (the classic bandwidth-optimal schedule)."""
+    num_gpus = len(gpu_ids)
+    chunk = max(1, nbytes // num_gpus)
+    ring = ring_neighbors(gpu_ids)
+    rounds = []
+    for _ in range(2 * (num_gpus - 1)):
+        flows = FlowMatrix()
+        for src, dst in ring:
+            flows.add(src, dst, chunk)
+        rounds.append(flows)
+    return _run_rounds(
+        machine, gpu_ids, policy, rounds, "all-reduce", nbytes, config
+    )
+
+
+def broadcast(
+    machine: MachineTopology,
+    gpu_ids: tuple[int, ...],
+    nbytes: int,
+    policy: RoutingPolicy,
+    root: int | None = None,
+    config: ShuffleConfig | None = None,
+) -> CollectiveResult:
+    """Flat broadcast: the root pushes its payload to every other GPU
+    in one round; the routing policy decides how the copies travel."""
+    root = root if root is not None else gpu_ids[0]
+    if root not in gpu_ids:
+        raise ValueError(f"root gpu{root} not among participants")
+    flows = FlowMatrix()
+    for dst in gpu_ids:
+        if dst != root:
+            flows.add(root, dst, nbytes)
+    return _run_rounds(
+        machine, gpu_ids, policy, [flows], "broadcast", nbytes, config
+    )
+
+
+def all_to_all(
+    machine: MachineTopology,
+    gpu_ids: tuple[int, ...],
+    nbytes: int,
+    policy: RoutingPolicy,
+    config: ShuffleConfig | None = None,
+) -> CollectiveResult:
+    """Full personalized exchange: every GPU sends a distinct
+    ``nbytes / G`` slice to every other GPU in one round — the join's
+    distribution step as a collective."""
+    num_gpus = len(gpu_ids)
+    per_flow = max(1, nbytes // num_gpus)
+    flows = FlowMatrix.all_to_all(gpu_ids, per_flow)
+    return _run_rounds(
+        machine, gpu_ids, policy, [flows], "all-to-all", nbytes, config
+    )

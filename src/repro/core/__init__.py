@@ -1,0 +1,40 @@
+"""MG-Join: the paper's primary contribution.
+
+A partitioned hash join over relations distributed across the GPUs of a
+single multi-GPU machine, in four phases (§3.2):
+
+1. **Histogram generation** (:mod:`repro.core.histogram`)
+2. **Global partitioning** — partition assignment
+   (:mod:`repro.core.assignment`) plus the data-distribution step driven
+   by the adaptive multi-hop routing of :mod:`repro.routing`
+   (:mod:`repro.core.global_partition`)
+3. **Local partitioning** (:mod:`repro.core.local_partition`)
+4. **Probe** (:mod:`repro.core.probe`)
+
+Every phase runs *functionally* on real numpy data (the join result is
+exact) while phase costs are modelled at the workload's logical scale.
+"""
+
+from repro.core.config import MGJoinConfig
+from repro.core.relation import DistributedRelation, JoinWorkload
+from repro.core.histogram import HistogramSet, build_histograms, max_partitions
+from repro.core.assignment import PartitionAssignment, assign_partitions
+from repro.core.compression import CompressionModel, compress_ids, decompress_ids
+from repro.core.mgjoin import JoinResult, MGJoin, PhaseBreakdown
+
+__all__ = [
+    "CompressionModel",
+    "DistributedRelation",
+    "HistogramSet",
+    "JoinResult",
+    "JoinWorkload",
+    "MGJoin",
+    "MGJoinConfig",
+    "PartitionAssignment",
+    "PhaseBreakdown",
+    "assign_partitions",
+    "build_histograms",
+    "compress_ids",
+    "decompress_ids",
+    "max_partitions",
+]

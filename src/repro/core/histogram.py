@@ -1,0 +1,93 @@
+"""Phase 1: histogram generation (paper §3.2, Rationale 3).
+
+Each GPU scans its local shard of both relations and counts tuples per
+radix partition.  The histogram lives in GPU shared memory, so the
+partition count is capped by Equation 1:
+
+    P_max = M_s / (Ĥ_s · T_b)
+
+With a V100's 32 KB of usable shared memory per SM, 4-byte entries and
+two thread blocks per SM this yields the paper's 4,096 partitions.
+MG-Join always generates this maximum (it both balances load better and
+cuts local-partitioning work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.relation import DistributedRelation
+from repro.sim.compute import GpuSpec
+
+
+def max_partitions(
+    spec: GpuSpec, histogram_entry_bytes: int = 4, thread_blocks_per_sm: int = 2
+) -> int:
+    """Equation 1, rounded down to a power of two for radix use."""
+    if histogram_entry_bytes < 1 or thread_blocks_per_sm < 1:
+        raise ValueError("entry size and thread blocks must be positive")
+    raw = spec.shared_memory_per_sm // (histogram_entry_bytes * thread_blocks_per_sm)
+    if raw < 1:
+        raise ValueError("shared memory too small for even one histogram entry")
+    return 1 << (int(raw).bit_length() - 1)
+
+
+def partition_of(keys: np.ndarray, num_partitions: int) -> np.ndarray:
+    """Radix partition id of each key (low-order bits, paper §5.1)."""
+    if num_partitions & (num_partitions - 1):
+        raise ValueError(f"num_partitions must be a power of two, got {num_partitions}")
+    return (keys & np.uint32(num_partitions - 1)).astype(np.int64)
+
+
+@dataclass
+class HistogramSet:
+    """Per-GPU, per-relation partition histograms.
+
+    ``r[gpu]`` / ``s[gpu]`` are int64 arrays of length
+    ``num_partitions`` counting *real* tuples; multiply by the workload
+    scale for logical sizes.
+    """
+
+    num_partitions: int
+    r: dict[int, np.ndarray]
+    s: dict[int, np.ndarray]
+
+    @property
+    def gpu_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self.r))
+
+    def totals(self) -> tuple[np.ndarray, np.ndarray]:
+        """Global per-partition counts for (R, S)."""
+        r_total = np.zeros(self.num_partitions, dtype=np.int64)
+        s_total = np.zeros(self.num_partitions, dtype=np.int64)
+        for gpu_id in self.gpu_ids:
+            r_total += self.r[gpu_id]
+            s_total += self.s[gpu_id]
+        return r_total, s_total
+
+    def stacked(self) -> tuple[np.ndarray, np.ndarray]:
+        """(G, P) matrices of counts for (R, S), rows ordered by GPU id."""
+        gpu_ids = self.gpu_ids
+        r = np.stack([self.r[g] for g in gpu_ids])
+        s = np.stack([self.s[g] for g in gpu_ids])
+        return r, s
+
+
+def build_histograms(
+    r: DistributedRelation, s: DistributedRelation, num_partitions: int
+) -> HistogramSet:
+    """Count tuples per partition on every GPU (the phase-1 kernel)."""
+    histograms_r: dict[int, np.ndarray] = {}
+    histograms_s: dict[int, np.ndarray] = {}
+    for gpu_id in r.gpu_ids:
+        histograms_r[gpu_id] = np.bincount(
+            partition_of(r.shard(gpu_id).keys, num_partitions),
+            minlength=num_partitions,
+        ).astype(np.int64)
+        histograms_s[gpu_id] = np.bincount(
+            partition_of(s.shard(gpu_id).keys, num_partitions),
+            minlength=num_partitions,
+        ).astype(np.int64)
+    return HistogramSet(num_partitions=num_partitions, r=histograms_r, s=histograms_s)

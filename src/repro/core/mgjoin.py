@@ -1,0 +1,423 @@
+"""The MG-Join orchestrator (paper §3.2).
+
+Runs the four phases — histogram, global partitioning (assignment +
+data distribution), local partitioning, probe — functionally on the
+workload's numpy shards while accounting costs at the workload's
+logical scale:
+
+* kernel times come from :class:`repro.sim.compute.GpuComputeModel`,
+* the data-distribution step is simulated packet-by-packet by
+  :class:`repro.sim.shuffle.ShuffleSimulator` under the configured
+  routing policy (adaptive multi-hop by default).
+
+Overlap model: the global-partitioning kernel *produces* packets (it
+paces injection), the local-partitioning kernel *consumes* them as they
+arrive (Rationale 2), so the middle of the join costs
+``max(partition pass, distribution, first local pass)`` plus any local
+passes beyond the first.  The part of the distribution time not hidden
+under compute is reported as the exposed "Data Distribution" of
+Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.assignment import PartitionAssignment, assign_partitions
+from repro.core.compression import CompressionModel, build_compression_model
+from repro.core.config import MGJoinConfig
+from repro.core.global_partition import (
+    DistributedData,
+    execute_distribution,
+    plan_flows,
+)
+from repro.core.histogram import (
+    HistogramSet,
+    build_histograms,
+    max_partitions,
+    partition_of,
+)
+from repro.core.local_partition import plan_local_passes, refine
+from repro.core.probe import probe_partitions
+from repro.core.relation import GpuShard, JoinWorkload
+from repro.routing.adaptive import AdaptiveArmPolicy
+from repro.routing.base import RoutingPolicy
+from repro.sim.shuffle import FlowMatrix, ShuffleSimulator
+from repro.sim.stats import ShuffleReport
+from repro.topology.machine import MachineTopology
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Seconds spent per pipeline stage (logical scale).
+
+    ``partition_compute`` is the overlapped partitioning work (global
+    pass + all local passes); ``distribution_exposed`` is the slice of
+    the data-distribution step that could not hide under compute — the
+    "Data Distribution" bar of Figure 12.
+    """
+
+    histogram: float
+    partition_compute: float
+    distribution_exposed: float
+    probe: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.histogram
+            + self.partition_compute
+            + self.distribution_exposed
+            + self.probe
+        )
+
+    @property
+    def distribution_share(self) -> float:
+        if self.total <= 0:
+            return 0.0
+        return self.distribution_exposed / self.total
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "histogram": self.histogram,
+            "partition_compute": self.partition_compute,
+            "distribution_exposed": self.distribution_exposed,
+            "probe": self.probe,
+        }
+
+
+@dataclass
+class JoinResult:
+    """Everything one join run produced and measured."""
+
+    algorithm: str
+    num_gpus: int
+    logical_tuples: int
+    real_tuples: int
+    breakdown: PhaseBreakdown
+    matches_real: int
+    logical_scale: int
+    shuffle_report: ShuffleReport | None = None
+    compression_ratio: float = 1.0
+    assignment_broadcasts: int = 0
+    local_passes: int = 0
+    gpu_clock_hz: float = 1.53e9
+    gpu_sms: int = 80
+    per_gpu_matches: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def matches_logical(self) -> int:
+        return self.matches_real * self.logical_scale
+
+    @property
+    def throughput(self) -> float:
+        """Input tuples joined per second (Figure 11/13 metric)."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.logical_tuples / self.total_time
+
+    @property
+    def cycles_per_tuple(self) -> float:
+        """Aggregate SM cycles per input tuple (Figure 1 metric).
+
+        Counts clock cycles elapsing on every SM of every participating
+        GPU over the join's runtime, divided by logical input tuples.
+        """
+        if self.logical_tuples == 0:
+            return 0.0
+        cycles = self.total_time * self.gpu_clock_hz * self.gpu_sms * self.num_gpus
+        return cycles / self.logical_tuples
+
+
+class MGJoin:
+    """Public entry point: MG-Join on one machine.
+
+    Example::
+
+        machine = dgx1_topology()
+        workload = generate_workload(WorkloadSpec(gpu_ids=(0, 1, 2, 3)))
+        result = MGJoin(machine).run(workload)
+        print(result.throughput, result.matches_logical)
+    """
+
+    algorithm = "mg-join"
+    #: Whether the data-distribution step overlaps the compute chain
+    #: (MG-Join's packetized design does; DPRJ's transfer-then-compute
+    #: does not).
+    overlap_distribution = True
+
+    def __init__(
+        self,
+        machine: MachineTopology,
+        config: MGJoinConfig | None = None,
+        policy: RoutingPolicy | None = None,
+    ) -> None:
+        self.machine = machine
+        self.config = config or MGJoinConfig()
+        self.policy = policy or AdaptiveArmPolicy()
+
+    # ------------------------------------------------------------------
+
+    def run(self, workload: JoinWorkload) -> JoinResult:
+        """Execute the join and return results plus cost accounting."""
+        config = self.config
+        gpu_ids = workload.gpu_ids
+        unknown = set(gpu_ids) - set(self.machine.gpu_ids)
+        if unknown:
+            raise ValueError(f"workload references unknown GPUs: {sorted(unknown)}")
+        compute = config.compute
+        scale = workload.logical_scale
+        num_partitions = config.num_partitions or max_partitions(
+            compute.spec, config.histogram_entry_bytes, config.thread_blocks_per_sm
+        )
+
+        # Phase 1: histograms (real counts; times at logical scale).
+        histograms = build_histograms(workload.r, workload.s, num_partitions)
+        histogram_time = max(
+            compute.histogram_time(
+                workload.logical_tuples_on(g), key_bytes=config.key_bytes
+            )
+            for g in gpu_ids
+        )
+
+        # Phase 2a: partition assignment (overlapped with the partition
+        # kernel per the paper, so it adds no critical-path time).
+        if len(gpu_ids) > 1:
+            assignment = self._make_assignment(histograms)
+        else:
+            assignment = _single_gpu_assignment(histograms)
+
+        compression = self._compression_model(workload, num_partitions)
+
+        # Phase 2b: global partitioning pass + simulated distribution.
+        global_pass_time = max(
+            compute.partition_time(
+                workload.logical_tuples_on(g), config.tuple_bytes, passes=1
+            )
+            for g in gpu_ids
+        )
+        flows = plan_flows(histograms, assignment, compression, scale)
+        shuffle_report = self._simulate_distribution(
+            flows, gpu_ids, global_pass_time, compression
+        )
+        distribution_time = shuffle_report.elapsed if shuffle_report else 0.0
+
+        data = execute_distribution(workload.r, workload.s, histograms, assignment)
+
+        # Phase 3: local partitioning (overlapped with arrival).
+        local_passes, local_pass_time, local_total_time = self._plan_local(
+            data, gpu_ids, num_partitions, scale
+        )
+
+        # Phase 4: probe (real join, exact result).
+        matches, per_gpu_matches, probe_time = self._probe(
+            data, gpu_ids, num_partitions, local_passes, scale
+        )
+
+        # Compose the pipeline.  The partitioning passes of one GPU are
+        # all HBM-bandwidth bound, so they serialize with each other.
+        # With overlap (MG-Join), the distribution hides under that
+        # compute chain — packets are produced by the global pass and
+        # consumed by the local pass as they arrive — but the traffic
+        # crossing HBM taxes the kernels.  Without overlap (DPRJ), the
+        # transfer is fully exposed between the passes.
+        compute_chain = global_pass_time + local_total_time
+        if self.overlap_distribution:
+            hbm_tax = self._hbm_communication_tax(flows, gpu_ids)
+            phase23 = max(compute_chain + hbm_tax, distribution_time)
+            exposed = phase23 - compute_chain
+        else:
+            exposed = distribution_time
+        breakdown = PhaseBreakdown(
+            histogram=histogram_time,
+            partition_compute=compute_chain,
+            distribution_exposed=exposed,
+            probe=probe_time,
+        )
+        return JoinResult(
+            algorithm=self.algorithm,
+            num_gpus=len(gpu_ids),
+            logical_tuples=workload.logical_tuples,
+            real_tuples=workload.real_tuples,
+            breakdown=breakdown,
+            matches_real=matches,
+            logical_scale=scale,
+            shuffle_report=shuffle_report,
+            compression_ratio=compression.ratio,
+            assignment_broadcasts=assignment.num_broadcast,
+            local_passes=local_passes,
+            gpu_clock_hz=compute.spec.clock_hz,
+            gpu_sms=compute.spec.num_sms,
+            per_gpu_matches=per_gpu_matches,
+        )
+
+    # ------------------------------------------------------------------
+    # Pieces (template hooks overridden by the baselines)
+    # ------------------------------------------------------------------
+
+    def _make_assignment(self, histograms: HistogramSet) -> PartitionAssignment:
+        return assign_partitions(
+            histograms, self.machine, tuple_bytes=self.config.tuple_bytes
+        )
+
+    def _compression_model(
+        self, workload: JoinWorkload, num_partitions: int
+    ) -> CompressionModel:
+        sample_gpu = workload.gpu_ids[0]
+        shard = workload.r.shard(sample_gpu)
+        order = np.argsort(partition_of(shard.keys, num_partitions), kind="stable")
+        return build_compression_model(
+            enabled=self.config.compression,
+            num_partitions=num_partitions,
+            sample_ids=shard.ids[order],
+            block_bytes=self.config.compression_block_bytes,
+        )
+
+    def _simulate_distribution(
+        self,
+        flows: FlowMatrix,
+        gpu_ids: tuple[int, ...],
+        global_pass_time: float,
+        compression: CompressionModel,
+    ) -> ShuffleReport | None:
+        if len(gpu_ids) < 2 or flows.total_bytes == 0:
+            return None
+        compute = self.config.compute
+        if self.overlap_distribution:
+            # Injection paced by the producing partition kernel,
+            # consumption paced by the local-partitioning kernel.
+            worst_outgoing = max(
+                (sum(flows.outgoing(g).values()) for g in gpu_ids), default=0
+            )
+            injection_rate = (
+                worst_outgoing / global_pass_time if global_pass_time > 0 else None
+            )
+            tuples_per_second = (
+                compute.partition_efficiency
+                * compute.spec.memory_bandwidth
+                / (2.0 * self.config.tuple_bytes)
+            )
+            consume_rate = tuples_per_second * compression.bytes_per_tuple
+        else:
+            # Transfer-then-compute: everything is ready when the
+            # transfer starts and nothing competes with it.
+            injection_rate = None
+            consume_rate = None
+        shuffle_config = replace(
+            self.config.shuffle,
+            injection_rate=injection_rate,
+            consume_rate=consume_rate,
+        )
+        simulator = ShuffleSimulator(self.machine, gpu_ids, shuffle_config)
+        return simulator.run(flows, self.policy)
+
+    def _hbm_communication_tax(
+        self, flows: FlowMatrix, gpu_ids: tuple[int, ...]
+    ) -> float:
+        """Compute-time cost of cross-GPU traffic crossing HBM.
+
+        Every byte a GPU sends or receives is read from / written to
+        its HBM by the DMA engines, stealing bandwidth from the
+        partitioning kernels running at the same time.
+        """
+        if not flows.flows:
+            return 0.0
+        compute = self.config.compute
+        worst = 0.0
+        for gpu_id in gpu_ids:
+            outgoing = sum(flows.outgoing(gpu_id).values())
+            incoming = sum(
+                nbytes for (_, dst), nbytes in flows.flows.items() if dst == gpu_id
+            )
+            worst = max(worst, float(outgoing + incoming))
+        return worst / (compute.memcpy_efficiency * compute.spec.memory_bandwidth)
+
+    def _plan_local(
+        self,
+        data: DistributedData,
+        gpu_ids: tuple[int, ...],
+        num_partitions: int,
+        scale: int,
+    ) -> tuple[int, float, float]:
+        """Return (max passes, one-pass time, all-passes time)."""
+        config = self.config
+        compute = config.compute
+        worst_passes = 0
+        worst_pass_time = 0.0
+        worst_total = 0.0
+        for gpu_id in gpu_ids:
+            r_shard, s_shard = data.r[gpu_id], data.s[gpu_id]
+            r_hist = np.bincount(
+                partition_of(r_shard.keys, num_partitions), minlength=num_partitions
+            )
+            s_hist = np.bincount(
+                partition_of(s_shard.keys, num_partitions), minlength=num_partitions
+            )
+            passes = plan_local_passes(
+                r_hist * scale,
+                s_hist * scale,
+                config.local_fanout,
+                config.target_partition_tuples,
+            )
+            received_logical = (len(r_shard) + len(s_shard)) * scale
+            pass_time = compute.partition_time(
+                received_logical, config.tuple_bytes, passes=1
+            )
+            worst_passes = max(worst_passes, passes)
+            worst_pass_time = max(worst_pass_time, pass_time)
+            worst_total = max(worst_total, pass_time * passes)
+        return worst_passes, worst_pass_time, worst_total
+
+    def _probe(
+        self,
+        data: DistributedData,
+        gpu_ids: tuple[int, ...],
+        num_partitions: int,
+        local_passes: int,
+        scale: int,
+    ) -> tuple[int, dict[int, int], float]:
+        config = self.config
+        compute = config.compute
+        global_bits = int(np.log2(num_partitions))
+        matches = 0
+        per_gpu: dict[int, int] = {}
+        probe_time = 0.0
+        for gpu_id in gpu_ids:
+            r_shard, s_shard = data.r[gpu_id], data.s[gpu_id]
+            r_parts = refine(r_shard, global_bits, local_passes, config.local_fanout)
+            s_parts = refine(s_shard, global_bits, local_passes, config.local_fanout)
+            result = probe_partitions(
+                r_parts,
+                s_parts,
+                materialize=config.materialize,
+                method=config.probe_method,
+            )
+            per_gpu[gpu_id] = result.matches
+            matches += result.matches
+            probe_time = max(
+                probe_time,
+                compute.probe_time(
+                    len(r_shard) * scale,
+                    len(s_shard) * scale,
+                    result.matches * scale,
+                    config.tuple_bytes,
+                ),
+            )
+        return matches, per_gpu, probe_time
+
+
+def _single_gpu_assignment(histograms: HistogramSet) -> PartitionAssignment:
+    """Everything already lives on the only GPU: nothing moves."""
+    num_partitions = histograms.num_partitions
+    return PartitionAssignment(
+        gpu_ids=histograms.gpu_ids,
+        owners=[(0,)] * num_partitions,
+        broadcast_side=np.zeros(num_partitions, dtype=np.int8),
+        move_cost=0.0,
+    )

@@ -1,0 +1,124 @@
+"""Distributed relations: the join's input data structure.
+
+A relation is a pair of parallel numpy columns — a 4-byte join key and a
+4-byte tuple id (the paper's 8-byte tuple, §5.1) — sharded across the
+GPUs of the machine.  The *logical scale* lets a laptop-sized array
+stand in for the paper's multi-billion-tuple inputs: every real tuple
+represents ``logical_scale`` logical tuples in the cost model, while all
+functional work (partitioning, shuffling, probing) runs on the real
+arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+KEY_DTYPE = np.uint32
+ID_DTYPE = np.uint32
+
+
+@dataclass
+class GpuShard:
+    """One GPU's slice of a relation."""
+
+    keys: np.ndarray
+    ids: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.keys.shape != self.ids.shape:
+            raise ValueError("keys and ids must have the same length")
+        if self.keys.dtype != KEY_DTYPE:
+            self.keys = self.keys.astype(KEY_DTYPE, copy=False)
+        if self.ids.dtype != ID_DTYPE:
+            self.ids = self.ids.astype(ID_DTYPE, copy=False)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @staticmethod
+    def empty() -> "GpuShard":
+        return GpuShard(np.empty(0, dtype=KEY_DTYPE), np.empty(0, dtype=ID_DTYPE))
+
+    @staticmethod
+    def concat(shards: list["GpuShard"]) -> "GpuShard":
+        if not shards:
+            return GpuShard.empty()
+        return GpuShard(
+            np.concatenate([s.keys for s in shards]),
+            np.concatenate([s.ids for s in shards]),
+        )
+
+
+@dataclass
+class DistributedRelation:
+    """A relation sharded over a set of GPUs."""
+
+    name: str
+    shards: dict[int, GpuShard] = field(default_factory=dict)
+
+    @property
+    def gpu_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self.shards))
+
+    @property
+    def num_tuples(self) -> int:
+        return sum(len(shard) for shard in self.shards.values())
+
+    def shard(self, gpu_id: int) -> GpuShard:
+        return self.shards[gpu_id]
+
+    def tuples_on(self, gpu_id: int) -> int:
+        return len(self.shards.get(gpu_id, GpuShard.empty()))
+
+    def all_keys(self) -> np.ndarray:
+        if not self.shards:
+            return np.empty(0, dtype=KEY_DTYPE)
+        return np.concatenate(
+            [self.shards[g].keys for g in self.gpu_ids]
+        )
+
+    def validate(self) -> None:
+        for gpu_id, shard in self.shards.items():
+            if gpu_id < 0:
+                raise ValueError(f"invalid GPU id {gpu_id}")
+            if shard.keys.ndim != 1:
+                raise ValueError("relation columns must be one-dimensional")
+
+
+@dataclass
+class JoinWorkload:
+    """An equi-join input: R ⋈ S plus the logical scaling factor.
+
+    ``logical_scale`` is the number of logical tuples each real tuple
+    stands for; the cost model multiplies all sizes by it.  A scale of 1
+    means the arrays are the full workload.
+    """
+
+    r: DistributedRelation
+    s: DistributedRelation
+    logical_scale: int = 1
+
+    def __post_init__(self) -> None:
+        if self.logical_scale < 1:
+            raise ValueError("logical_scale must be >= 1")
+        if set(self.r.gpu_ids) != set(self.s.gpu_ids):
+            raise ValueError("R and S must live on the same GPU set")
+
+    @property
+    def gpu_ids(self) -> tuple[int, ...]:
+        return self.r.gpu_ids
+
+    @property
+    def real_tuples(self) -> int:
+        return self.r.num_tuples + self.s.num_tuples
+
+    @property
+    def logical_tuples(self) -> int:
+        return self.real_tuples * self.logical_scale
+
+    def logical_tuples_on(self, gpu_id: int) -> int:
+        return (
+            self.r.tuples_on(gpu_id) + self.s.tuples_on(gpu_id)
+        ) * self.logical_scale

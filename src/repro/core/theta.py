@@ -1,0 +1,167 @@
+"""Theta joins and cartesian products over the MG-Join substrate.
+
+The paper notes (§3) that multi-hop transmission and adaptive routing
+"optimize the data transfer irrespective of [the] type of operation
+that is being performed", naming cartesian products explicitly.  This
+module delivers that claim: a broadcast-based theta join where the
+smaller relation is replicated to every GPU over the adaptive multi-hop
+fabric and each GPU then evaluates an arbitrary predicate against its
+local slice of the larger relation.
+
+Unlike the equi-join there is no partitioning to exploit — the
+communication pattern is a pure broadcast — so the routing layer is
+exactly what determines performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import MGJoinConfig
+from repro.core.relation import GpuShard, JoinWorkload
+from repro.routing.adaptive import AdaptiveArmPolicy
+from repro.routing.base import RoutingPolicy
+from repro.sim.shuffle import FlowMatrix, ShuffleSimulator
+from repro.sim.stats import ShuffleReport
+from repro.topology.machine import MachineTopology
+
+#: A predicate over (build keys, probe keys) -> boolean match matrix
+#: column; evaluated blockwise as ``predicate(build_key, probe_keys)``.
+ThetaPredicate = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def less_than(build_keys: np.ndarray, probe_keys: np.ndarray) -> np.ndarray:
+    """Example band predicate: ``R.key < S.key``."""
+    return build_keys < probe_keys
+
+
+@dataclass
+class ThetaJoinResult:
+    """Outcome of a broadcast theta join."""
+
+    matches_real: int
+    logical_scale: int
+    broadcast_time: float
+    compute_time: float
+    shuffle_report: ShuffleReport | None
+    per_gpu_matches: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        # Broadcast overlaps nothing here: the predicate needs the
+        # whole build side resident before evaluation starts.
+        return self.broadcast_time + self.compute_time
+
+    @property
+    def matches_logical(self) -> int:
+        # Both sides scale, so pair counts scale quadratically.
+        return self.matches_real * self.logical_scale * self.logical_scale
+
+
+class ThetaJoin:
+    """Broadcast-based theta join / cartesian product.
+
+    The smaller relation (by total tuples) is broadcast to every
+    participating GPU using the configured routing policy; each GPU
+    evaluates the predicate between the full build side and its local
+    probe shard.  ``predicate=None`` yields the cartesian product.
+    """
+
+    def __init__(
+        self,
+        machine: MachineTopology,
+        config: MGJoinConfig | None = None,
+        policy: RoutingPolicy | None = None,
+    ) -> None:
+        self.machine = machine
+        self.config = config or MGJoinConfig()
+        self.policy = policy or AdaptiveArmPolicy()
+
+    def run(
+        self, workload: JoinWorkload, predicate: ThetaPredicate | None = None
+    ) -> ThetaJoinResult:
+        gpu_ids = workload.gpu_ids
+        compute = self.config.compute
+        build_rel, probe_rel = (
+            (workload.r, workload.s)
+            if workload.r.num_tuples <= workload.s.num_tuples
+            else (workload.s, workload.r)
+        )
+
+        # Broadcast the build relation over the routed fabric.
+        report = self._broadcast(build_rel, gpu_ids, workload.logical_scale)
+        broadcast_time = report.elapsed if report else 0.0
+
+        build = GpuShard.concat([build_rel.shard(g) for g in gpu_ids])
+        matches = 0
+        per_gpu: dict[int, int] = {}
+        compute_time = 0.0
+        for gpu_id in gpu_ids:
+            probe = probe_rel.shard(gpu_id)
+            count = self._evaluate(build, probe, predicate)
+            per_gpu[gpu_id] = count
+            matches += count
+            pairs = (
+                len(build)
+                * len(probe)
+                * workload.logical_scale
+                * workload.logical_scale
+            )
+            compute_time = max(compute_time, self._pair_time(compute, pairs))
+        return ThetaJoinResult(
+            matches_real=matches,
+            logical_scale=workload.logical_scale,
+            broadcast_time=broadcast_time,
+            compute_time=compute_time,
+            shuffle_report=report,
+            per_gpu_matches=per_gpu,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _broadcast(
+        self, relation, gpu_ids: tuple[int, ...], scale: int
+    ) -> ShuffleReport | None:
+        if len(gpu_ids) < 2:
+            return None
+        flows = FlowMatrix()
+        tuple_bytes = self.config.tuple_bytes
+        for src in gpu_ids:
+            nbytes = relation.tuples_on(src) * scale * tuple_bytes
+            for dst in gpu_ids:
+                if src != dst and nbytes:
+                    flows.add(src, dst, nbytes)
+        if flows.total_bytes == 0:
+            return None
+        simulator = ShuffleSimulator(self.machine, gpu_ids, self.config.shuffle)
+        return simulator.run(flows, self.policy)
+
+    @staticmethod
+    def _evaluate(
+        build: GpuShard, probe: GpuShard, predicate: ThetaPredicate | None
+    ) -> int:
+        if len(build) == 0 or len(probe) == 0:
+            return 0
+        if predicate is None:
+            return len(build) * len(probe)
+        # Blockwise evaluation keeps the match matrix small (the GPU
+        # kernel would tile the same way over shared memory).
+        matches = 0
+        block = 4096
+        for start in range(0, len(build), block):
+            block_keys = build.keys[start : start + block]
+            # Broadcasting: (block, 1) against (probe,) -> (block, probe).
+            hits = predicate(block_keys[:, None], probe.keys[None, :])
+            matches += int(np.count_nonzero(hits))
+        return matches
+
+    @staticmethod
+    def _pair_time(compute, pairs: float) -> float:
+        """Predicate evaluations are compute-bound: model a per-pair
+        cost of one fused ALU op per SM lane."""
+        spec = compute.spec
+        pair_rate = spec.num_sms * 64 * spec.clock_hz  # lanes x clock
+        return spec.kernel_launch_overhead + pairs / pair_rate

@@ -1,0 +1,40 @@
+"""A columnar relational engine for the TPC-H evaluation (Figure 14).
+
+The paper implements GPU versions of six TPC-H queries on top of
+MG-Join and compares them against OmniSci's CPU and multi-GPU
+(shared-nothing) execution.  This package provides the substrate:
+
+* :mod:`repro.relational.table` — dictionary-encoded columnar tables,
+* :mod:`repro.relational.operators` — exact numpy implementations of
+  scan/filter, hash join, group-by aggregation and sort/limit,
+* :mod:`repro.relational.engine` — execution engines that run the
+  operators functionally while accounting simulated time on the
+  machine topology (MG-Join-backed multi-GPU, DPRJ-backed multi-GPU),
+* :mod:`repro.relational.omnisci` — the OmniSci CPU and shared-nothing
+  GPU cost models, including the out-of-memory behaviour that produces
+  the paper's "NA" entries,
+* :mod:`repro.relational.tpch` — schema, data generator and the six
+  query plans (Q3, Q5, Q10, Q12, Q14, Q19).
+"""
+
+from repro.relational.table import Table
+from repro.relational.engine import (
+    DPRJQueryEngine,
+    MGJoinQueryEngine,
+    QueryReport,
+)
+from repro.relational.omnisci import (
+    OmnisciCpuEngine,
+    OmnisciGpuEngine,
+    QueryOutOfMemory,
+)
+
+__all__ = [
+    "DPRJQueryEngine",
+    "MGJoinQueryEngine",
+    "OmnisciCpuEngine",
+    "OmnisciGpuEngine",
+    "QueryOutOfMemory",
+    "QueryReport",
+    "Table",
+]

@@ -1,0 +1,206 @@
+"""OmniSci CPU and multi-GPU baselines for the TPC-H comparison.
+
+The paper compares its MG-Join-backed queries against OmniSci [29], the
+state-of-the-art system running on both CPUs and multi-GPU servers.
+Two properties of OmniSci's execution model drive the results:
+
+* **Shared-nothing GPUs.**  "When executing on multiple GPUs, OmniSci
+  adopts a shared-nothing architecture between GPUs, i.e., each GPU
+  processes its own local slice of data" (§5.4).  A join therefore
+  replicates the build side to *every* GPU, and big build sides blow
+  the 32 GB memory budget — OmniSci "fails to execute [Q3, Q5, Q10,
+  Q12] on the multi-GPU system for a scale factor of 250", reported as
+  NA.  :class:`OmnisciGpuEngine` raises :class:`QueryOutOfMemory` in
+  exactly those situations.
+* **A general-purpose CPU engine** that runs the same plans about 25x
+  slower than the MG-Join GPU implementation.
+
+Both engines reuse the exact functional operators, so their *answers*
+match the MG-Join engine; only time (and memory feasibility) differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational import operators
+from repro.relational.engine import MGJoinQueryEngine
+from repro.relational.table import Table
+from repro.routing.static import DirectPolicy
+from repro.sim.compute import GB
+from repro.topology.machine import MachineTopology
+
+
+class QueryOutOfMemory(RuntimeError):
+    """A GPU's working set exceeded device memory (reported as NA)."""
+
+
+class OmnisciGpuEngine(MGJoinQueryEngine):
+    """Shared-nothing multi-GPU execution with dimension replication.
+
+    Fact tables (``lineitem``) are sharded; every join's other side is
+    treated as a dimension whose *base tables* — unfiltered, full
+    width — must be fully replicated on each GPU before the join can
+    run locally.  The per-GPU footprint is therefore
+
+        resident slice of all referenced tables / G
+        + Σ replicated dimension tables × hash-table factor
+
+    and when it exceeds device memory the query fails, which is what
+    the paper reports as "NA" for Q3/Q5/Q10/Q12 at SF 250.
+    """
+
+    name = "omnisci-gpu"
+    compression_ratio = 1.0
+    overlap = False
+    #: General-purpose JIT engine: kernels reach a lower fraction of
+    #: peak than the hand-tuned join kernels.
+    kernel_derating = 0.35
+    #: OmniSci JIT-compiles every query before execution.
+    fixed_overhead_seconds = 1.5
+    #: V100 device memory.
+    device_memory_bytes = 32 * GB
+    #: Hash tables cost roughly twice the replicated side's payload.
+    hash_table_factor = 2.0
+    #: The tables sharded (not replicated) across GPUs.
+    fact_tables = ("lineitem",)
+
+    def __init__(self, machine, gpu_ids=None, logical_scale=1.0, **kwargs):
+        kwargs.setdefault("policy", DirectPolicy())
+        super().__init__(machine, gpu_ids, logical_scale, **kwargs)
+        self._replicated: dict[str, float] = {}
+
+    def begin(self) -> None:
+        super().begin()
+        self._replicated = {}
+
+    def join(self, left: Table, right: Table, left_key: str, right_key: str) -> Table:
+        """Replicate the dimension side everywhere, then join locally."""
+        dimension = self._dimension_side(left, right)
+        newly_replicated = 0.0
+        for base in self._base_components(dimension):
+            if base in self._replicated or base in self.fact_tables:
+                continue
+            base_bytes = self._base_bytes.get(base, 0) * self.logical_scale
+            self._replicated[base] = base_bytes
+            newly_replicated += base_bytes
+        self._check_memory()
+        broadcast_seconds = self._broadcast_seconds(newly_replicated)
+        joined = operators.hash_join(left, right, left_key, right_key)
+        compute_seconds = self._join_compute_seconds(left, right, joined)
+        compute_seconds /= self.kernel_derating
+        self.report.charge(
+            "join-compute", f"{left.name}⋈{right.name}", compute_seconds
+        )
+        if broadcast_seconds > 0:
+            self.report.charge(
+                "join-broadcast", dimension.name, broadcast_seconds, newly_replicated
+            )
+        return joined
+
+    def _dimension_side(self, left: Table, right: Table) -> Table:
+        """The side to replicate: whichever contains no fact table."""
+        left_is_fact = any(f in left.name for f in self.fact_tables)
+        right_is_fact = any(f in right.name for f in self.fact_tables)
+        if left_is_fact and not right_is_fact:
+            return right
+        if right_is_fact and not left_is_fact:
+            return left
+        # No fact table involved (dimension x dimension): replicate the
+        # smaller side.
+        return right if right.total_bytes <= left.total_bytes else left
+
+    @staticmethod
+    def _base_components(table: Table) -> tuple[str, ...]:
+        """Base tables composing a (possibly intermediate) table."""
+        return tuple(part for part in table.name.split("⋈"))
+
+    def _check_memory(self) -> None:
+        resident = (
+            sum(self._base_bytes.values()) * self.logical_scale / self.num_gpus
+        )
+        replicated = sum(self._replicated.values()) * self.hash_table_factor
+        footprint = resident + replicated
+        if footprint > self.device_memory_bytes:
+            tables = ", ".join(sorted(self._replicated))
+            raise QueryOutOfMemory(
+                f"per-GPU footprint {footprint / GB:.1f} GB exceeds "
+                f"{self.device_memory_bytes / GB:.0f} GB "
+                f"(resident slice {resident / GB:.1f} GB + replicated "
+                f"dimensions [{tables}] x{self.hash_table_factor:.0f})"
+            )
+
+    def _broadcast_seconds(self, build_logical_bytes: float) -> float:
+        """All-gather of the build side over direct routes only."""
+        if self.num_gpus < 2:
+            return 0.0
+        per_gpu_slice = build_logical_bytes / self.num_gpus
+        # Each GPU pushes its slice to the other G-1 GPUs; the slowest
+        # direct link (shared PCIe + QPI staging included) paces it.
+        worst = 0.0
+        for src in self.gpu_ids:
+            for dst in self.gpu_ids:
+                if src == dst:
+                    continue
+                links = self.machine.direct_path(src, dst)
+                bottleneck = min(link.bandwidth for link in links)
+                worst = max(worst, per_gpu_slice / bottleneck)
+        # G-1 transfers per GPU serialize on its egress interface.
+        return worst * (self.num_gpus - 1)
+
+    def _stream_seconds(self, nbytes: float, efficiency: float) -> float:
+        return super()._stream_seconds(nbytes, efficiency * self.kernel_derating)
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """The paper's CPU box: 2x Xeon E5-2698 v4 (§5.1)."""
+
+    sockets: int = 2
+    cores: int = 40
+    memory_bandwidth: float = 130e9  # aggregate, both sockets
+    #: Fraction of peak a general row-at-a-time engine sustains.
+    streaming_efficiency: float = 0.22
+    #: Random-access cost per hash-join probe/build row.
+    per_row_join_ns: float = 14.0
+
+
+class OmnisciCpuEngine(MGJoinQueryEngine):
+    """OmniSci on the dual-socket CPU machine (single node, no GPUs)."""
+
+    name = "omnisci-cpu"
+    compression_ratio = 1.0
+    overlap = False
+    fixed_overhead_seconds = 1.0  # JIT compile (cheaper than the GPU path)
+
+    def __init__(
+        self,
+        machine: MachineTopology,
+        logical_scale: float = 1.0,
+        cpu: CpuSpec | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(machine, machine.gpu_ids[:1], logical_scale, **kwargs)
+        self.cpu = cpu or CpuSpec()
+
+    def _stream_seconds(self, nbytes: float, efficiency: float) -> float:
+        # `nbytes` arrives divided by num_gpus (=1 here): whole input.
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / (self.cpu.streaming_efficiency * self.cpu.memory_bandwidth)
+
+    def _charge_shuffle(self, left: Table, right: Table) -> float:
+        return 0.0  # single shared-memory node
+
+    def _join_compute_seconds(self, left, right, result) -> float:
+        rows = (
+            (left.num_rows + right.num_rows + result.num_rows) * self.logical_scale
+        )
+        random_access = rows * self.cpu.per_row_join_ns * 1e-9
+        streamed = self._stream_seconds(
+            (left.total_bytes + right.total_bytes) * self.logical_scale, 1.0
+        )
+        return random_access + streamed
+
+    def _collect_seconds(self, nbytes: float) -> float:
+        return 0.0

@@ -1,0 +1,165 @@
+"""Exact relational operators over columnar tables.
+
+These are the *functional* kernels the query engines share; timing is
+the engines' job.  The hash join reuses the core join machinery
+(:func:`repro.core.probe.join_shards`) so the whole repository has a
+single, well-tested equi-join implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.probe import join_shards
+from repro.core.relation import GpuShard
+from repro.relational.table import Table
+
+Predicate = Callable[[Table], np.ndarray]
+
+
+def filter_rows(table: Table, predicate: Predicate) -> Table:
+    """Apply a row filter; the predicate returns a boolean mask."""
+    mask = predicate(table)
+    if mask.dtype != np.bool_ or len(mask) != table.num_rows:
+        raise ValueError("predicate must return a boolean mask over all rows")
+    return table.take(mask)
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    left_key: str,
+    right_key: str,
+    suffixes: tuple[str, str] = ("", "_r"),
+) -> Table:
+    """Inner equi-join; duplicates on both sides are handled exactly."""
+    left_keys = left[left_key]
+    right_keys = right[right_key]
+    joined = join_shards(
+        GpuShard(
+            _as_join_key(left_keys), np.arange(left.num_rows, dtype=np.uint32)
+        ),
+        GpuShard(
+            _as_join_key(right_keys), np.arange(right.num_rows, dtype=np.uint32)
+        ),
+        materialize=True,
+    )
+    left_rows, right_rows = joined
+    columns: dict[str, np.ndarray] = {}
+    dictionaries: dict[str, list[str]] = {}
+    for name in left.column_names:
+        columns[name] = left[name][left_rows]
+        if name in left.dictionaries:
+            dictionaries[name] = left.dictionaries[name]
+    for name in right.column_names:
+        out = name if name not in columns else name + suffixes[1]
+        columns[out] = right[name][right_rows]
+        if name in right.dictionaries:
+            dictionaries[out] = right.dictionaries[name]
+    return Table(
+        name=f"{left.name}⋈{right.name}", columns=columns, dictionaries=dictionaries
+    )
+
+
+def _as_join_key(values: np.ndarray) -> np.ndarray:
+    """Join keys must fit the core shard's uint32 key column."""
+    if values.dtype == np.uint32:
+        return values
+    as_uint = values.astype(np.int64)
+    if as_uint.min(initial=0) < 0 or as_uint.max(initial=0) > np.iinfo(np.uint32).max:
+        raise ValueError("join keys outside the uint32 domain")
+    return as_uint.astype(np.uint32)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregation: ``out = fn(expr(table))`` per group."""
+
+    out: str
+    kind: str  # "sum" | "count" | "mean"
+    expression: Callable[[Table], np.ndarray] | None = None
+    column: str | None = None
+
+    def values(self, table: Table) -> np.ndarray:
+        if self.expression is not None:
+            return self.expression(table)
+        if self.column is not None:
+            return table[self.column]
+        if self.kind == "count":
+            return np.ones(table.num_rows, dtype=np.int64)
+        raise ValueError("aggregate needs an expression or a column")
+
+
+def group_aggregate(
+    table: Table, keys: tuple[str, ...], aggregates: tuple[Aggregate, ...]
+) -> Table:
+    """Group-by + aggregation, exact, via lexicographic grouping."""
+    if table.num_rows == 0:
+        columns = {k: table[k][:0] for k in keys}
+        for agg in aggregates:
+            columns[agg.out] = np.empty(0, dtype=np.float64)
+        return Table(name=table.name, columns=columns, dictionaries={
+            k: d for k, d in table.dictionaries.items() if k in keys
+        })
+    key_arrays = [table[k] for k in keys]
+    if keys:
+        order = np.lexsort(key_arrays[::-1])
+        sorted_keys = [arr[order] for arr in key_arrays]
+        changed = np.zeros(table.num_rows, dtype=bool)
+        changed[0] = True
+        for arr in sorted_keys:
+            changed[1:] |= arr[1:] != arr[:-1]
+        group_ids = np.cumsum(changed) - 1
+        starts = np.nonzero(changed)[0]
+        num_groups = len(starts)
+    else:
+        order = np.arange(table.num_rows)
+        group_ids = np.zeros(table.num_rows, dtype=np.int64)
+        starts = np.array([0])
+        num_groups = 1
+    columns: dict[str, np.ndarray] = {
+        k: arr[starts] for k, arr in zip(keys, sorted_keys)
+    } if keys else {}
+    for agg in aggregates:
+        values = agg.values(table)[order]
+        if agg.kind == "sum":
+            result = np.bincount(group_ids, weights=values, minlength=num_groups)
+        elif agg.kind == "count":
+            result = np.bincount(group_ids, minlength=num_groups).astype(np.int64)
+        elif agg.kind == "mean":
+            sums = np.bincount(group_ids, weights=values, minlength=num_groups)
+            counts = np.bincount(group_ids, minlength=num_groups)
+            result = sums / np.maximum(counts, 1)
+        else:
+            raise ValueError(f"unknown aggregate kind {agg.kind!r}")
+        columns[agg.out] = result
+    return Table(
+        name=table.name,
+        columns=columns,
+        dictionaries={k: d for k, d in table.dictionaries.items() if k in keys},
+    )
+
+
+def sort_rows(
+    table: Table, by: tuple[str, ...], ascending: tuple[bool, ...] | None = None
+) -> Table:
+    """Stable multi-column sort."""
+    if ascending is None:
+        ascending = tuple(True for _ in by)
+    if len(ascending) != len(by):
+        raise ValueError("ascending flags must match sort keys")
+    arrays = []
+    for name, asc in zip(reversed(by), reversed(ascending)):
+        column = table[name]
+        arrays.append(column if asc else _descending_key(column))
+    order = np.lexsort(arrays)
+    return table.take(order)
+
+
+def _descending_key(column: np.ndarray) -> np.ndarray:
+    if np.issubdtype(column.dtype, np.floating):
+        return -column
+    return column.max(initial=0) - column

@@ -1,0 +1,20 @@
+"""TPC-H substrate: schema, generator, and the paper's six queries.
+
+The paper evaluates "all the six queries in TPC-H which do not contain
+sub-queries (Q3, Q5, Q10, Q12, Q14 and Q19) and have at least one join
+operation" at scale factor 250 (§5.4).
+"""
+
+from repro.relational.tpch.datagen import TpchDatabase, generate_tpch
+from repro.relational.tpch.dates import date_to_days, days_to_date
+from repro.relational.tpch.queries import QUERIES, QueryResult, run_query
+
+__all__ = [
+    "QUERIES",
+    "QueryResult",
+    "TpchDatabase",
+    "date_to_days",
+    "days_to_date",
+    "generate_tpch",
+    "run_query",
+]

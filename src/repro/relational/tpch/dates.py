@@ -1,0 +1,22 @@
+"""Date handling: TPC-H dates as int32 days since 1992-01-01."""
+
+from __future__ import annotations
+
+import datetime
+
+EPOCH = datetime.date(1992, 1, 1)
+#: TPC-H order dates span 1992-01-01 .. 1998-08-02.
+LAST_ORDER_DATE = datetime.date(1998, 8, 2)
+
+
+def date_to_days(year: int, month: int, day: int) -> int:
+    """Encode a calendar date as days since the TPC-H epoch."""
+    return (datetime.date(year, month, day) - EPOCH).days
+
+
+def days_to_date(days: int) -> datetime.date:
+    """Decode an encoded day count back into a calendar date."""
+    return EPOCH + datetime.timedelta(days=int(days))
+
+
+MAX_ORDER_DAYS = (LAST_ORDER_DATE - EPOCH).days

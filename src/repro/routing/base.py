@@ -1,0 +1,67 @@
+"""Routing policy interface and shared context.
+
+A policy sees a :class:`RoutingContext` — the machine, the candidate
+route enumerator, live link channels and the (delayed) link-state board
+— and must pick a route for each batch of packets.  Policies are
+deliberately *per-source* decision makers: the paper fixes each packet's
+route at the source GPU to avoid cross-GPU synchronization (§4.2.2).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.sim.engine import Engine
+from repro.sim.linksim import LinkChannel, LinkStateBoard
+from repro.topology.links import LinkSpec
+from repro.topology.machine import MachineTopology
+from repro.topology.routes import Route, RouteEnumerator
+
+
+@dataclass
+class RoutingContext:
+    """Everything a routing policy may consult when choosing a route."""
+
+    engine: Engine
+    machine: MachineTopology
+    enumerator: RouteEnumerator
+    links: dict[int, LinkChannel]
+    board: LinkStateBoard
+    num_gpus: int
+
+    def queue_delay_seen_by(self, viewer_gpu: int, spec: LinkSpec) -> float:
+        """Queue delay of ``spec`` as GPU ``viewer_gpu`` perceives it.
+
+        A GPU knows its own outgoing links exactly; every other link is
+        known only through the last broadcast (§4.2.2).
+        """
+        if spec.src.is_gpu and spec.src.index == viewer_gpu:
+            return self.links[spec.link_id].queue_delay()
+        return self.board.published_queue_delay(spec.link_id)
+
+    def exact_queue_delay(self, spec: LinkSpec) -> float:
+        """Ground-truth queue delay (used by the centralized baseline)."""
+        return self.links[spec.link_id].queue_delay()
+
+
+class RoutingPolicy(abc.ABC):
+    """Chooses a route per batch; optionally charges per-batch overhead."""
+
+    #: Human-readable policy name, used in reports and figures.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def choose_route(
+        self,
+        context: RoutingContext,
+        src: int,
+        dst: int,
+        batch_bytes: int,
+        packet_bytes: int,
+    ) -> Route:
+        """Pick the route for one batch of packets from ``src`` to ``dst``."""
+
+    def batch_overhead(self, context: RoutingContext) -> float:
+        """Extra seconds charged before each batch (e.g. global sync)."""
+        return 0.0

@@ -1,0 +1,40 @@
+"""Discrete-event simulation of the multi-GPU machine.
+
+This package is the time-domain substrate of the reproduction: a small
+process-based discrete-event kernel (:mod:`repro.sim.engine`), link
+channels with FIFO queueing (:mod:`repro.sim.linksim`), GPU sender /
+receiver / relay machinery with DMA-engine limits and credit-managed
+routing buffers (:mod:`repro.sim.gpusim`), the shuffle simulator that
+runs a flow matrix under a routing policy (:mod:`repro.sim.shuffle`) and
+the analytic GPU kernel cost model (:mod:`repro.sim.compute`).
+"""
+
+from repro.sim.engine import Engine, Process, SimEvent, SimulationError
+from repro.sim.resources import RoutingBuffer, Store
+from repro.sim.linksim import LinkChannel, LinkStateBoard
+from repro.sim.compute import GpuComputeModel, GpuSpec, V100
+from repro.sim.shuffle import FlowMatrix, ShuffleConfig, ShuffleSimulator
+from repro.sim.stats import LinkStats, ShuffleReport, bisection_cut
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Engine",
+    "FlowMatrix",
+    "GpuComputeModel",
+    "GpuSpec",
+    "LinkChannel",
+    "LinkStateBoard",
+    "LinkStats",
+    "Process",
+    "RoutingBuffer",
+    "ShuffleConfig",
+    "ShuffleReport",
+    "ShuffleSimulator",
+    "SimEvent",
+    "SimulationError",
+    "Store",
+    "TraceEvent",
+    "Tracer",
+    "V100",
+    "bisection_cut",
+]

@@ -1,0 +1,177 @@
+"""A compact process-based discrete-event simulation kernel.
+
+The kernel follows the SimPy model: *processes* are Python generators
+that ``yield`` events; the engine resumes a process when the event it
+waits on triggers.  Only the features the shuffle simulator needs are
+implemented, which keeps the kernel small enough to test exhaustively.
+
+Example::
+
+    engine = Engine()
+
+    def worker():
+        yield engine.timeout(2.0)
+        return "done"
+
+    process = engine.process(worker())
+    engine.run()
+    assert engine.now == 2.0 and process.value == "done"
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+ProcessGenerator = Generator["SimEvent", Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class SimEvent:
+    """A one-shot event that processes can wait on.
+
+    An event starts *untriggered*; calling :meth:`succeed` stores its
+    value and schedules its callbacks at the current simulation time.
+    """
+
+    __slots__ = ("_engine", "_callbacks", "_triggered", "value")
+
+    def __init__(self, engine: "Engine") -> None:
+        self._engine = engine
+        self._callbacks: list[Callable[[SimEvent], None]] = []
+        self._triggered = False
+        self.value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._engine.schedule(0.0, callback, self)
+        return self
+
+    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        if self._triggered:
+            self._engine.schedule(0.0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Process(SimEvent):
+    """A running generator; also an event that triggers when it returns."""
+
+    __slots__ = ("_generator", "name")
+
+    def __init__(
+        self, engine: "Engine", generator: ProcessGenerator, name: str = ""
+    ) -> None:
+        super().__init__(engine)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        engine.schedule(0.0, self._resume, None)
+
+    def _resume(self, completed: SimEvent | None) -> None:
+        try:
+            value = completed.value if completed is not None else None
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, SimEvent):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected a SimEvent"
+            )
+        target.add_callback(self._resume)
+
+
+class Engine:
+    """The event loop: a time-ordered heap of pending callbacks."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable, Any]] = []
+        self._sequence = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._heap, (self._now + delay, next(self._sequence), callback, args)
+        )
+
+    def event(self) -> SimEvent:
+        """Create an untriggered event."""
+        return SimEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> SimEvent:
+        """An event that triggers after ``delay`` seconds."""
+        event = SimEvent(self)
+        self.schedule(delay, event.succeed, value)
+        return event
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[SimEvent]) -> SimEvent:
+        """An event that triggers once every event in ``events`` has."""
+        events = list(events)
+        done = self.event()
+        remaining = len(events)
+        if remaining == 0:
+            done.succeed([])
+            return done
+        results: list[Any] = [None] * remaining
+        pending = [remaining]
+
+        def on_complete(index: int, event: SimEvent) -> None:
+            results[index] = event.value
+            pending[0] -= 1
+            if pending[0] == 0:
+                done.succeed(results)
+
+        for index, event in enumerate(events):
+            event.add_callback(lambda ev, i=index: on_complete(i, ev))
+        return done
+
+    def run(self, until: float | None = None) -> float:
+        """Process events until the heap drains (or ``until`` is hit).
+
+        Returns the simulation time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("engine is already running")
+        self._running = True
+        try:
+            while self._heap:
+                time, _, callback, args = self._heap[0]
+                if until is not None and time > until:
+                    self._now = until
+                    return self._now
+                heapq.heappop(self._heap)
+                if time < self._now - 1e-12:
+                    raise SimulationError("event heap went backwards in time")
+                self._now = time
+                callback(*args)
+            if until is not None:
+                self._now = max(self._now, until)
+            return self._now
+        finally:
+            self._running = False

@@ -1,0 +1,318 @@
+"""Per-GPU sender / receiver / relay machinery (paper §4.1).
+
+Each participating GPU runs, inside the discrete-event engine:
+
+* an **injector** process that turns the GPU's outgoing flows into
+  packets, chooses a route per batch via the routing policy, and places
+  packets on the per-neighbour outgoing queues.  Injection is paced at
+  the partition kernel's throughput, modelling the overlap between
+  partitioning and data distribution (Rationale 2).
+* ``dma_engines`` **sender** processes implementing the paper's
+  weighted round-robin over outgoing queues: pick the most-loaded
+  queue, take a batch of up to ``batch_size`` same-route packets,
+  acquire routing-buffer credits at the next hop, and push the packets
+  over the hop's physical links.
+* a **receiver** that either delivers a packet (final destination —
+  handing it to the local-partitioning consumer) or forwards it by
+  re-queueing it toward the next hop, releasing the inbound buffer slot
+  once the packet has fully left this GPU.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.engine import Engine, SimEvent
+from repro.sim.linksim import LinkChannel
+from repro.sim.resources import RoutingBuffer
+from repro.topology.machine import MachineTopology
+from repro.topology.routes import Route
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.routing.base import RoutingContext, RoutingPolicy
+
+
+@dataclass
+class Packet:
+    """One unit of routed data (paper: 2 MB payload + small header)."""
+
+    flow_src: int
+    flow_dst: int
+    payload_bytes: int
+    header_bytes: int
+    route: Route
+    sequence: int
+    #: Buffer slot currently holding this packet (None at the source).
+    held_buffer: RoutingBuffer | None = None
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.payload_bytes + self.header_bytes
+
+
+@dataclass
+class GpuShuffleStats:
+    """Per-GPU counters collected during a shuffle."""
+
+    delivered_bytes: int = 0
+    delivered_packets: int = 0
+    forwarded_packets: int = 0
+    injected_packets: int = 0
+    last_delivery_time: float = 0.0
+    last_consume_time: float = 0.0
+    sync_time: float = 0.0
+
+
+class GpuNode:
+    """One GPU's view of the shuffle: queues, buffers, senders."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        gpu_id: int,
+        machine: MachineTopology,
+        links: dict[int, LinkChannel],
+        policy: "RoutingPolicy",
+        context: "RoutingContext",
+        *,
+        packet_size: int,
+        batch_size: int,
+        header_bytes: int,
+        buffer_slots: int,
+        buffer_sync_latency: float,
+        dma_engines: int,
+        injection_rate: float | None,
+        consume_rate: float | None,
+        on_delivery: Callable[[Packet], None],
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if buffer_slots < batch_size:
+            raise ValueError(
+                "buffer_slots must be >= batch_size or batches could deadlock"
+            )
+        self.engine = engine
+        self.gpu_id = gpu_id
+        self.machine = machine
+        self.links = links
+        self.policy = policy
+        self.context = context
+        self.packet_size = packet_size
+        self.batch_size = batch_size
+        self.header_bytes = header_bytes
+        self.injection_rate = injection_rate
+        self.consume_rate = consume_rate
+        self.on_delivery = on_delivery
+        self.stats = GpuShuffleStats()
+
+        #: Outgoing queues, one per next-hop GPU (created lazily).
+        self._queues: dict[int, deque[Packet]] = {}
+        #: Inbound routing buffers, one per upstream neighbour GPU.
+        self._buffers: dict[int, RoutingBuffer] = {}
+        self._buffer_slots = buffer_slots
+        self._buffer_sync_latency = buffer_sync_latency
+        self._idle_senders: deque[SimEvent] = deque()
+        self._rr_order: list[int] = []
+        #: DMA engines currently transmitting toward each next hop.
+        self._active_sends: dict[int, int] = {}
+        self._consumer_free_at = 0.0
+        self.peers: dict[int, "GpuNode"] = {}
+        for _ in range(dma_engines):
+            engine.process(self._sender(), name=f"gpu{gpu_id}-sender")
+
+    # ------------------------------------------------------------------
+    # Buffers
+    # ------------------------------------------------------------------
+
+    def buffer_from(self, upstream_gpu: int) -> RoutingBuffer:
+        """The circular buffer receiving packets from ``upstream_gpu``."""
+        if upstream_gpu not in self._buffers:
+            self._buffers[upstream_gpu] = RoutingBuffer(
+                self.engine, self._buffer_slots, self._buffer_sync_latency
+            )
+        return self._buffers[upstream_gpu]
+
+    @property
+    def buffer_sync_count(self) -> int:
+        return sum(buffer.sync_count for buffer in self._buffers.values())
+
+    # ------------------------------------------------------------------
+    # Injection (source side)
+    # ------------------------------------------------------------------
+
+    def start_flows(self, flows: dict[int, int]) -> SimEvent:
+        """Start injecting ``{dst_gpu: payload_bytes}``; returns a
+        completion event for the injector process."""
+        return self.engine.process(
+            self._injector(flows), name=f"gpu{self.gpu_id}-injector"
+        )
+
+    def _injector(self, flows: dict[int, int]):
+        remaining = {
+            dst: int(nbytes)
+            for dst, nbytes in sorted(flows.items())
+            if dst != self.gpu_id and nbytes > 0
+        }
+        sequence = 0
+        while remaining:
+            # Round-robin across destination flows, one batch at a time,
+            # so every flow makes progress and congestion information
+            # from earlier batches can influence later route choices.
+            for dst in list(remaining):
+                batch_payload = 0
+                batch: list[Packet] = []
+                while remaining[dst] > 0 and len(batch) < self.batch_size:
+                    payload = min(self.packet_size, remaining[dst])
+                    remaining[dst] -= payload
+                    batch_payload += payload
+                    batch.append(
+                        Packet(
+                            flow_src=self.gpu_id,
+                            flow_dst=dst,
+                            payload_bytes=payload,
+                            header_bytes=self.header_bytes,
+                            route=None,  # assigned below
+                            sequence=sequence,
+                        )
+                    )
+                    sequence += 1
+                if remaining[dst] <= 0:
+                    del remaining[dst]
+                if not batch:
+                    continue
+                sync_cost = self.policy.batch_overhead(self.context)
+                if sync_cost > 0:
+                    self.stats.sync_time += sync_cost
+                    yield self.engine.timeout(sync_cost)
+                route = self.policy.choose_route(
+                    self.context, self.gpu_id, dst, batch_payload, self.packet_size
+                )
+                for packet in batch:
+                    packet.route = route
+                    self._commit_route(packet)
+                    self.enqueue(packet)
+                    self.stats.injected_packets += 1
+                if self.injection_rate is not None:
+                    yield self.engine.timeout(batch_payload / self.injection_rate)
+
+    def _commit_route(self, packet: Packet) -> None:
+        for src, dst in packet.route.hops():
+            for spec in self.machine.hop_path(src, dst):
+                self.links[spec.link_id].commit(packet.wire_bytes)
+
+    # ------------------------------------------------------------------
+    # Outgoing queues + senders
+    # ------------------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> None:
+        next_gpu = packet.route.next_gpu_after(self.gpu_id)
+        if next_gpu not in self._queues:
+            self._queues[next_gpu] = deque()
+            self._rr_order.append(next_gpu)
+        self._queues[next_gpu].append(packet)
+        if self._idle_senders:
+            self._idle_senders.popleft().succeed()
+
+    def _pick_batch(self) -> list[Packet] | None:
+        """Weighted round-robin queue selection (paper §4.1).
+
+        The weight of a queue is its backlog discounted by the number
+        of DMA engines already serving it, so concurrent engines spread
+        across next hops in proportion to waiting packets instead of
+        piling onto the single longest queue."""
+        best_gpu: int | None = None
+        best_weight = 0.0
+        for next_gpu in self._rr_order:
+            queue_len = len(self._queues[next_gpu])
+            if queue_len == 0:
+                continue
+            weight = queue_len / (1.0 + self._active_sends.get(next_gpu, 0))
+            if weight > best_weight:
+                best_gpu, best_weight = next_gpu, weight
+        if best_gpu is None:
+            return None
+        # Rotate so ties go to a different queue next time.
+        index = self._rr_order.index(best_gpu)
+        self._rr_order = self._rr_order[index + 1 :] + self._rr_order[: index + 1]
+        queue = self._queues[best_gpu]
+        batch = [queue.popleft()]
+        while queue and len(batch) < self.batch_size:
+            if queue[0].route != batch[0].route:
+                break
+            batch.append(queue.popleft())
+        return batch
+
+    def _sender(self):
+        while True:
+            batch = self._pick_batch()
+            if batch is None:
+                waiter = self.engine.event()
+                self._idle_senders.append(waiter)
+                yield waiter
+                continue
+            next_gpu = batch[0].route.next_gpu_after(self.gpu_id)
+            receiver = self.peers[next_gpu]
+            inbound = receiver.buffer_from(self.gpu_id)
+            path = self.machine.hop_path(self.gpu_id, next_gpu)
+            first_link = self.links[path[0].link_id]
+            self._active_sends[next_gpu] = self._active_sends.get(next_gpu, 0) + 1
+            for packet in batch:
+                yield from inbound.acquire()
+                packet.held_buffer = inbound
+                first_link.fulfill(packet.wire_bytes)
+                # The DMA engine is occupied while injecting the packet
+                # into the hop's first link; downstream links of a staged
+                # path are traversed by a detached process so the next
+                # packet of the batch pipelines behind this one.
+                yield first_link.transmit(packet.wire_bytes)
+                self.engine.process(
+                    self._traverse(packet, path[1:], receiver),
+                    name=f"gpu{self.gpu_id}-traverse",
+                )
+            self._active_sends[next_gpu] -= 1
+
+    def _traverse(self, packet: Packet, remaining_path, receiver: "GpuNode"):
+        for spec in remaining_path:
+            link = self.links[spec.link_id]
+            link.fulfill(packet.wire_bytes)
+            yield link.transmit(packet.wire_bytes)
+        receiver.on_arrival(packet)
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+
+    def on_arrival(self, packet: Packet) -> None:
+        if packet.flow_dst == self.gpu_id:
+            self._deliver(packet)
+        else:
+            # Forwarded packets park in the (pointer-based) outgoing
+            # queue, so the inbound circular-buffer slot frees as soon
+            # as the packet is re-queued.  Holding slots across the
+            # onward transmission instead would allow cyclic relay
+            # patterns to deadlock on buffer credits.
+            self.stats.forwarded_packets += 1
+            if packet.held_buffer is not None:
+                packet.held_buffer.release()
+                packet.held_buffer = None
+            self.enqueue(packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.delivered_bytes += packet.payload_bytes
+        self.stats.delivered_packets += 1
+        self.stats.last_delivery_time = self.engine.now
+        slot = packet.held_buffer
+        if self.consume_rate is None:
+            if slot is not None:
+                slot.release()
+            self.stats.last_consume_time = self.engine.now
+        else:
+            start = max(self.engine.now, self._consumer_free_at)
+            finish = start + packet.payload_bytes / self.consume_rate
+            self._consumer_free_at = finish
+            self.stats.last_consume_time = finish
+            if slot is not None:
+                self.engine.schedule(finish - self.engine.now, slot.release)
+        self.on_delivery(packet)

@@ -1,0 +1,135 @@
+"""Time-domain behaviour of physical links.
+
+Each :class:`LinkChannel` wraps one directed :class:`LinkSpec` as a FIFO
+server: a transfer's service time is ``latency + bytes / bandwidth``,
+and transfers queue when the link is busy.  The current queueing delay
+is exactly the ``Q_i`` of the paper's adaptive routing metric (Eq. 4).
+
+:class:`LinkStateBoard` models how GPUs learn about remote queueing
+delays: a GPU always knows its own outgoing links precisely, while
+changes on other links are *broadcast* and become visible only after a
+propagation delay — and only when the change is significant, mirroring
+the paper's "broadcast the change in the queuing delay" design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import Engine, SimEvent
+from repro.topology.links import LinkSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.trace import Tracer
+
+
+@dataclass
+class LinkChannel:
+    """FIFO service model for one directed link."""
+
+    engine: Engine
+    spec: LinkSpec
+    board: "LinkStateBoard | None" = None
+    tracer: "Tracer | None" = None
+    _free_at: float = 0.0
+    #: Accumulated busy (service) time, for utilization accounting.
+    busy_time: float = 0.0
+    bytes_sent: int = 0
+    transfers: int = 0
+    #: Service seconds of packets *routed over* this link but not yet
+    #: submitted for transmission — the backlog sitting in sender
+    #: queues.  Included in the queue delay so the adaptive metric sees
+    #: congestion building up before the wire does.
+    committed_load: float = 0.0
+
+    def service_time(self, nbytes: float) -> float:
+        return self.spec.latency + nbytes / self.spec.bandwidth
+
+    def commit(self, nbytes: float) -> None:
+        """Reserve load for a packet routed over this link."""
+        self.committed_load += self.service_time(nbytes)
+        if self.board is not None:
+            self.board.publish(self)
+
+    def fulfill(self, nbytes: float) -> None:
+        """Clear a reservation as the packet is submitted to the wire."""
+        self.committed_load = max(0.0, self.committed_load - self.service_time(nbytes))
+
+    def queue_delay(self) -> float:
+        """Time a packet routed over this link *now* would wait.
+
+        Combines the wire-level FIFO backlog with load already committed
+        by earlier routing decisions; this is the ``Q_i`` of Eq. 4.
+        """
+        return max(0.0, self._free_at - self.engine.now) + self.committed_load
+
+    def transmit(self, nbytes: int) -> SimEvent:
+        """Enqueue a transfer; the event triggers at completion."""
+        if nbytes <= 0:
+            raise ValueError(f"transfer size must be positive, got {nbytes}")
+        now = self.engine.now
+        start = max(now, self._free_at)
+        service = self.service_time(nbytes)
+        completion = start + service
+        self._free_at = completion
+        self.busy_time += service
+        self.bytes_sent += nbytes
+        self.transfers += 1
+        if self.board is not None:
+            self.board.publish(self)
+        if self.tracer is not None:
+            self.tracer.record(
+                time=start,
+                duration=service,
+                kind="transfer",
+                subject=str(self.spec),
+                nbytes=nbytes,
+            )
+        return self.engine.timeout(completion - now)
+
+
+@dataclass
+class LinkStateBoard:
+    """Delayed, change-triggered visibility of link queueing delays.
+
+    ``publish`` is called by a link whenever its queue changes.  The
+    change is broadcast — becoming visible to *other* GPUs only after
+    ``broadcast_latency`` seconds — when the queue delay moved by more
+    than ``threshold`` (relative) or ``quantum`` seconds (absolute,
+    roughly one packet service time) since the last broadcast.  This
+    mirrors the paper's design where a GPU broadcasts queuing-delay
+    changes instead of synchronizing per decision, and
+    ``broadcast_count`` measures how chatty that is.
+    """
+
+    engine: Engine
+    broadcast_latency: float = 2e-6
+    threshold: float = 0.25
+    #: Minimum absolute queue-delay change (seconds) worth broadcasting.
+    quantum: float = 50e-6
+    _published: dict[int, float] = field(default_factory=dict)
+    _last_broadcast: dict[int, float] = field(default_factory=dict)
+    broadcast_count: int = 0
+
+    def publish(self, link: LinkChannel) -> None:
+        link_id = link.spec.link_id
+        now = self.engine.now
+        clear_at = link._free_at + link.committed_load
+        last_clear_at = self._last_broadcast.get(link_id, 0.0)
+        new_delay = max(0.0, clear_at - now)
+        last_delay = max(0.0, last_clear_at - now)
+        change = abs(new_delay - last_delay)
+        if change < max(self.threshold * last_delay, self.quantum):
+            return
+        self._last_broadcast[link_id] = clear_at
+        self.broadcast_count += 1
+        self.engine.schedule(self.broadcast_latency, self._deliver, link_id, clear_at)
+
+    def _deliver(self, link_id: int, clear_at: float) -> None:
+        self._published[link_id] = clear_at
+
+    def published_queue_delay(self, link_id: int) -> float:
+        """Queue delay of ``link_id`` as currently visible to remote GPUs."""
+        return max(0.0, self._published.get(link_id, 0.0) - self.engine.now)

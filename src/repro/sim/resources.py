@@ -1,0 +1,111 @@
+"""Simulation resources: FIFO stores and credit-managed routing buffers.
+
+The :class:`RoutingBuffer` implements the paper's §4.1 buffer design:
+each GPU keeps one circular packet buffer *per neighbouring GPU*, shared
+by all data flows arriving from that neighbour.  To keep cross-GPU
+synchronization off the critical path, the sending GPU works from a
+*stale* credit count and only synchronizes with the receiver (paying a
+round-trip latency) when its local view reaches zero slots.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from repro.sim.engine import Engine, SimEvent, SimulationError
+
+
+class Store:
+    """An unbounded FIFO channel between processes.
+
+    ``put`` never blocks; ``get`` returns an event that triggers when an
+    item is available (immediately if the store is non-empty).
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        self._engine = engine
+        self._items: deque[Any] = deque()
+        self._getters: deque[SimEvent] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimEvent:
+        event = self._engine.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+
+class RoutingBuffer:
+    """A receiver-side circular packet buffer with lazy credit sync.
+
+    The receiver owns ``slots`` packet slots.  The sender tracks a local
+    credit count, decremented per push.  When credits run out, the
+    sender *synchronizes*: it pays ``sync_latency`` and refreshes its
+    credits from the receiver's true free-slot count (paper §4.1).  If
+    the buffer is genuinely full, the sender blocks until the receiver
+    releases a slot.
+
+    Use from a sender process as ``yield from buffer.acquire()``; the
+    receiver calls :meth:`release` as packets are consumed or forwarded.
+    """
+
+    def __init__(self, engine: Engine, slots: int, sync_latency: float) -> None:
+        if slots < 1:
+            raise ValueError(f"a routing buffer needs >= 1 slot, got {slots}")
+        if sync_latency < 0:
+            raise ValueError("sync_latency must be non-negative")
+        self._engine = engine
+        self._slots = slots
+        self._sync_latency = sync_latency
+        self._occupied = 0
+        self._credits = slots
+        self._waiters: deque[SimEvent] = deque()
+        #: Number of sender/receiver credit synchronizations performed.
+        self.sync_count = 0
+
+    @property
+    def slots(self) -> int:
+        return self._slots
+
+    @property
+    def occupied(self) -> int:
+        return self._occupied
+
+    @property
+    def free(self) -> int:
+        return self._slots - self._occupied
+
+    def acquire(self) -> Generator[SimEvent, Any, None]:
+        """Claim one slot, synchronizing / blocking as needed."""
+        while self._credits <= 0:
+            yield self._engine.timeout(self._sync_latency)
+            self.sync_count += 1
+            self._credits = self.free
+            if self._credits <= 0:
+                waiter = self._engine.event()
+                self._waiters.append(waiter)
+                yield waiter
+                # A release happened; refresh the credit view and retry
+                # (another DMA engine may have raced us to the slot).
+                self._credits = self.free
+        self._credits -= 1
+        self._occupied += 1
+
+    def release(self) -> None:
+        """Free one slot (packet consumed or forwarded onward)."""
+        if self._occupied <= 0:
+            raise SimulationError("released a slot that was never acquired")
+        self._occupied -= 1
+        if self._waiters:
+            self._waiters.popleft().succeed()

@@ -1,0 +1,251 @@
+"""End-to-end simulation of the data-distribution step (paper §4).
+
+Given a *flow matrix* — how many (possibly compressed) bytes each GPU
+must send to each other GPU — the :class:`ShuffleSimulator` instantiates
+link channels, per-GPU sender/receiver machinery and a routing policy,
+runs the discrete-event engine to completion and returns a
+:class:`~repro.sim.stats.ShuffleReport` with the timings, per-link
+utilization and bisection statistics the paper's Figures 5-10 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.routing.base import RoutingContext, RoutingPolicy
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.gpusim import GpuNode, Packet
+from repro.sim.linksim import LinkChannel, LinkStateBoard
+from repro.sim.stats import LinkStats, ShuffleReport, bisection_cut
+from repro.topology.machine import MachineTopology
+from repro.topology.routes import RouteEnumerator
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ShuffleConfig:
+    """Tunables of the data-distribution machinery (paper defaults).
+
+    ``packet_size=2 MB`` and ``batch_size=8`` are the values the paper
+    profiles as cost-effective on the DGX-1 (§4.1, Figure 4).
+    """
+
+    packet_size: int = 2 * MB
+    batch_size: int = 8
+    header_bytes: int = 16
+    #: Routing-buffer slots per neighbouring GPU at each receiver.
+    buffer_slots: int = 64
+    #: Credit re-synchronization latency when a sender runs dry (§4.1).
+    buffer_sync_latency: float = 5e-6
+    #: Queue-delay broadcast propagation latency (§4.2.2).
+    broadcast_latency: float = 2e-6
+    #: Relative change needed before a queue-delay update is broadcast.
+    broadcast_threshold: float = 0.25
+    #: Absolute queue-delay change (seconds) always worth broadcasting.
+    broadcast_quantum: float = 50e-6
+    #: Concurrent DMA engines (simultaneous outgoing transfers) per GPU.
+    #: Six lets a V100 drive all of its NVLink ports at once, which is
+    #: what NCCL-style ring/tree schedules rely on in practice.
+    dma_engines: int = 6
+    #: Packet-generation rate per GPU in bytes/s — the partition
+    #: kernel's output rate; ``None`` = everything available at t=0.
+    injection_rate: float | None = 110e9
+    #: Packet-consumption rate per GPU (local partitioning input rate);
+    #: ``None`` = consumed instantly.
+    consume_rate: float | None = 110e9
+    #: Cap on intermediate relay GPUs per route.
+    max_intermediates: int = 3
+    #: Allow idle (non-participating) GPUs of the machine to relay
+    #: packets.  Off by default: relaying consumes routing-buffer
+    #: memory on the relay GPU, which a join does not want to steal
+    #: from GPUs processing other work (§4.1).
+    allow_external_relays: bool = False
+
+    def __post_init__(self) -> None:
+        if self.packet_size < 1024:
+            raise ValueError("packet_size below 1 KB is not supported")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.buffer_slots < self.batch_size:
+            raise ValueError("buffer_slots must be >= batch_size")
+
+
+@dataclass
+class FlowMatrix:
+    """Bytes each source GPU must deliver to each destination GPU."""
+
+    flows: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def add(self, src: int, dst: int, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("flow bytes must be non-negative")
+        if src == dst or nbytes == 0:
+            return
+        key = (src, dst)
+        self.flows[key] = self.flows.get(key, 0) + int(nbytes)
+
+    def outgoing(self, src: int) -> dict[int, int]:
+        return {
+            dst: nbytes for (s, dst), nbytes in self.flows.items() if s == src
+        }
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.flows.values())
+
+    @property
+    def gpus(self) -> tuple[int, ...]:
+        ids = {src for src, _ in self.flows} | {dst for _, dst in self.flows}
+        return tuple(sorted(ids))
+
+    @staticmethod
+    def all_to_all(gpu_ids: tuple[int, ...], bytes_per_flow: int) -> "FlowMatrix":
+        matrix = FlowMatrix()
+        for src in gpu_ids:
+            for dst in gpu_ids:
+                if src != dst:
+                    matrix.add(src, dst, bytes_per_flow)
+        return matrix
+
+
+class ShuffleSimulator:
+    """Runs one data-distribution step on a machine under a policy."""
+
+    def __init__(
+        self,
+        machine: MachineTopology,
+        gpu_ids: tuple[int, ...] | None = None,
+        config: ShuffleConfig | None = None,
+        tracer=None,
+    ) -> None:
+        self.machine = machine
+        self.tracer = tracer
+        self.gpu_ids = tuple(sorted(gpu_ids if gpu_ids is not None else machine.gpu_ids))
+        if len(self.gpu_ids) < 2:
+            raise ValueError("a shuffle needs at least two GPUs")
+        unknown = set(self.gpu_ids) - set(machine.gpu_ids)
+        if unknown:
+            raise ValueError(f"unknown GPUs: {sorted(unknown)}")
+        self.config = config or ShuffleConfig()
+
+    def run(self, flows: FlowMatrix, policy: RoutingPolicy) -> ShuffleReport:
+        """Simulate the shuffle to completion and report."""
+        config = self.config
+        foreign = set(flows.gpus) - set(self.gpu_ids)
+        if foreign:
+            raise ValueError(f"flows reference non-participating GPUs: {foreign}")
+        engine = Engine()
+        board = LinkStateBoard(
+            engine,
+            broadcast_latency=config.broadcast_latency,
+            threshold=config.broadcast_threshold,
+            quantum=config.broadcast_quantum,
+        )
+        links = {
+            spec.link_id: LinkChannel(engine, spec, board, self.tracer)
+            for spec in self.machine.links
+        }
+        relay_ids = (
+            self.machine.gpu_ids if config.allow_external_relays else self.gpu_ids
+        )
+        enumerator = RouteEnumerator(
+            self.machine,
+            allowed_gpus=relay_ids,
+            max_intermediates=config.max_intermediates,
+        )
+        context = RoutingContext(
+            engine=engine,
+            machine=self.machine,
+            enumerator=enumerator,
+            links=links,
+            board=board,
+            num_gpus=len(self.gpu_ids),
+        )
+        delivered: list[Packet] = []
+        nodes: dict[int, GpuNode] = {}
+        for gpu_id in relay_ids:
+            nodes[gpu_id] = GpuNode(
+                engine,
+                gpu_id,
+                self.machine,
+                links,
+                policy,
+                context,
+                packet_size=config.packet_size,
+                batch_size=config.batch_size,
+                header_bytes=config.header_bytes,
+                buffer_slots=config.buffer_slots,
+                buffer_sync_latency=config.buffer_sync_latency,
+                dma_engines=config.dma_engines,
+                injection_rate=config.injection_rate,
+                consume_rate=config.consume_rate,
+                on_delivery=delivered.append,
+            )
+        for node in nodes.values():
+            node.peers = nodes
+        for gpu_id in self.gpu_ids:
+            outgoing = flows.outgoing(gpu_id)
+            if outgoing:
+                nodes[gpu_id].start_flows(outgoing)
+        engine.run()
+        return self._build_report(engine, policy, flows, links, nodes, delivered, board)
+
+    def _build_report(
+        self,
+        engine: Engine,
+        policy: RoutingPolicy,
+        flows: FlowMatrix,
+        links: dict[int, LinkChannel],
+        nodes: dict[int, GpuNode],
+        delivered: list[Packet],
+        board: LinkStateBoard,
+    ) -> ShuffleReport:
+        delivered_bytes = sum(node.stats.delivered_bytes for node in nodes.values())
+        if delivered_bytes != flows.total_bytes:
+            raise SimulationError(
+                f"shuffle stalled: delivered {delivered_bytes} of "
+                f"{flows.total_bytes} bytes (possible buffer deadlock)"
+            )
+        # The data-distribution step ends when the last packet lands on
+        # its destination GPU; draining the consumer (local
+        # partitioning) continues overlapped and is reported separately.
+        elapsed = max(
+            (node.stats.last_delivery_time for node in nodes.values()), default=0.0
+        )
+        consume_finish = max(
+            (node.stats.last_consume_time for node in nodes.values()), default=0.0
+        )
+        link_stats = {
+            link_id: LinkStats(
+                spec=channel.spec,
+                bytes_sent=channel.bytes_sent,
+                busy_time=channel.busy_time,
+                transfers=channel.transfers,
+            )
+            for link_id, channel in links.items()
+            if channel.transfers > 0
+        }
+        wire_bytes = sum(channel.bytes_sent for channel in links.values())
+        return ShuffleReport(
+            policy_name=policy.name,
+            num_gpus=len(self.gpu_ids),
+            elapsed=elapsed,
+            payload_bytes=flows.total_bytes,
+            delivered_bytes=delivered_bytes,
+            wire_bytes=wire_bytes,
+            packets_delivered=len(delivered),
+            hop_count_total=sum(packet.route.num_hops for packet in delivered),
+            link_stats=link_stats,
+            cut=bisection_cut(self.machine, self.gpu_ids),
+            buffer_sync_count=sum(
+                node.buffer_sync_count for node in nodes.values()
+            ),
+            board_broadcast_count=board.broadcast_count,
+            sync_time_total=sum(node.stats.sync_time for node in nodes.values()),
+            consume_finish_time=consume_finish,
+            per_gpu_delivered={
+                gpu_id: nodes[gpu_id].stats.delivered_bytes
+                for gpu_id in self.gpu_ids
+            },
+        )

@@ -1,0 +1,181 @@
+"""Measurement containers for shuffle simulations.
+
+Includes the bisection-utilization metric of Figure 8: utilization is
+the rate of traffic that actually crossed the machine's minimum
+balanced bisection, divided by that bisection's capacity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.topology.links import LinkSpec
+from repro.topology.machine import MachineTopology
+from repro.topology.nodes import Node, gpu
+
+
+@dataclass
+class LinkStats:
+    """Per-link accounting snapshot after a shuffle run."""
+
+    spec: LinkSpec
+    bytes_sent: int
+    busy_time: float
+    transfers: int
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of the run this link spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def achieved_bandwidth(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_sent / elapsed
+
+
+@dataclass(frozen=True)
+class BisectionCut:
+    """The minimum balanced bipartition of a GPU subset."""
+
+    side_a: tuple[int, ...]
+    side_b: tuple[int, ...]
+    #: Max-flow capacity in each direction, bytes/s.
+    capacity_ab: float
+    capacity_ba: float
+    #: Links whose endpoints straddle the cut, keyed by direction.
+    crossing_ab: tuple[int, ...]
+    crossing_ba: tuple[int, ...]
+
+    @property
+    def total_capacity(self) -> float:
+        return self.capacity_ab + self.capacity_ba
+
+
+def bisection_cut(
+    machine: MachineTopology, gpu_ids: tuple[int, ...] | None = None
+) -> BisectionCut:
+    """Find the minimum balanced bisection and its crossing links."""
+    ids = tuple(sorted(gpu_ids if gpu_ids is not None else machine.gpu_ids))
+    if len(ids) < 2:
+        raise ValueError("bisection needs at least two GPUs")
+    half = len(ids) // 2
+    best: tuple[float, tuple[int, ...]] | None = None
+    seen: set[frozenset[int]] = set()
+    for side_a in itertools.combinations(ids, half):
+        key = frozenset(side_a)
+        other = frozenset(ids) - key
+        if other in seen:
+            continue
+        seen.add(key)
+        side_b = tuple(sorted(other))
+        capacity = machine._cut_capacity(side_a, side_b)
+        if best is None or capacity < best[0]:
+            best = (capacity, side_a)
+    assert best is not None
+    side_a = best[1]
+    side_b = tuple(sorted(set(ids) - set(side_a)))
+    capacity_ab = machine._cut_capacity(side_a, side_b)
+    capacity_ba = machine._cut_capacity(side_b, side_a)
+    sides = _assign_node_sides(machine, side_a, side_b)
+    crossing_ab: list[int] = []
+    crossing_ba: list[int] = []
+    for link in machine.links:
+        src_side = sides.get(link.src)
+        dst_side = sides.get(link.dst)
+        if src_side is None or dst_side is None or src_side == dst_side:
+            continue
+        (crossing_ab if src_side == "a" else crossing_ba).append(link.link_id)
+    return BisectionCut(
+        side_a=side_a,
+        side_b=side_b,
+        capacity_ab=capacity_ab,
+        capacity_ba=capacity_ba,
+        crossing_ab=tuple(crossing_ab),
+        crossing_ba=tuple(crossing_ba),
+    )
+
+
+def _assign_node_sides(
+    machine: MachineTopology, side_a: tuple[int, ...], side_b: tuple[int, ...]
+) -> dict[Node, str]:
+    """Place switches and CPUs on the side holding most of their GPUs."""
+    sides: dict[Node, str] = {}
+    for gpu_id in side_a:
+        sides[gpu(gpu_id)] = "a"
+    for gpu_id in side_b:
+        sides[gpu(gpu_id)] = "b"
+    # Switches first (adjacent to GPUs), then CPUs (adjacent to switches).
+    for _ in range(2):
+        for node in machine.nodes:
+            if node in sides:
+                continue
+            votes = {"a": 0, "b": 0}
+            for link in machine.outgoing_links(node):
+                neighbor_side = sides.get(link.dst)
+                if neighbor_side is not None:
+                    votes[neighbor_side] += 1
+            if votes["a"] or votes["b"]:
+                sides[node] = "a" if votes["a"] >= votes["b"] else "b"
+    return sides
+
+
+@dataclass
+class ShuffleReport:
+    """Everything a shuffle run measured.
+
+    ``payload_bytes`` counts each flow byte once regardless of how many
+    relay hops it took; throughput figures therefore compare fairly
+    between direct and multi-hop routing.
+    """
+
+    policy_name: str
+    num_gpus: int
+    elapsed: float
+    payload_bytes: int
+    delivered_bytes: int
+    wire_bytes: int
+    packets_delivered: int
+    hop_count_total: int
+    link_stats: dict[int, LinkStats]
+    cut: BisectionCut
+    buffer_sync_count: int
+    board_broadcast_count: int
+    sync_time_total: float = 0.0
+    consume_finish_time: float = 0.0
+    per_gpu_delivered: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Aggregate shuffle throughput in bytes/s (Figure 6/7 metric)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.payload_bytes / self.elapsed
+
+    @property
+    def average_hops(self) -> float:
+        """Mean GPU-level hops per delivered packet."""
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.hop_count_total / self.packets_delivered
+
+    @property
+    def bisection_utilization(self) -> float:
+        """Figure 8 metric: achieved cross-bisection rate / capacity."""
+        if self.elapsed <= 0:
+            return 0.0
+        crossing = set(self.cut.crossing_ab) | set(self.cut.crossing_ba)
+        crossed_bytes = sum(
+            stats.bytes_sent
+            for link_id, stats in self.link_stats.items()
+            if link_id in crossing
+        )
+        capacity = self.cut.total_capacity
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, crossed_bytes / self.elapsed / capacity)
+
+    def link_utilization(self, link_id: int) -> float:
+        return self.link_stats[link_id].utilization(self.elapsed)

@@ -1,0 +1,131 @@
+"""Execution tracing for shuffle simulations.
+
+A :class:`Tracer` records per-link transfer intervals and per-GPU
+delivery/forward events during a simulation, supporting the kind of
+congestion forensics the paper does with the NVIDIA profiler: which
+links were hot when, how a flow's packets spread over routes, where
+backpressure stalled senders.
+
+Enable it via ``ShuffleSimulator(..., tracer=Tracer())``; afterwards
+the tracer offers CSV export and a terminal Gantt rendering.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced interval or instant."""
+
+    time: float
+    duration: float
+    kind: str  # "transfer" | "deliver" | "forward" | "stall"
+    subject: str  # link or GPU label
+    nbytes: int
+    detail: str = ""
+
+    @property
+    def end(self) -> float:
+        return self.time + self.duration
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceEvent` records during a simulation."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    #: Hard cap so a runaway simulation cannot eat unbounded memory.
+    max_events: int = 2_000_000
+
+    def record(
+        self,
+        time: float,
+        duration: float,
+        kind: str,
+        subject: str,
+        nbytes: int,
+        detail: str = "",
+    ) -> None:
+        if len(self.events) >= self.max_events:
+            return
+        self.events.append(
+            TraceEvent(
+                time=time,
+                duration=duration,
+                kind=kind,
+                subject=subject,
+                nbytes=nbytes,
+                detail=detail,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- queries -----------------------------------------------------------
+
+    def subjects(self) -> tuple[str, ...]:
+        return tuple(sorted({event.subject for event in self.events}))
+
+    def for_subject(self, subject: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.subject == subject]
+
+    def busy_time(self, subject: str) -> float:
+        return sum(event.duration for event in self.for_subject(subject))
+
+    def bytes_moved(self, subject: str) -> int:
+        return sum(event.nbytes for event in self.for_subject(subject))
+
+    @property
+    def horizon(self) -> float:
+        if not self.events:
+            return 0.0
+        return max(event.end for event in self.events)
+
+    # -- export ------------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Render all events as CSV text (time-sorted)."""
+        out = io.StringIO()
+        out.write("time,duration,kind,subject,bytes,detail\n")
+        for event in sorted(self.events, key=lambda e: (e.time, e.subject)):
+            out.write(
+                f"{event.time:.9f},{event.duration:.9f},{event.kind},"
+                f"{event.subject},{event.nbytes},{event.detail}\n"
+            )
+        return out.getvalue()
+
+    def ascii_gantt(self, width: int = 72, top: int = 12) -> str:
+        """A terminal Gantt chart of the busiest subjects.
+
+        Each row is one link/GPU; ``#`` marks time buckets where it was
+        busy for more than half the bucket, ``-`` for any activity.
+        """
+        if not self.events:
+            return "(no trace events)\n"
+        horizon = self.horizon
+        ranked = sorted(
+            self.subjects(), key=lambda s: self.busy_time(s), reverse=True
+        )[:top]
+        label_width = max(len(s) for s in ranked)
+        lines = []
+        for subject in ranked:
+            buckets = [0.0] * width
+            for event in self.for_subject(subject):
+                start = int(event.time / horizon * width)
+                end = int(min(event.end, horizon) / horizon * width)
+                for bucket in range(start, min(end + 1, width)):
+                    buckets[bucket] += 1.0
+            row = "".join(
+                "#" if x > 0.5 else ("-" if x > 0 else " ")
+                for x in (min(value, 1.0) for value in buckets)
+            )
+            utilization = self.busy_time(subject) / horizon * 100
+            lines.append(
+                f"{subject:>{label_width}} |{row}| {utilization:5.1f}%"
+            )
+        scale = f"{'':>{label_width}}  0{'':{width - 10}}{horizon * 1e3:.1f} ms"
+        return "\n".join(lines + [scale]) + "\n"

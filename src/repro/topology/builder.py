@@ -1,0 +1,136 @@
+"""Fluent construction of :class:`MachineTopology` instances.
+
+The builder adds *bidirectional* interconnects (every NVLink/PCIe/QPI
+attachment creates one directed link per direction, matching the
+sub-link-per-direction hardware design described in §2.2) and validates
+the result: every GPU must reach every other GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topology.links import LinkSpec, LinkType
+from repro.topology.machine import MachineTopology, TopologyError
+from repro.topology.nodes import Node, cpu, gpu, switch
+
+
+@dataclass
+class TopologyBuilder:
+    """Incrementally assemble a machine topology.
+
+    Example — two GPUs behind one PCIe switch plus an NVLink pair::
+
+        builder = TopologyBuilder("toy")
+        builder.add_gpus(2)
+        builder.add_switch(0, socket=0)
+        builder.attach_gpu_to_switch(0, 0)
+        builder.attach_gpu_to_switch(1, 0)
+        builder.add_nvlink(0, 1, lanes=2)
+        machine = builder.build()
+    """
+
+    name: str
+    _nodes: list[Node] = field(default_factory=list)
+    _links: list[LinkSpec] = field(default_factory=list)
+    _next_link_id: int = 0
+
+    # -- nodes ----------------------------------------------------------
+
+    def add_gpus(self, count: int) -> "TopologyBuilder":
+        for index in range(count):
+            self._add_node(gpu(index))
+        return self
+
+    def add_cpu(self, index: int) -> "TopologyBuilder":
+        self._add_node(cpu(index))
+        return self
+
+    def add_switch(self, index: int, socket: int | None = None) -> "TopologyBuilder":
+        """Add a PCIe switch, optionally pre-wired to a CPU socket uplink."""
+        self._add_node(switch(index))
+        if socket is not None:
+            if cpu(socket) not in self._nodes:
+                self.add_cpu(socket)
+            self._add_bidirectional(switch(index), cpu(socket), LinkType.PCIE)
+        return self
+
+    def _add_node(self, node: Node) -> None:
+        if node in self._nodes:
+            raise TopologyError(f"node {node} added twice")
+        self._nodes.append(node)
+
+    # -- links ----------------------------------------------------------
+
+    def add_nvlink(
+        self, gpu_a: int, gpu_b: int, lanes: int = 1
+    ) -> "TopologyBuilder":
+        self._add_bidirectional(gpu(gpu_a), gpu(gpu_b), LinkType.NVLINK, lanes)
+        return self
+
+    def add_nvlink_to_switch(
+        self, gpu_id: int, switch_id: int, lanes: int = 1
+    ) -> "TopologyBuilder":
+        """Attach a GPU's NVLink port(s) to an NVSwitch node (DGX-2)."""
+        self._add_bidirectional(gpu(gpu_id), switch(switch_id), LinkType.NVLINK, lanes)
+        return self
+
+    def add_nvlink_between_switches(
+        self, switch_a: int, switch_b: int, lanes: int = 1
+    ) -> "TopologyBuilder":
+        """NVLink trunk between two NVSwitch planes (DGX-2 baseboards)."""
+        self._add_bidirectional(
+            switch(switch_a), switch(switch_b), LinkType.NVLINK, lanes
+        )
+        return self
+
+    def attach_gpu_to_switch(self, gpu_id: int, switch_id: int) -> "TopologyBuilder":
+        self._add_bidirectional(gpu(gpu_id), switch(switch_id), LinkType.PCIE)
+        return self
+
+    def add_qpi(self, cpu_a: int, cpu_b: int) -> "TopologyBuilder":
+        self._add_bidirectional(cpu(cpu_a), cpu(cpu_b), LinkType.QPI)
+        return self
+
+    def add_infiniband(
+        self, cpu_a: int, cpu_b: int, lanes: int = 1
+    ) -> "TopologyBuilder":
+        """RDMA NIC pair between two nodes' CPU sockets (rack scale)."""
+        self._add_bidirectional(cpu(cpu_a), cpu(cpu_b), LinkType.INFINIBAND, lanes)
+        return self
+
+    def _add_bidirectional(
+        self, node_a: Node, node_b: Node, link_type: LinkType, lanes: int = 1
+    ) -> None:
+        for src, dst in ((node_a, node_b), (node_b, node_a)):
+            if src not in self._nodes or dst not in self._nodes:
+                raise TopologyError(f"add nodes before linking {src}->{dst}")
+            self._links.append(
+                LinkSpec(
+                    link_id=self._next_link_id,
+                    src=src,
+                    dst=dst,
+                    link_type=link_type,
+                    lanes=lanes,
+                )
+            )
+            self._next_link_id += 1
+
+    # -- finalization ----------------------------------------------------
+
+    def build(self) -> MachineTopology:
+        machine = MachineTopology(
+            name=self.name, nodes=tuple(self._nodes), links=tuple(self._links)
+        )
+        self._validate_connectivity(machine)
+        return machine
+
+    @staticmethod
+    def _validate_connectivity(machine: MachineTopology) -> None:
+        ids = machine.gpu_ids
+        if len(ids) < 1:
+            raise TopologyError("topology contains no GPUs")
+        for src in ids:
+            for dst in ids:
+                if src != dst:
+                    machine.direct_path(src, dst)  # raises if unreachable

@@ -1,0 +1,64 @@
+"""The NVIDIA DGX-1 (V100) topology used throughout the paper.
+
+Eight V100 GPUs in a *hybrid cube mesh*: the four GPUs on each baseboard
+form an NVLink clique, four NVLink links cross between the boards, and
+some pairs are double-linked.  The adjacency below is the nvidia-smi
+``topo -m`` matrix for the DGX-1V (NV1 = single link, NV2 = bonded
+double link); every GPU uses all six of its NVLink 2.0 ports.
+
+PCIe: the machine has four PCIe switches, each shared by two GPUs, two
+switches per CPU socket; the sockets are joined by QPI.  GPU pairs
+without an NVLink link must *stage* through CPU memory (§2.2), which is
+why 12 of the 28 GPU pairs ride the slow shared PCIe/QPI path and why
+direct-routing joins congest.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.topology.builder import TopologyBuilder
+from repro.topology.machine import MachineTopology
+
+#: NVLink adjacency of the DGX-1V: (gpu_a, gpu_b, lanes).
+DGX1_NVLINKS: tuple[tuple[int, int, int], ...] = (
+    (0, 1, 1),
+    (0, 2, 1),
+    (0, 3, 2),
+    (0, 4, 2),
+    (1, 2, 2),
+    (1, 3, 1),
+    (1, 5, 2),
+    (2, 3, 2),
+    (2, 6, 1),
+    (3, 7, 1),
+    (4, 5, 1),
+    (4, 6, 1),
+    (4, 7, 2),
+    (5, 6, 2),
+    (5, 7, 1),
+    (6, 7, 2),
+)
+
+#: PCIe switch membership: switch id -> (socket, GPUs behind it).
+DGX1_PCIE_SWITCHES: tuple[tuple[int, int, tuple[int, int]], ...] = (
+    (0, 0, (0, 1)),
+    (1, 0, (2, 3)),
+    (2, 1, (4, 5)),
+    (3, 1, (6, 7)),
+)
+
+
+@lru_cache(maxsize=1)
+def dgx1_topology() -> MachineTopology:
+    """Build the 8-GPU DGX-1 machine of Figure 2."""
+    builder = TopologyBuilder("dgx-1")
+    builder.add_gpus(8)
+    for switch_id, socket, gpus in DGX1_PCIE_SWITCHES:
+        builder.add_switch(switch_id, socket=socket)
+        for gpu_id in gpus:
+            builder.attach_gpu_to_switch(gpu_id, switch_id)
+    builder.add_qpi(0, 1)
+    for gpu_a, gpu_b, lanes in DGX1_NVLINKS:
+        builder.add_nvlink(gpu_a, gpu_b, lanes=lanes)
+    return builder.build()

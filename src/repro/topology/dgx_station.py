@@ -1,0 +1,27 @@
+"""The NVIDIA DGX-Station topology (secondary machine in §5.1).
+
+Four V100 GPUs, fully connected over NVLink (each pair by a single
+link), all hanging off one PCIe switch on a single socket.  The paper
+uses it to show the techniques generalize beyond the DGX-1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+
+from repro.topology.builder import TopologyBuilder
+from repro.topology.machine import MachineTopology
+
+
+@lru_cache(maxsize=1)
+def dgx_station_topology() -> MachineTopology:
+    """Build the 4-GPU DGX-Station machine."""
+    builder = TopologyBuilder("dgx-station")
+    builder.add_gpus(4)
+    builder.add_switch(0, socket=0)
+    for gpu_id in range(4):
+        builder.attach_gpu_to_switch(gpu_id, 0)
+    for gpu_a, gpu_b in itertools.combinations(range(4), 2):
+        builder.add_nvlink(gpu_a, gpu_b, lanes=1)
+    return builder.build()

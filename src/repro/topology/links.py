@@ -1,0 +1,155 @@
+"""Interconnect link types and their bandwidth/latency characteristics.
+
+The constants here are the calibration anchors of the whole reproduction
+(see DESIGN.md §6).  They follow the paper's §2.2 description of the
+DGX-1 fabric:
+
+* **NVLink 2.0** — exclusive point-to-point GPU-GPU links, 25 GB/s per
+  link per direction.  Pairs may be connected by a *double* link
+  (50 GB/s), which we model as a single ``LinkSpec`` with ``lanes=2``.
+* **PCIe 3.0 x16** — 16 GB/s per direction, but the switch uplink is
+  *shared* by the GPUs behind the same switch, which is exactly the
+  congestion the paper calls out.
+* **QPI** — 25.6 GB/s socket-to-socket; staged transfers between GPUs on
+  different sockets cross it.
+
+Effective bandwidth as a function of transfer size follows the classic
+latency/bandwidth model ``t(s) = t0 + s / B``, i.e.
+``B_E(s) = s / (t0 + s / B) = B * s / (s + B * t0)``.  With the
+per-link-type ``t0`` values below this reproduces the paper's Figure 4:
+roughly 20x degradation at 2 KB packets and saturation past ~12 MB.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.topology.nodes import Node
+
+GB = 1_000_000_000  # bytes; link vendors quote decimal gigabytes
+MB = 1_048_576
+KB = 1024
+
+#: Peak per-direction bandwidth per link, bytes/second.
+NVLINK_BANDWIDTH = 25 * GB
+PCIE_BANDWIDTH = 16 * GB
+QPI_BANDWIDTH = 25.6 * GB
+#: EDR InfiniBand (100 Gb/s) for the rack-scale extension (paper §7).
+INFINIBAND_BANDWIDTH = 12.5 * GB
+
+#: Per-transfer launch + wire latency (the ``t0`` of the size/bandwidth
+#: curve).  Chosen so 2 KB packets see roughly 16-20x degradation,
+#: matching Figure 4.
+NVLINK_LATENCY = 1.3e-6
+PCIE_LATENCY = 2.5e-6
+QPI_LATENCY = 0.6e-6
+INFINIBAND_LATENCY = 1.5e-6
+
+
+class LinkType(enum.Enum):
+    """Interconnect family, ordered roughly by efficiency."""
+
+    NVLINK = "nvlink"
+    PCIE = "pcie"
+    QPI = "qpi"
+    INFINIBAND = "infiniband"
+
+    @property
+    def default_bandwidth(self) -> float:
+        return _DEFAULT_BANDWIDTH[self]
+
+    @property
+    def default_latency(self) -> float:
+        return _DEFAULT_LATENCY[self]
+
+
+_DEFAULT_BANDWIDTH = {
+    LinkType.NVLINK: float(NVLINK_BANDWIDTH),
+    LinkType.PCIE: float(PCIE_BANDWIDTH),
+    LinkType.QPI: float(QPI_BANDWIDTH),
+    LinkType.INFINIBAND: float(INFINIBAND_BANDWIDTH),
+}
+
+_DEFAULT_LATENCY = {
+    LinkType.NVLINK: NVLINK_LATENCY,
+    LinkType.PCIE: PCIE_LATENCY,
+    LinkType.QPI: QPI_LATENCY,
+    LinkType.INFINIBAND: INFINIBAND_LATENCY,
+}
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One *directed* physical link between two topology nodes.
+
+    Bidirectional interconnects are modelled as two independent
+    ``LinkSpec`` instances (NVLink/PCIe/QPI all have one sub-link per
+    direction, so the directions genuinely do not contend).
+
+    Attributes:
+        link_id: Unique id within a topology; stable across runs.
+        src, dst: Endpoints.
+        link_type: Interconnect family.
+        lanes: Number of parallel links bonded together (NVLink pairs on
+            the DGX-1 may be double-linked).
+        bandwidth: Peak bandwidth in bytes/second *including* lanes.
+        latency: Per-transfer launch + propagation latency in seconds.
+    """
+
+    link_id: int
+    src: Node
+    dst: Node
+    link_type: LinkType
+    lanes: int = 1
+    bandwidth: float = field(default=0.0)
+    latency: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {self.lanes}")
+        if self.bandwidth <= 0.0:
+            object.__setattr__(
+                self, "bandwidth", self.link_type.default_bandwidth * self.lanes
+            )
+        if self.latency <= 0.0:
+            object.__setattr__(self, "latency", self.link_type.default_latency)
+
+    def __str__(self) -> str:
+        lanes = f" x{self.lanes}" if self.lanes > 1 else ""
+        return f"{self.src}->{self.dst} [{self.link_type.value}{lanes}]"
+
+
+def transfer_time(link: LinkSpec, nbytes: float) -> float:
+    """Uncontended time to move ``nbytes`` over ``link``.
+
+    This is the service time of one transfer: launch latency plus wire
+    time.  Queueing on a busy link is added by the simulator, not here.
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    return link.latency + nbytes / link.bandwidth
+
+
+def effective_bandwidth(link: LinkSpec, nbytes: float) -> float:
+    """Achieved bandwidth ``B_E(s)`` for a transfer of ``nbytes``.
+
+    This is the paper's ``B_E(||P||)`` from Equation 3: the bandwidth an
+    isolated transfer of this size actually sees, accounting for the
+    fixed launch overhead that makes small packets inefficient
+    (Figure 4).
+    """
+    if nbytes <= 0:
+        return 0.0
+    return nbytes / transfer_time(link, nbytes)
+
+
+def bottleneck_bandwidth(links: list[LinkSpec], nbytes: float) -> float:
+    """Effective bandwidth of a pipelined transfer across ``links``.
+
+    Per the paper (§4.2.2), a pipelined multi-link transfer is limited by
+    its slowest constituent link.
+    """
+    if not links:
+        raise ValueError("a route must contain at least one link")
+    return min(effective_bandwidth(link, nbytes) for link in links)

@@ -1,0 +1,267 @@
+"""The machine topology graph and its structural queries.
+
+A :class:`MachineTopology` is an immutable description of one scale-up
+server: which GPUs exist, how they hang off PCIe switches and CPU
+sockets, and which NVLink links connect them directly.  It answers the
+structural questions the join and routing layers need:
+
+* the *direct route* between two GPUs — NVLink if present, otherwise the
+  staged PCIe(/QPI) path through switches and CPU memory (§2.2),
+* NVLink adjacency for multi-hop route enumeration (§4.1),
+* bisection bandwidth of a GPU subset, used for the utilization metric
+  of Figure 8.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.topology.links import LinkSpec, LinkType
+from repro.topology.maxflow import FlowNetwork
+from repro.topology.nodes import Node, gpu
+
+
+class TopologyError(ValueError):
+    """Raised for malformed topologies or impossible path queries."""
+
+
+@dataclass(frozen=True)
+class MachineTopology:
+    """An immutable interconnect graph for one multi-GPU server.
+
+    Build instances through :class:`repro.topology.TopologyBuilder` or
+    the canned factories (:func:`repro.topology.dgx1_topology`,
+    :func:`repro.topology.dgx_station_topology`).
+    """
+
+    name: str
+    nodes: tuple[Node, ...]
+    links: tuple[LinkSpec, ...]
+
+    def __post_init__(self) -> None:
+        node_set = set(self.nodes)
+        if len(node_set) != len(self.nodes):
+            raise TopologyError("duplicate nodes in topology")
+        ids = [link.link_id for link in self.links]
+        if len(set(ids)) != len(ids):
+            raise TopologyError("duplicate link ids in topology")
+        for link in self.links:
+            if link.src not in node_set or link.dst not in node_set:
+                raise TopologyError(f"link {link} references unknown node")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def gpu_ids(self) -> tuple[int, ...]:
+        """Indices of all GPUs, sorted."""
+        return tuple(sorted(n.index for n in self.nodes if n.is_gpu))
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.gpu_ids)
+
+    def links_between(self, src: Node, dst: Node) -> tuple[LinkSpec, ...]:
+        """All directed links from ``src`` to ``dst``."""
+        return self._link_index().get((src, dst), ())
+
+    def nvlink_between(self, src_gpu: int, dst_gpu: int) -> LinkSpec | None:
+        """The NVLink link from one GPU to another, if they are adjacent.
+
+        Bonded (double) links appear as a single spec with ``lanes=2``.
+        """
+        for link in self.links_between(gpu(src_gpu), gpu(dst_gpu)):
+            if link.link_type is LinkType.NVLINK:
+                return link
+        return None
+
+    def nvlink_neighbors(self, gpu_id: int) -> tuple[int, ...]:
+        """GPU indices directly reachable from ``gpu_id`` over NVLink."""
+        return self._nvlink_adjacency().get(gpu_id, ())
+
+    def outgoing_links(self, node: Node) -> tuple[LinkSpec, ...]:
+        return self._outgoing_index().get(node, ())
+
+    # ------------------------------------------------------------------
+    # Direct routes
+    # ------------------------------------------------------------------
+
+    def direct_path(self, src_gpu: int, dst_gpu: int) -> tuple[LinkSpec, ...]:
+        """Physical links of the *direct route* between two GPUs.
+
+        The direct route is what single-hop implementations (DPRJ, NCCL
+        P2P) use: the NVLink link when the pair is NVLink-adjacent, and
+        otherwise the staged path over PCIe switches (and QPI when the
+        GPUs live on different sockets).  Staged transfers count as
+        direct per the paper because no intermediate *GPU* is involved.
+        """
+        return self._direct_path_cached(src_gpu, dst_gpu)
+
+    def hop_path(self, src_gpu: int, dst_gpu: int) -> tuple[LinkSpec, ...]:
+        """Physical links for one GPU-level hop of a multi-hop route.
+
+        Identical to :meth:`direct_path`; named separately because the
+        routing layer composes hops out of these.
+        """
+        return self.direct_path(src_gpu, dst_gpu)
+
+    def _direct_path_cached(self, src_gpu: int, dst_gpu: int):
+        cache = self._path_cache()
+        key = (src_gpu, dst_gpu)
+        if key not in cache:
+            cache[key] = self._compute_direct_path(src_gpu, dst_gpu)
+        return cache[key]
+
+    def _compute_direct_path(
+        self, src_gpu: int, dst_gpu: int
+    ) -> tuple[LinkSpec, ...]:
+        if src_gpu == dst_gpu:
+            raise TopologyError(f"no path from gpu{src_gpu} to itself")
+        nvlink = self.nvlink_between(src_gpu, dst_gpu)
+        if nvlink is not None:
+            return (nvlink,)
+        return self._staged_path(gpu(src_gpu), gpu(dst_gpu))
+
+    def _staged_path(self, src: Node, dst: Node) -> tuple[LinkSpec, ...]:
+        """Cheapest path that relays through no other GPU (Dijkstra).
+
+        On point-to-point machines (DGX-1) this walks the PCIe tree up
+        from the source GPU, across QPI if the sockets differ, and back
+        down to the destination — the driver's staging behaviour of
+        §2.2.  On NVSwitch machines (DGX-2) it goes through the switch
+        fabric's NVLink ports instead.  GPU-to-GPU NVLink links are
+        excluded: using one would mean relaying through a GPU, which is
+        multi-hop routing, not a direct route.
+        """
+        best_cost: dict[Node, float] = {src: 0.0}
+        best_link: dict[Node, LinkSpec] = {}
+        heap: list[tuple[float, int, Node]] = [(0.0, 0, src)]
+        tiebreak = itertools.count(1)
+        visited: set[Node] = set()
+        while heap:
+            cost, _, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == dst:
+                break
+            for link in self.outgoing_links(node):
+                if (
+                    link.link_type is LinkType.NVLINK
+                    and link.src.is_gpu
+                    and link.dst.is_gpu
+                ):
+                    continue  # a GPU-GPU hop is not a direct route
+                if link.dst.is_gpu and link.dst != dst:
+                    continue
+                next_cost = cost + 1.0 / link.bandwidth + link.latency
+                if next_cost < best_cost.get(link.dst, float("inf")):
+                    best_cost[link.dst] = next_cost
+                    best_link[link.dst] = link
+                    heapq.heappush(heap, (next_cost, next(tiebreak), link.dst))
+        if dst not in best_link:
+            raise TopologyError(f"no staged path from {src} to {dst}")
+        path: list[LinkSpec] = []
+        node = dst
+        while node != src:
+            link = best_link[node]
+            path.append(link)
+            node = link.src
+        path.reverse()
+        return tuple(path)
+
+    # ------------------------------------------------------------------
+    # Bisection bandwidth (Figure 8 metric)
+    # ------------------------------------------------------------------
+
+    def bisection_bandwidth(self, gpu_ids: tuple[int, ...] | None = None) -> float:
+        """Bisection bandwidth (bytes/s, one direction) of a GPU subset.
+
+        Defined as the minimum, over all balanced bipartitions of the
+        participating GPUs, of the max-flow capacity from one half to
+        the other through the full link graph.  Shared PCIe uplinks and
+        the QPI link are therefore counted once, not per GPU pair.
+        """
+        ids = tuple(sorted(gpu_ids if gpu_ids is not None else self.gpu_ids))
+        if len(ids) < 2:
+            raise TopologyError("bisection bandwidth needs at least 2 GPUs")
+        half = len(ids) // 2
+        best = float("inf")
+        seen: set[frozenset[int]] = set()
+        for side_a in itertools.combinations(ids, half):
+            key = frozenset(side_a)
+            complement = frozenset(ids) - key
+            if frozenset(complement) in seen:
+                continue
+            seen.add(key)
+            side_b = tuple(sorted(complement))
+            best = min(best, self._cut_capacity(side_a, side_b))
+        return best
+
+    def _cut_capacity(
+        self, side_a: tuple[int, ...], side_b: tuple[int, ...]
+    ) -> float:
+        """Max-flow capacity from ``side_a`` to ``side_b``.
+
+        Only the GPUs in the two sides participate; links touching any
+        other GPU are excluded, because a non-participating GPU cannot
+        relay traffic for the configuration being measured.
+        """
+        participating = set(side_a) | set(side_b)
+        index = {node: i for i, node in enumerate(self.nodes)}
+        source = len(index)
+        sink = len(index) + 1
+        network = FlowNetwork(len(index) + 2)
+        infinite = sum(link.bandwidth for link in self.links) + 1.0
+        for link in self.links:
+            if (link.src.is_gpu and link.src.index not in participating) or (
+                link.dst.is_gpu and link.dst.index not in participating
+            ):
+                continue
+            network.add_edge(index[link.src], index[link.dst], link.bandwidth)
+        for gpu_id in side_a:
+            network.add_edge(source, index[gpu(gpu_id)], infinite)
+        for gpu_id in side_b:
+            network.add_edge(index[gpu(gpu_id)], sink, infinite)
+        return network.max_flow(source, sink)
+
+    # ------------------------------------------------------------------
+    # Internal caches (frozen dataclass, so caches live outside fields)
+    # ------------------------------------------------------------------
+
+    @lru_cache(maxsize=None)
+    def _link_index(self) -> dict[tuple[Node, Node], tuple[LinkSpec, ...]]:
+        index: dict[tuple[Node, Node], list[LinkSpec]] = {}
+        for link in self.links:
+            index.setdefault((link.src, link.dst), []).append(link)
+        return {key: tuple(value) for key, value in index.items()}
+
+    @lru_cache(maxsize=None)
+    def _outgoing_index(self) -> dict[Node, tuple[LinkSpec, ...]]:
+        index: dict[Node, list[LinkSpec]] = {}
+        for link in self.links:
+            index.setdefault(link.src, []).append(link)
+        return {key: tuple(value) for key, value in index.items()}
+
+    @lru_cache(maxsize=None)
+    def _nvlink_adjacency(self) -> dict[int, tuple[int, ...]]:
+        adjacency: dict[int, list[int]] = {g: [] for g in self.gpu_ids}
+        for link in self.links:
+            if (
+                link.link_type is LinkType.NVLINK
+                and link.src.is_gpu
+                and link.dst.is_gpu
+            ):
+                adjacency[link.src.index].append(link.dst.index)
+        return {key: tuple(sorted(value)) for key, value in adjacency.items()}
+
+    @lru_cache(maxsize=None)
+    def _path_cache(self) -> dict:
+        return {}
+
+    def __hash__(self) -> int:  # needed because lru_cache hashes self
+        return hash((self.name, self.nodes, self.links))

@@ -1,0 +1,100 @@
+"""A small max-flow solver (Dinic's algorithm).
+
+Used to compute cut capacities between GPU subsets when deriving the
+bisection bandwidth of a machine configuration.  The graphs involved are
+tiny (tens of nodes), so clarity is preferred over micro-optimization.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class _Edge:
+    dst: int
+    capacity: float
+    flow: float = 0.0
+    reverse_index: int = -1
+
+    @property
+    def residual(self) -> float:
+        return self.capacity - self.flow
+
+
+@dataclass
+class FlowNetwork:
+    """Directed flow network over integer node ids."""
+
+    num_nodes: int
+    _adjacency: list[list[_Edge]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("network needs at least one node")
+        self._adjacency = [[] for _ in range(self.num_nodes)]
+
+    def add_edge(self, src: int, dst: int, capacity: float) -> None:
+        """Add a directed edge; a zero-capacity reverse edge is implied."""
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        forward = _Edge(dst=dst, capacity=capacity)
+        backward = _Edge(dst=src, capacity=0.0)
+        forward.reverse_index = len(self._adjacency[dst])
+        backward.reverse_index = len(self._adjacency[src])
+        self._adjacency[src].append(forward)
+        self._adjacency[dst].append(backward)
+
+    def max_flow(self, source: int, sink: int) -> float:
+        """Compute the maximum flow from ``source`` to ``sink``."""
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        total = 0.0
+        while True:
+            levels = self._bfs_levels(source, sink)
+            if levels[sink] < 0:
+                return total
+            iterators = [0] * self.num_nodes
+            while True:
+                pushed = self._dfs_push(source, sink, float("inf"), levels, iterators)
+                if pushed <= 0:
+                    break
+                total += pushed
+
+    def _bfs_levels(self, source: int, sink: int) -> list[int]:
+        levels = [-1] * self.num_nodes
+        levels[source] = 0
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for edge in self._adjacency[node]:
+                if edge.residual > 1e-12 and levels[edge.dst] < 0:
+                    levels[edge.dst] = levels[node] + 1
+                    queue.append(edge.dst)
+        return levels
+
+    def _dfs_push(
+        self,
+        node: int,
+        sink: int,
+        limit: float,
+        levels: list[int],
+        iterators: list[int],
+    ) -> float:
+        if node == sink:
+            return limit
+        edges = self._adjacency[node]
+        while iterators[node] < len(edges):
+            edge = edges[iterators[node]]
+            if edge.residual > 1e-12 and levels[edge.dst] == levels[node] + 1:
+                pushed = self._dfs_push(
+                    edge.dst, sink, min(limit, edge.residual), levels, iterators
+                )
+                if pushed > 0:
+                    edge.flow += pushed
+                    reverse = self._adjacency[edge.dst][edge.reverse_index]
+                    reverse.flow -= pushed
+                    return pushed
+            iterators[node] += 1
+        return 0.0

@@ -1,0 +1,79 @@
+"""Rack-scale machines: multiple DGX nodes bridged by RDMA NICs.
+
+The paper's conclusion names this as future work: "high performance
+network interconnects such as RDMA can be an opportunity to further
+improve the scale of multi-GPU architectures for huge data sets" (§7).
+This module builds that machine: N single-node topologies (DGX-1 by
+default) with their CPU sockets joined by InfiniBand links, so the
+whole MG-Join stack — route enumeration, adaptive routing, the join
+itself — runs unchanged across nodes.
+
+Cross-node transfers stage through host memory and the NIC, exactly
+like cross-socket PCIe staging but over a longer, thinner pipe; within
+a node, everything behaves as before.  Multi-hop GPU relays never cross
+node boundaries (relay hops require GPU-GPU NVLink), so the adaptive
+policy's job becomes spreading intra-node traffic while the inter-node
+links carry what they must — which is exactly how rack-scale GPU joins
+behave in practice.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.topology.builder import TopologyBuilder
+from repro.topology.dgx1 import DGX1_NVLINKS, DGX1_PCIE_SWITCHES
+from repro.topology.machine import MachineTopology
+
+
+def multi_node_dgx1(
+    num_nodes: int = 2, ib_lanes: int = 4
+) -> MachineTopology:
+    """``num_nodes`` DGX-1 boxes joined by an InfiniBand ring.
+
+    GPUs of node ``n`` are numbered ``8n .. 8n+7``.  Each node exposes
+    ``ib_lanes`` bonded IB ports from its socket-0 CPU; nodes are
+    joined pairwise around a ring (both neighbours for >2 nodes).
+    """
+    if num_nodes < 2:
+        raise ValueError("a multi-node machine needs at least 2 nodes")
+    if ib_lanes < 1:
+        raise ValueError("ib_lanes must be >= 1")
+    return _build(num_nodes, ib_lanes)
+
+
+@lru_cache(maxsize=8)
+def _build(num_nodes: int, ib_lanes: int) -> MachineTopology:
+    builder = TopologyBuilder(f"dgx1-x{num_nodes}")
+    builder.add_gpus(8 * num_nodes)
+    for node in range(num_nodes):
+        gpu_base = 8 * node
+        switch_base = 4 * node
+        cpu_base = 2 * node
+        for switch_offset, socket_offset, gpus in DGX1_PCIE_SWITCHES:
+            builder.add_switch(
+                switch_base + switch_offset, socket=cpu_base + socket_offset
+            )
+            for gpu_id in gpus:
+                builder.attach_gpu_to_switch(
+                    gpu_base + gpu_id, switch_base + switch_offset
+                )
+        builder.add_qpi(cpu_base, cpu_base + 1)
+        for gpu_a, gpu_b, lanes in DGX1_NVLINKS:
+            builder.add_nvlink(gpu_base + gpu_a, gpu_base + gpu_b, lanes=lanes)
+    # InfiniBand ring between the nodes' socket-0 CPUs.
+    pairs = (
+        [(node, (node + 1) % num_nodes) for node in range(num_nodes)]
+        if num_nodes > 2
+        else [(0, 1)]
+    )
+    for node_a, node_b in pairs:
+        builder.add_infiniband(2 * node_a, 2 * node_b, lanes=ib_lanes)
+    return builder.build()
+
+
+def node_of(gpu_id: int, gpus_per_node: int = 8) -> int:
+    """Which node a GPU belongs to."""
+    if gpu_id < 0:
+        raise ValueError("gpu_id must be non-negative")
+    return gpu_id // gpus_per_node

@@ -1,0 +1,172 @@
+"""Route enumeration and route-level cost primitives.
+
+A *route* is the GPU-level itinerary of a packet: the source GPU, up to
+three intermediate relay GPUs (the paper's cap, §4.2.2) and the
+destination GPU.  Consecutive GPUs on a multi-hop route must be NVLink
+adjacent — relaying over a staged PCIe hop would be strictly worse than
+the staged direct route.  The direct route itself (single hop; NVLink if
+available, staged otherwise) is always a candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.topology.links import LinkSpec
+from repro.topology.machine import MachineTopology, TopologyError
+
+
+@dataclass(frozen=True)
+class Route:
+    """A GPU-level itinerary ``(src, *intermediates, dst)``."""
+
+    gpus: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.gpus) < 2:
+            raise ValueError("a route needs at least a source and a destination")
+        if len(set(self.gpus)) != len(self.gpus):
+            raise ValueError(f"route {self.gpus} contains a cycle")
+
+    @property
+    def src(self) -> int:
+        return self.gpus[0]
+
+    @property
+    def dst(self) -> int:
+        return self.gpus[-1]
+
+    @property
+    def intermediates(self) -> tuple[int, ...]:
+        return self.gpus[1:-1]
+
+    @property
+    def num_hops(self) -> int:
+        """Number of GPU-level hops (1 for a direct route)."""
+        return len(self.gpus) - 1
+
+    @property
+    def is_direct(self) -> bool:
+        return self.num_hops == 1
+
+    def hops(self) -> tuple[tuple[int, int], ...]:
+        """Consecutive (src_gpu, dst_gpu) pairs along the route."""
+        return tuple(zip(self.gpus[:-1], self.gpus[1:]))
+
+    def next_gpu_after(self, gpu_id: int) -> int:
+        """The next relay/destination after ``gpu_id`` on this route."""
+        position = self.gpus.index(gpu_id)
+        if position == len(self.gpus) - 1:
+            raise ValueError(f"gpu{gpu_id} is the final destination of {self}")
+        return self.gpus[position + 1]
+
+    def __str__(self) -> str:
+        return "->".join(str(g) for g in self.gpus)
+
+
+@lru_cache(maxsize=None)
+def physical_links(machine: MachineTopology, route: Route) -> tuple[LinkSpec, ...]:
+    """Expand a GPU-level route into the physical links it traverses."""
+    links: list[LinkSpec] = []
+    for src, dst in route.hops():
+        links.extend(machine.hop_path(src, dst))
+    return tuple(links)
+
+
+def route_min_bandwidth(machine: MachineTopology, route: Route) -> float:
+    """Bottleneck (minimum) link bandwidth along the route, bytes/s."""
+    return min(link.bandwidth for link in physical_links(machine, route))
+
+
+def route_link_count(machine: MachineTopology, route: Route) -> int:
+    """Number of physical links traversed (the 'hop count' metric).
+
+    Counted over physical links rather than GPU hops so that a staged
+    direct route (which crosses up to five links) is correctly seen as
+    longer than a two-hop NVLink relay.
+    """
+    return len(physical_links(machine, route))
+
+
+def route_static_latency(machine: MachineTopology, route: Route) -> float:
+    """Sum of static link latencies along the route, seconds."""
+    return sum(link.latency for link in physical_links(machine, route))
+
+
+class RouteEnumerator:
+    """Enumerates candidate routes between GPU pairs on one machine.
+
+    Args:
+        machine: The topology to enumerate over.
+        allowed_gpus: GPUs that may appear on routes (defaults to all).
+            Only GPUs participating in the join relay packets, because
+            relaying requires routing-buffer memory on the relay GPU.
+        max_intermediates: Cap on relay GPUs per route (paper: 3).
+    """
+
+    def __init__(
+        self,
+        machine: MachineTopology,
+        allowed_gpus: tuple[int, ...] | None = None,
+        max_intermediates: int = 3,
+    ) -> None:
+        if max_intermediates < 0:
+            raise ValueError("max_intermediates must be non-negative")
+        self._machine = machine
+        self._allowed = tuple(
+            sorted(allowed_gpus if allowed_gpus is not None else machine.gpu_ids)
+        )
+        unknown = set(self._allowed) - set(machine.gpu_ids)
+        if unknown:
+            raise TopologyError(f"unknown GPUs in allowed set: {sorted(unknown)}")
+        self._max_intermediates = max_intermediates
+
+    @property
+    def machine(self) -> MachineTopology:
+        return self._machine
+
+    @property
+    def allowed_gpus(self) -> tuple[int, ...]:
+        return self._allowed
+
+    @lru_cache(maxsize=None)
+    def routes(self, src: int, dst: int) -> tuple[Route, ...]:
+        """All candidate routes from ``src`` to ``dst``.
+
+        The direct route comes first, followed by multi-hop all-NVLink
+        routes ordered by increasing hop count.
+        """
+        if src == dst:
+            raise ValueError("source and destination GPUs must differ")
+        for gpu_id in (src, dst):
+            if gpu_id not in self._allowed:
+                raise TopologyError(f"gpu{gpu_id} is not in the allowed set")
+        found: list[Route] = [Route((src, dst))]
+        allowed = set(self._allowed)
+        adjacency = {
+            g: [n for n in self._machine.nvlink_neighbors(g) if n in allowed]
+            for g in self._allowed
+        }
+
+        def extend(path: list[int]) -> None:
+            if len(path) - 1 > self._max_intermediates:
+                return
+            for neighbor in adjacency[path[-1]]:
+                if neighbor in path:
+                    continue
+                if neighbor == dst:
+                    if len(path) > 1:  # direct NVLink route already added
+                        found.append(Route(tuple(path) + (dst,)))
+                    continue
+                path.append(neighbor)
+                extend(path)
+                path.pop()
+
+        extend([src])
+        multi_hop = sorted(found[1:], key=lambda r: (r.num_hops, r.gpus))
+        return (found[0], *multi_hop)
+
+    @lru_cache(maxsize=None)
+    def direct_route(self, src: int, dst: int) -> Route:
+        return Route((src, dst))

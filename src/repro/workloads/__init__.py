@@ -1,0 +1,16 @@
+"""Synthetic join workloads (paper §5.1).
+
+Two relations of 8-byte tuples with ``|R| = |S|``; integer keys are
+generated sequentially and shuffled, giving 100% join selectivity.
+Skew comes in two flavours the paper evaluates separately:
+
+* **placement skew** — tuples are distributed over the GPUs by a Zipf
+  law (Figures 5b and 9),
+* **key skew** — key *values* follow a Zipf law, creating heavy-hitter
+  partitions the assignment phase must handle (§3.2).
+"""
+
+from repro.workloads.generator import WorkloadSpec, generate_workload
+from repro.workloads.zipf import zipf_weights, zipf_sample
+
+__all__ = ["WorkloadSpec", "generate_workload", "zipf_sample", "zipf_weights"]

@@ -1,0 +1,53 @@
+"""Zipf distribution helpers.
+
+``numpy.random.zipf`` has an unbounded support and is undefined for
+exponent <= 1, but the paper sweeps Zipf factors from 0.0 (uniform) to
+1.0 over a *finite* universe (GPUs, or key values).  These helpers
+implement the standard finite Zipf: ``P(rank k) ∝ 1 / k^z``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_weights(num_items: int, z: float) -> np.ndarray:
+    """Normalized finite-Zipf probabilities for ranks ``1..num_items``.
+
+    ``z = 0`` degenerates to the uniform distribution.
+    """
+    if num_items < 1:
+        raise ValueError("num_items must be positive")
+    if z < 0:
+        raise ValueError(f"Zipf factor must be non-negative, got {z}")
+    ranks = np.arange(1, num_items + 1, dtype=np.float64)
+    weights = ranks ** (-z)
+    return weights / weights.sum()
+
+
+def zipf_sample(
+    num_items: int, size: int, z: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``size`` ranks in ``[0, num_items)`` from a finite Zipf law."""
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    weights = zipf_weights(num_items, z)
+    return rng.choice(num_items, size=size, p=weights)
+
+
+def zipf_partition_counts(
+    num_items: int, total: int, z: float
+) -> np.ndarray:
+    """Deterministically split ``total`` into finite-Zipf proportions.
+
+    Used to decide how many tuples each GPU holds under placement skew;
+    deterministic so experiment configurations are exactly reproducible.
+    Rounding residue goes to the largest shares first.
+    """
+    weights = zipf_weights(num_items, z)
+    counts = np.floor(weights * total).astype(np.int64)
+    shortfall = total - int(counts.sum())
+    order = np.argsort(-weights)
+    for index in range(shortfall):
+        counts[order[index % num_items]] += 1
+    return counts

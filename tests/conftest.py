@@ -1,0 +1,35 @@
+"""Shared fixtures: machines and small, fast workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import make_workload
+from repro.topology import TopologyBuilder, dgx1_topology, dgx_station_topology
+
+
+@pytest.fixture(scope="session")
+def dgx1():
+    return dgx1_topology()
+
+
+@pytest.fixture(scope="session")
+def station():
+    return dgx_station_topology()
+
+
+@pytest.fixture(scope="session")
+def tiny_machine():
+    """Two GPUs behind one switch, a single NVLink pair."""
+    builder = TopologyBuilder("tiny")
+    builder.add_gpus(2)
+    builder.add_switch(0, socket=0)
+    builder.attach_gpu_to_switch(0, 0)
+    builder.attach_gpu_to_switch(1, 0)
+    builder.add_nvlink(0, 1)
+    return builder.build()
+
+
+@pytest.fixture
+def small_workload():
+    return make_workload()

@@ -1,0 +1,86 @@
+"""DPRJ, UMJ and single-GPU baselines: same answers, worse costs."""
+
+import pytest
+
+from repro.baselines import DPRJJoin, SingleGpuJoin, UMJJoin, gather_to_one_gpu
+from repro.core import MGJoin
+
+from helpers import make_workload
+
+
+def test_all_algorithms_agree_on_matches(dgx1):
+    workload = make_workload(num_gpus=4, real=2048)
+    results = {
+        algo.algorithm: algo.run(workload)
+        for algo in (MGJoin(dgx1), DPRJJoin(dgx1), UMJJoin(dgx1))
+    }
+    counts = {name: run.matches_real for name, run in results.items()}
+    assert len(set(counts.values())) == 1
+    assert counts["mg-join"] == workload.r.num_tuples
+
+
+def test_all_algorithms_agree_under_skew(dgx1):
+    workload = make_workload(num_gpus=4, real=1024, key_zipf=0.8, seed=9)
+    counts = {
+        algo.algorithm: algo.run(workload).matches_real
+        for algo in (MGJoin(dgx1), DPRJJoin(dgx1), UMJJoin(dgx1))
+    }
+    assert len(set(counts.values())) == 1
+
+
+def test_dprj_has_no_compression(dgx1):
+    workload = make_workload(num_gpus=4, real=2048, logical=1 << 20)
+    run = DPRJJoin(dgx1).run(workload)
+    assert run.compression_ratio == 1.0
+
+
+def test_dprj_uses_direct_routes(dgx1):
+    workload = make_workload(num_gpus=4, real=2048, logical=1 << 20)
+    run = DPRJJoin(dgx1).run(workload)
+    assert run.shuffle_report.average_hops == 1.0
+
+
+def test_dprj_distribution_fully_exposed(dgx1):
+    workload = make_workload(num_gpus=4, real=2048, logical=1 << 22)
+    run = DPRJJoin(dgx1).run(workload)
+    assert run.breakdown.distribution_exposed == pytest.approx(
+        run.shuffle_report.elapsed
+    )
+
+
+def test_mgjoin_beats_dprj_at_paper_scale(dgx1):
+    """Figure 11's headline at 8 GPUs, small real arrays."""
+    workload = make_workload(num_gpus=8, real=4096, logical=512 * 1024 * 1024)
+    mgj = MGJoin(dgx1).run(workload)
+    dprj = DPRJJoin(dgx1).run(workload)
+    assert mgj.throughput > 1.5 * dprj.throughput
+
+
+def test_umj_slower_than_single_gpu_at_8(dgx1):
+    """§5.3: UMJ on many GPUs is worse than UMJ on one."""
+    eight = make_workload(num_gpus=8, real=2048, logical=512 * 1024 * 1024)
+    one = make_workload(num_gpus=1, real=2048, logical=512 * 1024 * 1024)
+    umj_eight = UMJJoin(dgx1).run(eight)
+    umj_one = UMJJoin(dgx1).run(one)
+    assert umj_eight.throughput < umj_one.throughput
+
+
+def test_umj_has_no_routed_shuffle(dgx1):
+    workload = make_workload(num_gpus=4, real=2048, logical=1 << 22)
+    run = UMJJoin(dgx1).run(workload)
+    assert run.shuffle_report.policy_name == "unified-memory"
+    assert run.breakdown.distribution_exposed > 0
+
+
+def test_gather_to_one_gpu_preserves_tuples(dgx1):
+    workload = make_workload(num_gpus=4, real=512)
+    gathered = gather_to_one_gpu(workload)
+    assert gathered.gpu_ids == (0,)
+    assert gathered.real_tuples == workload.real_tuples
+
+
+def test_single_gpu_join_accepts_multi_gpu_workload(dgx1):
+    workload = make_workload(num_gpus=4, real=512)
+    run = SingleGpuJoin(dgx1).run(workload)
+    assert run.num_gpus == 1
+    assert run.matches_real == workload.r.num_tuples

@@ -1,0 +1,156 @@
+"""Phase 2b: flow planning and physical data redistribution."""
+
+import numpy as np
+
+from repro.core import build_histograms
+from repro.core.assignment import assign_partitions, modulo_assignment
+from repro.core.compression import CompressionModel
+from repro.core.global_partition import execute_distribution, plan_flows
+from repro.core.histogram import partition_of
+
+from helpers import make_workload
+
+RAW = CompressionModel(enabled=False, key_bits_elided=0, id_bytes_per_tuple=4.0)
+
+
+def setup(num_gpus=4, real=2048, partitions=64, **kw):
+    workload = make_workload(num_gpus=num_gpus, real=real, **kw)
+    histograms = build_histograms(workload.r, workload.s, partitions)
+    return workload, histograms
+
+
+class TestPlanFlows:
+    def test_modulo_moves_almost_everything(self, dgx1):
+        workload, histograms = setup()
+        assignment = modulo_assignment(histograms)
+        flows = plan_flows(histograms, assignment, RAW, logical_scale=1)
+        # Uniform keys + modulo: ~ (G-1)/G of all tuples move.
+        expected = workload.real_tuples * 8 * 3 / 4
+        assert abs(flows.total_bytes - expected) / expected < 0.05
+
+    def test_optimized_assignment_moves_no_more_than_modulo(self, dgx1):
+        _, histograms = setup()
+        optimized = plan_flows(
+            histograms, assign_partitions(histograms, dgx1), RAW, 1
+        )
+        modulo = plan_flows(histograms, modulo_assignment(histograms), RAW, 1)
+        assert optimized.total_bytes <= modulo.total_bytes * 1.01
+
+    def test_placement_skew_keeps_data_local_without_balance_term(self, dgx1):
+        """With a pure move-cost objective, the optimizer keeps
+        partitions where the data already sits under placement skew."""
+        _, skew_hist = setup(placement_zipf=1.0)
+        _, uniform_hist = setup(placement_zipf=0.0)
+        skewed = plan_flows(
+            skew_hist,
+            assign_partitions(skew_hist, dgx1, process_cost_per_tuple=0.0),
+            RAW, 1,
+        )
+        uniform = plan_flows(
+            uniform_hist,
+            assign_partitions(uniform_hist, dgx1, process_cost_per_tuple=0.0),
+            RAW, 1,
+        )
+        assert skewed.total_bytes < uniform.total_bytes
+
+    def test_balance_term_spreads_skewed_data(self, dgx1):
+        """With the completion-time objective, a hot GPU sheds work."""
+        import numpy as np
+
+        workload, histograms = setup(placement_zipf=1.0)
+        assignment = assign_partitions(histograms, dgx1)
+        r, s = histograms.stacked()
+        sizes = (r + s).sum(axis=0)
+        load = np.zeros(4)
+        for p, owners in enumerate(assignment.owners):
+            for owner in owners:
+                load[owner] += sizes[p] / len(owners)
+        assert load.max() <= 1.3 * load.min()
+
+    def test_logical_scale_multiplies_bytes(self, dgx1):
+        _, histograms = setup()
+        assignment = assign_partitions(histograms, dgx1)
+        one = plan_flows(histograms, assignment, RAW, 1)
+        thousand = plan_flows(histograms, assignment, RAW, 1000)
+        assert thousand.total_bytes == 1000 * one.total_bytes
+
+    def test_compression_shrinks_flows(self, dgx1):
+        _, histograms = setup()
+        assignment = assign_partitions(histograms, dgx1)
+        compressed_model = CompressionModel(
+            enabled=True, key_bits_elided=6, id_bytes_per_tuple=2.0
+        )
+        raw = plan_flows(histograms, assignment, RAW, 1)
+        compressed = plan_flows(histograms, assignment, compressed_model, 1)
+        assert compressed.total_bytes < raw.total_bytes
+
+
+class TestExecuteDistribution:
+    def test_no_tuple_lost_or_duplicated(self, dgx1):
+        workload, histograms = setup()
+        assignment = assign_partitions(histograms, dgx1)
+        data = execute_distribution(
+            workload.r, workload.s, histograms, assignment
+        )
+        total_r = sum(len(shard) for shard in data.r.values())
+        total_s = sum(len(shard) for shard in data.s.values())
+        assert total_r == workload.r.num_tuples
+        assert total_s == workload.s.num_tuples
+
+    def test_co_partitioning_holds(self, dgx1):
+        """After distribution, matching keys are on the same GPU."""
+        workload, histograms = setup(num_gpus=4, real=1024, partitions=64)
+        assignment = assign_partitions(histograms, dgx1)
+        data = execute_distribution(
+            workload.r, workload.s, histograms, assignment
+        )
+        r_keys = {g: set(data.r[g].keys.tolist()) for g in (0, 1, 2, 3)}
+        s_keys = {g: set(data.s[g].keys.tolist()) for g in (0, 1, 2, 3)}
+        for key in workload.r.all_keys().tolist():
+            holders_r = [g for g in r_keys if key in r_keys[g]]
+            holders_s = [g for g in s_keys if key in s_keys[g]]
+            assert set(holders_r) & set(holders_s) or not holders_s
+
+    def test_partitions_land_on_their_owner(self, dgx1):
+        workload, histograms = setup(num_gpus=2, real=512, partitions=16)
+        assignment = assign_partitions(histograms, dgx1)
+        data = execute_distribution(
+            workload.r, workload.s, histograms, assignment
+        )
+        owner_map = assignment.single_owner_map()
+        for gpu_pos, gpu_id in enumerate((0, 1)):
+            pids = set(partition_of(data.r[gpu_id].keys, 16).tolist())
+            for pid in pids:
+                assert owner_map[pid] == gpu_pos
+
+    def test_broadcast_replicates_moving_side(self, dgx1):
+        """With a forced heavy hitter, the broadcast side is copied to
+        every owner and the kept side stays disjoint."""
+        import numpy as np
+
+        from repro.core.histogram import HistogramSet
+        from repro.core.relation import DistributedRelation, GpuShard
+
+        # R huge on partition 0 on both GPUs; S tiny on both.
+        def shard(keys):
+            keys = np.asarray(keys, dtype=np.uint32)
+            return GpuShard(keys, np.arange(len(keys), dtype=np.uint32))
+
+        r = DistributedRelation(
+            "R", {0: shard([0] * 100), 1: shard([0] * 100)}
+        )
+        s = DistributedRelation("S", {0: shard([0]), 1: shard([0])})
+        histograms = HistogramSet(
+            num_partitions=2,
+            r={0: np.array([100, 0]), 1: np.array([100, 0])},
+            s={0: np.array([1, 0]), 1: np.array([1, 0])},
+        )
+        assignment = assign_partitions(histograms, dgx1)
+        assert assignment.num_broadcast == 1
+        data = execute_distribution(r, s, histograms, assignment)
+        # S (the broadcast side) is replicated: total grows.
+        total_s = sum(len(shard) for shard in data.s.values())
+        assert total_s == 4  # 2 tuples x 2 owners
+        # R (kept side) is not duplicated.
+        total_r = sum(len(shard) for shard in data.r.values())
+        assert total_r == 200

@@ -1,0 +1,137 @@
+"""MG-Join end to end: correctness and cost-model structure."""
+
+import pytest
+
+from repro.core import MGJoin, MGJoinConfig
+from repro.routing import DirectPolicy
+
+from helpers import make_workload
+
+
+def test_exact_result_uniform(dgx1):
+    workload = make_workload(num_gpus=4, real=2048)
+    result = MGJoin(dgx1).run(workload)
+    # Sequential shuffled keys: every R tuple matches exactly one S tuple.
+    assert result.matches_real == workload.r.num_tuples
+
+
+def test_exact_result_single_gpu(dgx1):
+    workload = make_workload(num_gpus=1, real=2048)
+    result = MGJoin(dgx1).run(workload)
+    assert result.matches_real == workload.r.num_tuples
+    assert result.shuffle_report is None
+    assert result.breakdown.distribution_exposed == 0.0
+
+
+def test_exact_result_with_placement_skew(dgx1):
+    workload = make_workload(num_gpus=4, real=2048, placement_zipf=1.0)
+    result = MGJoin(dgx1).run(workload)
+    assert result.matches_real == workload.r.num_tuples
+
+
+def test_exact_result_with_key_skew(dgx1):
+    """Heavy hitters (possibly broadcast partitions) still join exactly."""
+    from collections import Counter
+
+    workload = make_workload(num_gpus=4, real=1024, key_zipf=1.0, seed=5)
+    r_counts = Counter(workload.r.all_keys().tolist())
+    s_counts = Counter(workload.s.all_keys().tolist())
+    expected = sum(r_counts[k] * s_counts[k] for k in r_counts)
+    result = MGJoin(dgx1).run(workload)
+    assert result.matches_real == expected
+
+
+def test_matches_logical_scales(dgx1):
+    workload = make_workload(num_gpus=2, real=1024, logical=4096)
+    result = MGJoin(dgx1).run(workload)
+    assert result.logical_scale == 4
+    assert result.matches_logical == 4 * result.matches_real
+
+
+def test_phase_breakdown_sums_to_total(dgx1):
+    workload = make_workload(num_gpus=4, real=2048)
+    result = MGJoin(dgx1).run(workload)
+    breakdown = result.breakdown
+    assert result.total_time == pytest.approx(
+        breakdown.histogram
+        + breakdown.partition_compute
+        + breakdown.distribution_exposed
+        + breakdown.probe
+    )
+    assert all(value >= 0 for value in breakdown.as_dict().values())
+
+
+def test_throughput_definition(dgx1):
+    workload = make_workload(num_gpus=2, real=1024, logical=1 << 20)
+    result = MGJoin(dgx1).run(workload)
+    assert result.throughput == pytest.approx(
+        result.logical_tuples / result.total_time
+    )
+
+
+def test_compression_reduces_shuffle_bytes(dgx1):
+    workload = make_workload(num_gpus=4, real=2048, logical=1 << 20)
+    compressed = MGJoin(dgx1, MGJoinConfig(compression=True)).run(workload)
+    raw = MGJoin(dgx1, MGJoinConfig(compression=False)).run(workload)
+    assert compressed.compression_ratio > 1.2
+    assert raw.compression_ratio == 1.0
+    assert (
+        compressed.shuffle_report.payload_bytes
+        < raw.shuffle_report.payload_bytes
+    )
+    assert compressed.matches_real == raw.matches_real
+
+
+def test_custom_policy_is_used(dgx1):
+    workload = make_workload(num_gpus=4, real=2048, logical=1 << 20)
+    direct = MGJoin(dgx1, policy=DirectPolicy()).run(workload)
+    assert direct.shuffle_report.policy_name == "direct"
+    assert direct.shuffle_report.average_hops == 1.0
+
+
+def test_partition_count_override(dgx1):
+    workload = make_workload(num_gpus=2, real=2048)
+    result = MGJoin(dgx1, MGJoinConfig(num_partitions=64)).run(workload)
+    assert result.matches_real == workload.r.num_tuples
+
+
+def test_unknown_gpus_rejected(dgx1):
+    workload = make_workload(num_gpus=4, real=512)
+    workload.r.shards[99] = workload.r.shards.pop(3)
+    workload.s.shards[99] = workload.s.shards.pop(3)
+    with pytest.raises(ValueError):
+        MGJoin(dgx1).run(workload)
+
+
+def test_cycles_per_tuple_uses_aggregate_sm_cycles(dgx1):
+    workload = make_workload(num_gpus=2, real=1024, logical=1 << 20)
+    result = MGJoin(dgx1).run(workload)
+    expected = (
+        result.total_time * 1.53e9 * 80 * 2 / result.logical_tuples
+    )
+    assert result.cycles_per_tuple == pytest.approx(expected)
+
+
+def test_works_on_dgx_station(station):
+    workload = make_workload(num_gpus=4, real=1024)
+    result = MGJoin(station).run(workload)
+    assert result.matches_real == workload.r.num_tuples
+
+
+def test_works_on_gpu_subsets(dgx1):
+    from repro.workloads import WorkloadSpec, generate_workload
+
+    spec = WorkloadSpec(
+        gpu_ids=(0, 3, 4, 7), logical_tuples_per_gpu=1024,
+        real_tuples_per_gpu=1024,
+    )
+    workload = generate_workload(spec)
+    result = MGJoin(dgx1).run(workload)
+    assert result.matches_real == workload.r.num_tuples
+
+
+def test_materialize_returns_same_count(dgx1):
+    workload = make_workload(num_gpus=2, real=512)
+    counted = MGJoin(dgx1).run(workload)
+    materialized = MGJoin(dgx1, MGJoinConfig(materialize=True)).run(workload)
+    assert counted.matches_real == materialized.matches_real

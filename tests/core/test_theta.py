@@ -1,0 +1,78 @@
+"""Theta joins / cartesian products over the routed fabric."""
+
+import numpy as np
+import pytest
+
+from repro.core.theta import ThetaJoin, less_than
+from repro.routing import DirectPolicy
+
+from helpers import make_workload
+
+
+def test_cartesian_product_count(dgx1):
+    workload = make_workload(num_gpus=4, real=256)
+    result = ThetaJoin(dgx1).run(workload, predicate=None)
+    assert result.matches_real == workload.r.num_tuples * workload.s.num_tuples
+
+
+def test_less_than_matches_reference(dgx1):
+    workload = make_workload(num_gpus=2, real=512)
+    result = ThetaJoin(dgx1).run(workload, predicate=less_than)
+    r_keys = workload.r.all_keys().astype(np.int64)
+    s_keys = workload.s.all_keys().astype(np.int64)
+    expected = int((r_keys[:, None] < s_keys[None, :]).sum())
+    assert result.matches_real == expected
+
+
+def test_band_predicate(dgx1):
+    workload = make_workload(num_gpus=2, real=256)
+
+    def band(build, probe):
+        return np.abs(build.astype(np.int64) - probe.astype(np.int64)) <= 3
+
+    result = ThetaJoin(dgx1).run(workload, predicate=band)
+    r_keys = workload.r.all_keys().astype(np.int64)
+    s_keys = workload.s.all_keys().astype(np.int64)
+    expected = int((np.abs(r_keys[:, None] - s_keys[None, :]) <= 3).sum())
+    assert result.matches_real == expected
+
+
+def test_broadcast_time_counted(dgx1):
+    workload = make_workload(num_gpus=4, real=1024, logical=1 << 20)
+    result = ThetaJoin(dgx1).run(workload, predicate=None)
+    assert result.broadcast_time > 0
+    assert result.shuffle_report is not None
+    # Each GPU's shard travels to all three peers.
+    expected_payload = (
+        workload.r.num_tuples * workload.logical_scale * 8 * 3
+    )
+    assert result.shuffle_report.payload_bytes == expected_payload
+
+
+def test_single_gpu_has_no_broadcast(dgx1):
+    workload = make_workload(num_gpus=1, real=256)
+    result = ThetaJoin(dgx1).run(workload, predicate=None)
+    assert result.broadcast_time == 0.0
+    assert result.shuffle_report is None
+
+
+def test_policy_affects_broadcast(dgx1):
+    workload = make_workload(num_gpus=8, real=2048, logical=1 << 22)
+    adaptive = ThetaJoin(dgx1).run(workload, predicate=None)
+    direct = ThetaJoin(dgx1, policy=DirectPolicy()).run(workload, predicate=None)
+    assert adaptive.broadcast_time < direct.broadcast_time
+    assert adaptive.matches_real == direct.matches_real
+
+
+def test_logical_match_scaling_is_quadratic(dgx1):
+    workload = make_workload(num_gpus=2, real=128, logical=512)
+    result = ThetaJoin(dgx1).run(workload, predicate=None)
+    assert result.matches_logical == result.matches_real * 16
+
+
+def test_compute_time_scales_with_pairs(dgx1):
+    small = make_workload(num_gpus=2, real=128, logical=1 << 18)
+    large = make_workload(num_gpus=2, real=128, logical=1 << 22)
+    t_small = ThetaJoin(dgx1).run(small, None).compute_time
+    t_large = ThetaJoin(dgx1).run(large, None).compute_time
+    assert t_large > 50 * t_small

@@ -1,0 +1,25 @@
+"""Helpers shared across test modules (importable via pythonpath)."""
+
+from __future__ import annotations
+
+from repro.workloads import WorkloadSpec, generate_workload
+
+
+def make_workload(
+    num_gpus: int = 4,
+    real: int = 2048,
+    logical: int | None = None,
+    placement_zipf: float = 0.0,
+    key_zipf: float = 0.0,
+    seed: int = 42,
+):
+    """Small deterministic workload for functional tests."""
+    spec = WorkloadSpec(
+        gpu_ids=tuple(range(num_gpus)),
+        logical_tuples_per_gpu=logical if logical is not None else real,
+        real_tuples_per_gpu=real,
+        placement_zipf=placement_zipf,
+        key_zipf=key_zipf,
+        seed=seed,
+    )
+    return generate_workload(spec)

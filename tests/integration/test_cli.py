@@ -1,0 +1,106 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, parse_size
+
+
+class TestParseSize:
+    def test_plain_integers(self):
+        assert parse_size("1024") == 1024
+
+    def test_suffixes(self):
+        assert parse_size("64K") == 64 * 1024
+        assert parse_size("512M") == 512 * 1024 * 1024
+        assert parse_size("2G") == 2 * 1024**3
+        assert parse_size("1g") == 1024**3
+
+    def test_fractional(self):
+        assert parse_size("0.5M") == 512 * 1024
+
+    def test_invalid(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_size("abc")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_size("")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_size("0")
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_topology_command(capsys):
+    assert main(["topology", "--machine", "dgx1"]) == 0
+    out = capsys.readouterr().out
+    assert "dgx-1" in out
+    assert "175.6 GB/s" in out
+    assert "12" in out  # staged pairs
+
+
+def test_topology_dgx2(capsys):
+    assert main(["topology", "--machine", "dgx2"]) == 0
+    out = capsys.readouterr().out
+    assert "dgx-2" in out and "16" in out
+
+
+def test_join_command(capsys):
+    code = main([
+        "join", "--gpus", "2", "--tuples-per-gpu", "1M",
+        "--real-tuples", "4K", "--algorithm", "mg-join",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mg-join" in out
+    assert "throughput" in out
+
+
+def test_join_command_umj(capsys):
+    code = main([
+        "join", "--gpus", "2", "--tuples-per-gpu", "64K",
+        "--real-tuples", "4K", "--algorithm", "umj",
+    ])
+    assert code == 0
+    assert "umj" in capsys.readouterr().out
+
+
+def test_join_rejects_too_many_gpus():
+    with pytest.raises(SystemExit):
+        main(["join", "--gpus", "99"])
+
+
+def test_shuffle_command(capsys):
+    code = main([
+        "shuffle", "--gpus", "4", "--bytes-per-flow", "8M",
+        "--policy", "direct",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "direct" in out
+    assert "busiest links" in out
+
+
+def test_figure_command_unknown():
+    with pytest.raises(SystemExit):
+        main(["figure", "nope"])
+
+
+def test_figure_command_fig04(capsys, tmp_path):
+    code = main(["figure", "fig04", "--out", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "NVLink" in out
+    assert (tmp_path / "figure_4.json").exists()
+
+
+def test_tpch_command(capsys):
+    code = main([
+        "tpch", "--query", "q14", "--engine", "mg-join",
+        "--scale-factor", "1", "--real-scale-factor", "0.01",
+    ])
+    assert code == 0
+    assert "q14" in capsys.readouterr().out

@@ -1,0 +1,124 @@
+"""Collective operations over the routed fabric (§6's NCCL comparison)."""
+
+import pytest
+
+from repro.collectives import (
+    all_gather,
+    all_reduce,
+    all_to_all,
+    broadcast,
+    ring_neighbors,
+)
+from repro.routing import AdaptiveArmPolicy, DirectPolicy
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def dgx1_module():
+    from repro.topology import dgx1_topology
+
+    return dgx1_topology()
+
+
+class TestRing:
+    def test_ring_covers_all_gpus(self):
+        ring = ring_neighbors((0, 1, 2, 3))
+        assert ring == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+    def test_ring_needs_two(self):
+        with pytest.raises(ValueError):
+            ring_neighbors((0,))
+
+
+class TestAllGather:
+    def test_round_count(self, dgx1_module):
+        result = all_gather(
+            dgx1_module, (0, 1, 2, 3), 8 * MB, DirectPolicy()
+        )
+        assert len(result.rounds) == 3  # G-1 rounds
+        assert result.elapsed == pytest.approx(
+            sum(r.elapsed for r in result.rounds)
+        )
+
+    def test_each_round_moves_ring_traffic(self, dgx1_module):
+        result = all_gather(dgx1_module, (0, 1, 2, 3), 8 * MB, DirectPolicy())
+        for report in result.rounds:
+            assert report.payload_bytes == 4 * 8 * MB
+
+
+class TestAllReduce:
+    def test_round_count(self, dgx1_module):
+        result = all_reduce(dgx1_module, (0, 1, 4, 5), 16 * MB, DirectPolicy())
+        assert len(result.rounds) == 2 * 3
+
+    def test_bandwidth_positive(self, dgx1_module):
+        result = all_reduce(dgx1_module, (0, 1, 4, 5), 16 * MB, DirectPolicy())
+        assert result.algorithm_bandwidth > 0
+
+
+class TestBroadcast:
+    def test_all_peers_receive(self, dgx1_module):
+        result = broadcast(dgx1_module, (0, 1, 2, 3), 32 * MB, DirectPolicy())
+        assert len(result.rounds) == 1
+        delivered = result.rounds[0].per_gpu_delivered
+        assert delivered[1] == delivered[2] == delivered[3] == 32 * MB
+
+    def test_bad_root_rejected(self, dgx1_module):
+        with pytest.raises(ValueError):
+            broadcast(dgx1_module, (0, 1), MB, DirectPolicy(), root=7)
+
+    def test_adaptive_beats_direct_broadcast_from_corner(self, dgx1_module):
+        """Broadcasting from GPU 0 to the far quad crosses staged paths
+        under direct routing; with idle GPUs allowed to relay, the
+        adaptive policy routes the copies over NVLink instead."""
+        from repro.sim import ShuffleConfig
+
+        participants = (0, 5, 6, 7)
+        config = ShuffleConfig(
+            injection_rate=None, consume_rate=None, allow_external_relays=True
+        )
+        direct = broadcast(
+            dgx1_module, participants, 64 * MB, DirectPolicy(), config=config
+        )
+        adaptive = broadcast(
+            dgx1_module, participants, 64 * MB, AdaptiveArmPolicy(), config=config
+        )
+        assert adaptive.elapsed < direct.elapsed
+
+
+class TestAllToAll:
+    def test_matches_shuffle_semantics(self, dgx1_module):
+        result = all_to_all(dgx1_module, (0, 1, 2, 3), 32 * MB, DirectPolicy())
+        report = result.rounds[0]
+        assert report.payload_bytes == 4 * 3 * (32 * MB // 4)
+
+    def test_adaptive_wins_at_eight(self, dgx1_module):
+        """The §6 claim: static (NCCL-style direct) schedules leave
+        bandwidth on the table on the DGX-1; adaptive recovers it."""
+        direct = all_to_all(
+            dgx1_module, tuple(range(8)), 256 * MB, DirectPolicy()
+        )
+        adaptive = all_to_all(
+            dgx1_module, tuple(range(8)), 256 * MB, AdaptiveArmPolicy()
+        )
+        assert adaptive.elapsed < 0.6 * direct.elapsed
+
+
+def test_ring_all_gather_vs_adaptive_on_staged_ring(dgx1_module):
+    """A ring over GPUs that are not NVLink-adjacent (0->5->2->7) is
+    the worst case for static ring schedules; with external relays the
+    adaptive policy fixes each hop independently."""
+    from repro.sim import ShuffleConfig
+
+    participants = (0, 5, 2, 7)
+    config = ShuffleConfig(
+        injection_rate=None, consume_rate=None, allow_external_relays=True
+    )
+    direct = all_gather(
+        dgx1_module, participants, 64 * MB, DirectPolicy(), config=config
+    )
+    adaptive = all_gather(
+        dgx1_module, participants, 64 * MB, AdaptiveArmPolicy(), config=config
+    )
+    assert adaptive.elapsed < direct.elapsed

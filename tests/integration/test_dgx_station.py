@@ -1,0 +1,51 @@
+"""Generality on the DGX-Station (paper §5.1's second machine)."""
+
+import pytest
+
+from repro.baselines import DPRJJoin
+from repro.core import MGJoin
+from repro.routing import AdaptiveArmPolicy, DirectPolicy
+from repro.sim import FlowMatrix, ShuffleSimulator
+
+from helpers import make_workload
+
+PAPER = 512 * 1024 * 1024
+
+
+def test_station_join_is_exact(station):
+    workload = make_workload(num_gpus=4, real=1024)
+    result = MGJoin(station).run(workload)
+    assert result.matches_real == workload.r.num_tuples
+
+
+def test_station_mgjoin_not_worse_than_dprj(station):
+    workload = make_workload(num_gpus=4, real=2048, logical=PAPER)
+    mgj = MGJoin(station).run(workload)
+    dprj = DPRJJoin(station).run(workload)
+    assert mgj.throughput >= dprj.throughput
+
+
+def test_station_gains_are_smaller_than_dgx1(dgx1, station):
+    """The DGX-Station is a full NVLink clique: every pair is adjacent,
+    so multi-hop routing has less to fix than on the DGX-1 — the
+    paper's generality claim, quantified."""
+    flows_station = FlowMatrix.all_to_all(tuple(range(4)), 512 * 1024 * 1024)
+    sim_station = ShuffleSimulator(station, tuple(range(4)))
+    station_gain = (
+        sim_station.run(flows_station, DirectPolicy()).elapsed
+        / sim_station.run(flows_station, AdaptiveArmPolicy()).elapsed
+    )
+    sim_dgx1 = ShuffleSimulator(dgx1, tuple(range(8)))
+    flows_dgx1 = FlowMatrix.all_to_all(tuple(range(8)), 512 * 1024 * 1024)
+    dgx1_gain = (
+        sim_dgx1.run(flows_dgx1, DirectPolicy()).elapsed
+        / sim_dgx1.run(flows_dgx1, AdaptiveArmPolicy()).elapsed
+    )
+    assert dgx1_gain > station_gain
+    assert station_gain >= 0.99  # adaptive never hurts
+
+
+def test_station_scales_with_gpus(station):
+    one = MGJoin(station).run(make_workload(1, real=2048, logical=PAPER))
+    four = MGJoin(station).run(make_workload(4, real=2048, logical=PAPER))
+    assert four.throughput > 3.0 * one.throughput

@@ -1,0 +1,130 @@
+"""Cross-algorithm, cross-configuration join equivalence.
+
+Every join implementation in the repository — MG-Join under any routing
+policy, DPRJ, UMJ, single-GPU — must produce the same match count as a
+naive reference join, for any data distribution.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DPRJJoin, UMJJoin
+from repro.core import MGJoin, MGJoinConfig
+from repro.core.relation import DistributedRelation, GpuShard, JoinWorkload
+from repro.routing import (
+    AdaptiveArmPolicy,
+    BandwidthPolicy,
+    CentralizedPolicy,
+    DirectPolicy,
+    HopCountPolicy,
+    LatencyPolicy,
+)
+from repro.topology import dgx1_topology
+
+from helpers import make_workload
+
+
+def reference_matches(workload: JoinWorkload) -> int:
+    from collections import Counter
+
+    r = Counter(workload.r.all_keys().tolist())
+    s = Counter(workload.s.all_keys().tolist())
+    return sum(count * s[key] for key, count in r.items())
+
+
+def workload_from_key_lists(r_lists, s_lists) -> JoinWorkload:
+    def relation(name, lists):
+        shards = {}
+        for gpu_id, keys in enumerate(lists):
+            array = np.array(keys, dtype=np.uint32)
+            shards[gpu_id] = GpuShard(
+                array, np.arange(len(array), dtype=np.uint32)
+            )
+        return DistributedRelation(name, shards)
+
+    return JoinWorkload(
+        r=relation("R", r_lists), s=relation("S", s_lists), logical_scale=1
+    )
+
+
+@pytest.mark.parametrize(
+    "policy_cls",
+    [
+        AdaptiveArmPolicy,
+        DirectPolicy,
+        BandwidthPolicy,
+        HopCountPolicy,
+        LatencyPolicy,
+        CentralizedPolicy,
+    ],
+)
+def test_every_policy_gives_same_answer(dgx1, policy_cls):
+    workload = make_workload(num_gpus=4, real=1024)
+    run = MGJoin(dgx1, policy=policy_cls()).run(workload)
+    assert run.matches_real == reference_matches(workload)
+
+
+@pytest.mark.parametrize("num_gpus", [1, 2, 3, 5, 8])
+def test_every_gpu_count_gives_same_answer(dgx1, num_gpus):
+    workload = make_workload(num_gpus=num_gpus, real=512)
+    run = MGJoin(dgx1).run(workload)
+    assert run.matches_real == reference_matches(workload)
+
+
+@pytest.mark.parametrize("partitions", [16, 256, 4096])
+def test_every_partition_count_gives_same_answer(dgx1, partitions):
+    workload = make_workload(num_gpus=4, real=512)
+    config = MGJoinConfig(num_partitions=partitions)
+    run = MGJoin(dgx1, config).run(workload)
+    assert run.matches_real == reference_matches(workload)
+
+
+key_lists = st.lists(
+    st.lists(st.integers(0, 64), max_size=60), min_size=2, max_size=4
+)
+
+
+@given(r_lists=key_lists, s_lists=key_lists)
+@settings(max_examples=25, deadline=None)
+def test_mgjoin_matches_reference_on_arbitrary_data(r_lists, s_lists):
+    """Hypothesis drives arbitrary shard contents through MG-Join."""
+    size = min(len(r_lists), len(s_lists))
+    workload = workload_from_key_lists(r_lists[:size], s_lists[:size])
+    machine = dgx1_topology()
+    run = MGJoin(machine, MGJoinConfig(num_partitions=64)).run(workload)
+    assert run.matches_real == reference_matches(workload)
+
+
+@given(r_lists=key_lists, s_lists=key_lists)
+@settings(max_examples=15, deadline=None)
+def test_baselines_match_reference_on_arbitrary_data(r_lists, s_lists):
+    size = min(len(r_lists), len(s_lists))
+    workload = workload_from_key_lists(r_lists[:size], s_lists[:size])
+    machine = dgx1_topology()
+    expected = reference_matches(workload)
+    config = MGJoinConfig(num_partitions=64)
+    assert DPRJJoin(machine, config).run(workload).matches_real == expected
+    assert UMJJoin(machine, config).run(workload).matches_real == expected
+
+
+def test_station_and_dgx1_agree(dgx1, station):
+    workload = make_workload(num_gpus=4, real=1024)
+    on_dgx1 = MGJoin(dgx1).run(workload)
+    on_station = MGJoin(station).run(workload)
+    assert on_dgx1.matches_real == on_station.matches_real
+
+
+def test_empty_relations(dgx1):
+    workload = workload_from_key_lists([[], []], [[], []])
+    run = MGJoin(dgx1, MGJoinConfig(num_partitions=16)).run(workload)
+    assert run.matches_real == 0
+
+
+def test_disjoint_keys_no_matches(dgx1):
+    workload = workload_from_key_lists(
+        [[1, 2], [3, 4]], [[10, 11], [12, 13]]
+    )
+    run = MGJoin(dgx1, MGJoinConfig(num_partitions=16)).run(workload)
+    assert run.matches_real == 0

@@ -1,0 +1,87 @@
+"""OmniSci baseline models: replication, OOM (the NA pattern), CPU."""
+
+import pytest
+
+from repro.relational import OmnisciCpuEngine, OmnisciGpuEngine, QueryOutOfMemory
+from repro.relational.tpch import generate_tpch, run_query
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_tpch(scale_factor=0.01, seed=2)
+
+
+@pytest.fixture(scope="module")
+def dgx1_module():
+    from repro.topology import dgx1_topology
+
+    return dgx1_topology()
+
+
+SCALE_250 = 250 / 0.01
+
+
+def test_paper_na_pattern_at_sf250(dgx1_module, db):
+    """§5.4: OmniSci GPU runs only Q14 and Q19 at SF 250."""
+    engine = OmnisciGpuEngine(dgx1_module, logical_scale=SCALE_250)
+    outcomes = {q: run_query(q, engine, db) for q in
+                ("q3", "q5", "q10", "q12", "q14", "q19")}
+    assert all(outcomes[q].is_na for q in ("q3", "q5", "q10", "q12"))
+    assert not outcomes["q14"].is_na
+    assert not outcomes["q19"].is_na
+
+
+def test_oom_reason_names_the_dimension(dgx1_module, db):
+    engine = OmnisciGpuEngine(dgx1_module, logical_scale=SCALE_250)
+    outcome = run_query("q3", engine, db)
+    assert outcome.is_na
+    assert "orders" in outcome.na_reason
+
+
+def test_everything_runs_at_small_scale(dgx1_module, db):
+    engine = OmnisciGpuEngine(dgx1_module, logical_scale=100.0)
+    for query in ("q3", "q5", "q10", "q12", "q14", "q19"):
+        assert not run_query(query, engine, db).is_na
+
+
+def test_broadcast_charged_once_per_dimension(dgx1_module, db):
+    engine = OmnisciGpuEngine(dgx1_module, logical_scale=100.0)
+    outcome = run_query("q5", engine, db)
+    broadcasts = [
+        op.detail
+        for op in outcome.report.operators
+        if op.operator == "join-broadcast"
+    ]
+    # Each dimension base table broadcast at most once.
+    assert len(broadcasts) == len(set(broadcasts))
+
+
+def test_gpu_answers_match_cpu(dgx1_module, db):
+    gpu = OmnisciGpuEngine(dgx1_module, logical_scale=10.0)
+    cpu = OmnisciCpuEngine(dgx1_module, logical_scale=10.0)
+    gpu_result = run_query("q14", gpu, db)
+    cpu_result = run_query("q14", cpu, db)
+    assert gpu_result.table["promo_revenue"][0] == pytest.approx(
+        cpu_result.table["promo_revenue"][0]
+    )
+
+
+def test_cpu_much_slower_than_gpu_engines(dgx1_module, db):
+    from repro.relational import MGJoinQueryEngine
+
+    cpu = OmnisciCpuEngine(dgx1_module, logical_scale=SCALE_250)
+    mgj = MGJoinQueryEngine(dgx1_module, logical_scale=SCALE_250)
+    cpu_time = run_query("q19", cpu, db).seconds
+    mgj_time = run_query("q19", mgj, db).seconds
+    assert cpu_time > 5 * mgj_time
+
+
+def test_mgjoin_beats_omnisci_gpu_where_it_runs(dgx1_module, db):
+    from repro.relational import MGJoinQueryEngine
+
+    omnisci = OmnisciGpuEngine(dgx1_module, logical_scale=SCALE_250)
+    mgj = MGJoinQueryEngine(dgx1_module, logical_scale=SCALE_250)
+    for query in ("q14", "q19"):
+        omnisci_time = run_query(query, omnisci, db).seconds
+        mgj_time = run_query(query, mgj, db).seconds
+        assert 2.0 <= omnisci_time / mgj_time <= 8.0

@@ -1,0 +1,151 @@
+"""Relational operators: joins, aggregation, sorting — exactness."""
+
+import numpy as np
+import pytest
+
+from repro.relational.operators import (
+    Aggregate,
+    filter_rows,
+    group_aggregate,
+    hash_join,
+    sort_rows,
+)
+from repro.relational.table import Table
+
+
+def make(name, **columns):
+    return Table(name=name, columns={
+        k: np.asarray(v) for k, v in columns.items()
+    })
+
+
+class TestFilter:
+    def test_mask_filter(self):
+        t = make("t", a=[1, 2, 3, 4])
+        out = filter_rows(t, lambda x: x["a"] % 2 == 0)
+        assert out["a"].tolist() == [2, 4]
+
+    def test_bad_predicate_rejected(self):
+        t = make("t", a=[1, 2])
+        with pytest.raises(ValueError):
+            filter_rows(t, lambda x: np.array([1, 0]))
+
+
+class TestHashJoin:
+    def test_inner_join_basic(self):
+        left = make("l", k=[1, 2, 3], lv=[10, 20, 30])
+        right = make("r", k=[2, 3, 4], rv=[200, 300, 400])
+        out = hash_join(left, right, "k", "k")
+        rows = sorted(zip(out["lv"].tolist(), out["rv"].tolist()))
+        assert rows == [(20, 200), (30, 300)]
+
+    def test_duplicate_keys_cross_product(self):
+        left = make("l", k=[7, 7], lv=[1, 2])
+        right = make("r", k=[7, 7, 7], rv=[5, 6, 8])
+        out = hash_join(left, right, "k", "k")
+        assert out.num_rows == 6
+
+    def test_different_key_names(self):
+        left = make("l", a=[1, 2])
+        right = make("r", b=[2, 3])
+        out = hash_join(left, right, "a", "b")
+        assert out.num_rows == 1
+        assert out["a"].tolist() == [2] and out["b"].tolist() == [2]
+
+    def test_column_collision_gets_suffix(self):
+        left = make("l", k=[1], v=[10])
+        right = make("r", k=[1], v=[99])
+        out = hash_join(left, right, "k", "k")
+        assert out["v"].tolist() == [10]
+        assert out["v_r"].tolist() == [99]
+
+    def test_matches_numpy_reference(self):
+        rng = np.random.default_rng(5)
+        left = make("l", k=rng.integers(0, 100, 500))
+        right = make("r", k=rng.integers(0, 100, 500))
+        out = hash_join(left, right, "k", "k")
+        expected = sum(
+            int(np.sum(right["k"] == key)) for key in left["k"]
+        )
+        assert out.num_rows == expected
+
+    def test_int64_keys_in_uint32_range(self):
+        left = make("l", k=np.array([1, 2], dtype=np.int64))
+        right = make("r", k=np.array([2], dtype=np.int64))
+        assert hash_join(left, right, "k", "k").num_rows == 1
+
+    def test_out_of_range_keys_rejected(self):
+        left = make("l", k=np.array([-1], dtype=np.int64))
+        right = make("r", k=np.array([1], dtype=np.int64))
+        with pytest.raises(ValueError):
+            hash_join(left, right, "k", "k")
+
+
+class TestGroupAggregate:
+    def test_sum_per_group(self):
+        t = make("t", g=[1, 1, 2], x=[1.0, 2.0, 5.0])
+        out = group_aggregate(t, ("g",), (Aggregate("s", "sum", column="x"),))
+        assert dict(zip(out["g"].tolist(), out["s"].tolist())) == {
+            1: 3.0, 2: 5.0,
+        }
+
+    def test_count(self):
+        t = make("t", g=[1, 1, 2])
+        out = group_aggregate(t, ("g",), (Aggregate("n", "count"),))
+        assert dict(zip(out["g"].tolist(), out["n"].tolist())) == {1: 2, 2: 1}
+
+    def test_mean(self):
+        t = make("t", g=[1, 1], x=[2.0, 4.0])
+        out = group_aggregate(t, ("g",), (Aggregate("m", "mean", column="x"),))
+        assert out["m"].tolist() == [3.0]
+
+    def test_expression_aggregate(self):
+        t = make("t", g=[1, 1], p=[10.0, 20.0], d=[0.1, 0.5])
+        agg = Aggregate("rev", "sum", expression=lambda x: x["p"] * (1 - x["d"]))
+        out = group_aggregate(t, ("g",), (agg,))
+        assert out["rev"].tolist() == [pytest.approx(9.0 + 10.0)]
+
+    def test_multi_key_grouping(self):
+        t = make("t", a=[1, 1, 2], b=[1, 2, 1], x=[1.0, 2.0, 3.0])
+        out = group_aggregate(
+            t, ("a", "b"), (Aggregate("s", "sum", column="x"),)
+        )
+        assert out.num_rows == 3
+
+    def test_global_aggregate_no_keys(self):
+        t = make("t", x=[1.0, 2.0, 3.0])
+        out = group_aggregate(t, (), (Aggregate("s", "sum", column="x"),))
+        assert out.num_rows == 1
+        assert out["s"].tolist() == [6.0]
+
+    def test_empty_input(self):
+        t = make("t", g=np.array([], dtype=np.int64), x=np.array([]))
+        out = group_aggregate(t, ("g",), (Aggregate("s", "sum", column="x"),))
+        assert out.num_rows == 0
+
+    def test_unknown_kind_rejected(self):
+        t = make("t", g=[1], x=[1.0])
+        with pytest.raises(ValueError):
+            group_aggregate(t, ("g",), (Aggregate("s", "median", column="x"),))
+
+
+class TestSort:
+    def test_ascending(self):
+        t = make("t", a=[3, 1, 2])
+        assert sort_rows(t, ("a",))["a"].tolist() == [1, 2, 3]
+
+    def test_descending_float(self):
+        t = make("t", a=[1.5, -2.0, 7.0])
+        assert sort_rows(t, ("a",), (False,))["a"].tolist() == [7.0, 1.5, -2.0]
+
+    def test_multi_key_mixed_direction(self):
+        t = make("t", a=[1, 1, 2], b=[5.0, 9.0, 1.0])
+        out = sort_rows(t, ("a", "b"), (True, False))
+        assert list(zip(out["a"].tolist(), out["b"].tolist())) == [
+            (1, 9.0), (1, 5.0), (2, 1.0),
+        ]
+
+    def test_mismatched_flags_rejected(self):
+        t = make("t", a=[1])
+        with pytest.raises(ValueError):
+            sort_rows(t, ("a",), (True, False))

@@ -1,0 +1,105 @@
+"""The TPC-H generator: cardinalities, distributions, referential integrity."""
+
+import numpy as np
+import pytest
+
+from repro.relational.tpch import generate_tpch
+from repro.relational.tpch.dates import MAX_ORDER_DAYS, date_to_days, days_to_date
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_tpch(scale_factor=0.01, seed=1)
+
+
+def test_dbgen_cardinalities(db):
+    assert db.customer.num_rows == 1500
+    assert db.orders.num_rows == 15_000
+    assert db.part.num_rows == 2000
+    assert db.supplier.num_rows == 100
+    assert db.partsupp.num_rows == 8000
+    assert db.nation.num_rows == 25
+    assert db.region.num_rows == 5
+    # lineitem: 1-7 per order, mean ~4.
+    assert 3.5 * 15_000 <= db.lineitem.num_rows <= 4.5 * 15_000
+
+
+def test_scale_factor_scales_rows():
+    small = generate_tpch(scale_factor=0.005, seed=1)
+    assert small.customer.num_rows == 750
+
+
+def test_invalid_scale_rejected():
+    with pytest.raises(ValueError):
+        generate_tpch(scale_factor=0.0)
+
+
+def test_referential_integrity(db):
+    assert set(np.unique(db.orders["o_custkey"])) <= set(
+        db.customer["c_custkey"].tolist()
+    )
+    assert set(np.unique(db.lineitem["l_orderkey"])) <= set(
+        db.orders["o_orderkey"].tolist()
+    )
+    assert db.lineitem["l_partkey"].max() <= db.part["p_partkey"].max()
+    assert db.nation["n_regionkey"].max() < db.region.num_rows
+
+
+def test_lineitem_dates_consistent(db):
+    li = db.lineitem
+    assert np.all(li["l_receiptdate"] > li["l_shipdate"])
+    orders_by_key = dict(
+        zip(db.orders["o_orderkey"].tolist(), db.orders["o_orderdate"].tolist())
+    )
+    orderdates = np.array(
+        [orders_by_key[k] for k in li["l_orderkey"][:500].tolist()]
+    )
+    assert np.all(li["l_shipdate"][:500] > orderdates)
+
+
+def test_order_dates_span_range(db):
+    dates = db.orders["o_orderdate"]
+    assert dates.min() >= 0
+    assert dates.max() < MAX_ORDER_DAYS
+
+
+def test_dictionaries_present(db):
+    assert db.customer.dictionaries["c_mktsegment"] == [
+        "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD",
+    ]
+    assert len(db.part.dictionaries["p_type"]) == 150
+    assert len(db.part.dictionaries["p_brand"]) == 25
+    assert len(db.part.dictionaries["p_container"]) == 40
+
+
+def test_extendedprice_follows_dbgen_formula(db):
+    li = db.lineitem
+    retail = 900.0 + (li["l_partkey"] % 1000) / 10.0
+    assert np.allclose(li["l_extendedprice"], (li["l_quantity"] * retail).round(2))
+
+
+def test_discount_range(db):
+    discount = db.lineitem["l_discount"]
+    assert discount.min() >= 0.0 and discount.max() <= 0.10
+
+
+def test_deterministic_per_seed():
+    a = generate_tpch(0.005, seed=3)
+    b = generate_tpch(0.005, seed=3)
+    assert np.array_equal(a.lineitem["l_orderkey"], b.lineitem["l_orderkey"])
+
+
+def test_table_lookup(db):
+    assert db.table("lineitem") is db.lineitem
+    with pytest.raises(KeyError):
+        db.table("nope")
+    assert set(db.tables) == {
+        "region", "nation", "supplier", "customer",
+        "part", "partsupp", "orders", "lineitem",
+    }
+
+
+def test_date_helpers_roundtrip():
+    days = date_to_days(1995, 3, 15)
+    assert days_to_date(days).isoformat() == "1995-03-15"
+    assert date_to_days(1992, 1, 1) == 0

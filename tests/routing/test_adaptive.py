@@ -1,0 +1,139 @@
+"""The ARM metric (Eq. 2-4) and the adaptive policy's behaviour."""
+
+import pytest
+
+from repro.routing import AdaptiveArmPolicy, CentralizedPolicy
+from repro.routing.adaptive import arm_value
+from repro.routing.base import RoutingContext
+from repro.sim import Engine, LinkChannel, LinkStateBoard
+from repro.topology import Route, RouteEnumerator
+from repro.topology.links import bottleneck_bandwidth
+from repro.topology.routes import physical_links
+
+PACKET = 2 * 1024 * 1024
+
+
+@pytest.fixture
+def context(dgx1):
+    engine = Engine()
+    board = LinkStateBoard(engine, broadcast_latency=0.0, quantum=1e-9)
+    links = {
+        spec.link_id: LinkChannel(engine, spec, board) for spec in dgx1.links
+    }
+    return RoutingContext(
+        engine=engine,
+        machine=dgx1,
+        enumerator=RouteEnumerator(dgx1),
+        links=links,
+        board=board,
+        num_gpus=8,
+    )
+
+
+def test_arm_on_idle_network_is_static_cost(context):
+    """With empty queues, ARM(R,P) = T_R + sum(L_i) exactly (Eq. 2-4)."""
+    route = Route((0, 4))
+    links = physical_links(context.machine, route)
+    expected = PACKET / bottleneck_bandwidth(list(links), PACKET) + sum(
+        link.latency for link in links
+    )
+    assert arm_value(context, route, PACKET) == pytest.approx(expected)
+
+
+def test_arm_multi_hop_sums_link_latencies(context):
+    direct = arm_value(context, Route((0, 4)), PACKET)
+    relay = arm_value(context, Route((0, 1, 5)), PACKET)
+    # Two links, two latencies, similar bottleneck: relay costs more idle.
+    assert relay > direct
+
+
+def test_arm_grows_with_own_link_congestion(context):
+    route = Route((0, 4))
+    idle = arm_value(context, route, PACKET, viewer_gpu=0)
+    link = context.links[physical_links(context.machine, route)[0].link_id]
+    link.commit(64 * 1024 * 1024)
+    congested = arm_value(context, route, PACKET, viewer_gpu=0)
+    assert congested > idle
+
+
+def test_remote_congestion_visible_only_after_broadcast(context):
+    """The deciding GPU sees other GPUs' links via the delayed board."""
+    route = Route((1, 5))  # link owned by GPU 1
+    viewer_0_before = arm_value(context, route, PACKET, viewer_gpu=0)
+    link = context.links[physical_links(context.machine, route)[0].link_id]
+    link.commit(64 * 1024 * 1024)
+    # Exact view (GPU 1's own link) updates instantly:
+    assert arm_value(context, route, PACKET, viewer_gpu=1) > viewer_0_before
+    # Remote view updates after the broadcast is processed:
+    context.engine.run()
+    assert arm_value(context, route, PACKET, viewer_gpu=0) > viewer_0_before
+
+
+def test_policy_picks_minimum_arm(context):
+    policy = AdaptiveArmPolicy()
+    route = policy.choose_route(context, 0, 7, PACKET, PACKET)
+    best = min(
+        arm_value(context, r, PACKET, viewer_gpu=0)
+        for r in context.enumerator.routes(0, 7)
+    )
+    assert arm_value(context, route, PACKET, viewer_gpu=0) == pytest.approx(best)
+
+
+def test_policy_reroutes_around_congestion(context):
+    policy = AdaptiveArmPolicy()
+    first = policy.choose_route(context, 0, 7, PACKET, PACKET)
+    for spec in physical_links(context.machine, first):
+        context.links[spec.link_id].commit(256 * 1024 * 1024)
+    context.engine.run()
+    second = policy.choose_route(context, 0, 7, PACKET, PACKET)
+    assert second != first
+
+
+def test_exact_state_flag(context):
+    """exact=True reads ground truth regardless of broadcasts."""
+    route = Route((1, 5))
+    link = context.links[physical_links(context.machine, route)[0].link_id]
+    link.commit(64 * 1024 * 1024)
+    # No engine.run(): the broadcast has not landed.
+    stale = arm_value(context, route, PACKET, viewer_gpu=0)
+    exact = arm_value(context, route, PACKET, exact=True)
+    assert exact > stale
+
+
+def test_spread_tolerance_rotates_equal_routes(context):
+    policy = AdaptiveArmPolicy(spread_tolerance=1.0)
+    routes = {
+        tuple(policy.choose_route(context, 0, 7, PACKET, PACKET).gpus)
+        for _ in range(8)
+    }
+    assert len(routes) > 1
+
+
+def test_negative_tolerance_rejected():
+    with pytest.raises(ValueError):
+        AdaptiveArmPolicy(spread_tolerance=-0.1)
+
+
+class TestCentralized:
+    def test_batch_overhead_scales_with_gpus(self, context):
+        policy = CentralizedPolicy(per_gpu_sync_latency=10e-6)
+        assert policy.batch_overhead(context) == pytest.approx(
+            2 * 10e-6 * 7
+        )
+
+    def test_zero_sync_variant(self, context):
+        assert CentralizedPolicy(0.0).batch_overhead(context) == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            CentralizedPolicy(per_gpu_sync_latency=-1e-6)
+
+    def test_uses_exact_state(self, context):
+        policy = CentralizedPolicy()
+        route = Route((1, 5))
+        link = context.links[physical_links(context.machine, route)[0].link_id]
+        link.commit(1 << 30)
+        # Without running the engine, only exact state sees this; the
+        # centralized policy must avoid the congested direct route.
+        chosen = policy.choose_route(context, 1, 5, PACKET, PACKET)
+        assert chosen != route

@@ -1,0 +1,98 @@
+"""Static routing policies pick the routes their metric implies."""
+
+import pytest
+
+from repro.routing import (
+    BandwidthPolicy,
+    DirectPolicy,
+    HopCountPolicy,
+    LatencyPolicy,
+)
+from repro.routing.base import RoutingContext
+from repro.sim import Engine, LinkChannel, LinkStateBoard
+from repro.topology import RouteEnumerator
+from repro.topology.routes import (
+    Route,
+    physical_links,
+    route_link_count,
+    route_min_bandwidth,
+)
+
+
+@pytest.fixture
+def context(dgx1):
+    engine = Engine()
+    board = LinkStateBoard(engine)
+    links = {
+        spec.link_id: LinkChannel(engine, spec, board) for spec in dgx1.links
+    }
+    return RoutingContext(
+        engine=engine,
+        machine=dgx1,
+        enumerator=RouteEnumerator(dgx1),
+        links=links,
+        board=board,
+        num_gpus=8,
+    )
+
+
+PACKET = 2 * 1024 * 1024
+
+
+def test_direct_policy_never_relays(context):
+    policy = DirectPolicy()
+    for src, dst in ((0, 5), (0, 4), (3, 6)):
+        route = policy.choose_route(context, src, dst, PACKET, PACKET)
+        assert route.is_direct
+
+
+def test_bandwidth_policy_maximizes_bottleneck(context):
+    policy = BandwidthPolicy()
+    route = policy.choose_route(context, 0, 7, PACKET, PACKET)
+    chosen = route_min_bandwidth(context.machine, route)
+    for candidate in context.enumerator.routes(0, 7):
+        assert chosen >= route_min_bandwidth(context.machine, candidate)
+
+
+def test_bandwidth_policy_prefers_double_links(context):
+    # 0 -> 4 -> 7 is all double-NVLink (50 GB/s bottleneck).
+    route = BandwidthPolicy().choose_route(context, 0, 7, PACKET, PACKET)
+    assert route_min_bandwidth(context.machine, route) == pytest.approx(50e9)
+
+
+def test_hop_count_policy_avoids_staged_paths(context):
+    route = HopCountPolicy().choose_route(context, 0, 5, PACKET, PACKET)
+    # Two NVLink links beat the five-link staged path.
+    assert route_link_count(context.machine, route) == 2
+
+
+def test_hop_count_policy_takes_direct_nvlink(context):
+    route = HopCountPolicy().choose_route(context, 0, 4, PACKET, PACKET)
+    assert route == Route((0, 4))
+
+
+def test_latency_policy_minimizes_static_latency(context):
+    from repro.topology.routes import route_static_latency
+
+    route = LatencyPolicy().choose_route(context, 2, 7, PACKET, PACKET)
+    chosen = route_static_latency(context.machine, route)
+    for candidate in context.enumerator.routes(2, 7):
+        assert chosen <= route_static_latency(context.machine, candidate) + 1e-12
+
+
+def test_static_choices_are_deterministic(context):
+    for policy in (BandwidthPolicy(), HopCountPolicy(), LatencyPolicy()):
+        first = policy.choose_route(context, 1, 6, PACKET, PACKET)
+        second = policy.choose_route(context, 1, 6, PACKET, PACKET)
+        assert first == second
+
+
+def test_static_policies_ignore_congestion(context):
+    policy = BandwidthPolicy()
+    before = policy.choose_route(context, 0, 7, PACKET, PACKET)
+    # Saturate every link on the chosen route...
+    for spec in physical_links(context.machine, before):
+        context.links[spec.link_id].commit(1 << 30)
+    after = policy.choose_route(context, 0, 7, PACKET, PACKET)
+    # ...and the static policy does not care.
+    assert after == before

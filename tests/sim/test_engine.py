@@ -1,0 +1,160 @@
+"""The discrete-event kernel: events, timeouts, processes."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_timeout_advances_clock():
+    engine = Engine()
+    engine.timeout(2.5)
+    assert engine.run() == pytest.approx(2.5)
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    seen = []
+    engine.schedule(3.0, lambda: seen.append("late"))
+    engine.schedule(1.0, lambda: seen.append("early"))
+    engine.schedule(2.0, lambda: seen.append("middle"))
+    engine.run()
+    assert seen == ["early", "middle", "late"]
+
+
+def test_same_time_events_fifo():
+    engine = Engine()
+    seen = []
+    for index in range(5):
+        engine.schedule(1.0, lambda i=index: seen.append(i))
+    engine.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Engine().schedule(-1.0, lambda: None)
+
+
+def test_process_waits_on_timeouts():
+    engine = Engine()
+    trace = []
+
+    def worker():
+        trace.append(("start", engine.now))
+        yield engine.timeout(1.5)
+        trace.append(("mid", engine.now))
+        yield engine.timeout(0.5)
+        trace.append(("end", engine.now))
+        return "done"
+
+    process = engine.process(worker())
+    engine.run()
+    assert trace == [("start", 0.0), ("mid", 1.5), ("end", 2.0)]
+    assert process.triggered and process.value == "done"
+
+
+def test_timeout_value_passed_to_process():
+    engine = Engine()
+    received = []
+
+    def worker():
+        value = yield engine.timeout(1.0, "payload")
+        received.append(value)
+
+    engine.process(worker())
+    engine.run()
+    assert received == ["payload"]
+
+
+def test_process_waiting_on_manual_event():
+    engine = Engine()
+    gate = engine.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((engine.now, value))
+
+    engine.process(waiter())
+    engine.schedule(4.0, gate.succeed, 42)
+    engine.run()
+    assert log == [(4.0, 42)]
+
+
+def test_event_cannot_trigger_twice():
+    engine = Engine()
+    event = engine.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_callback_on_already_triggered_event_still_fires():
+    engine = Engine()
+    event = engine.event()
+    event.succeed("x")
+    got = []
+    event.add_callback(lambda ev: got.append(ev.value))
+    engine.run()
+    assert got == ["x"]
+
+
+def test_yielding_non_event_is_an_error():
+    engine = Engine()
+
+    def broken():
+        yield 42
+
+    engine.process(broken())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_all_of_waits_for_every_event():
+    engine = Engine()
+    events = [engine.timeout(t, t) for t in (1.0, 3.0, 2.0)]
+    done = engine.all_of(events)
+    finished_at = []
+
+    def waiter():
+        values = yield done
+        finished_at.append((engine.now, values))
+
+    engine.process(waiter())
+    engine.run()
+    assert finished_at == [(3.0, [1.0, 3.0, 2.0])]
+
+
+def test_all_of_empty_triggers_immediately():
+    engine = Engine()
+    assert engine.all_of([]).triggered
+
+
+def test_run_until_stops_early():
+    engine = Engine()
+    hit = []
+    engine.schedule(10.0, lambda: hit.append(True))
+    assert engine.run(until=5.0) == 5.0
+    assert not hit
+
+
+def test_processes_interleave():
+    engine = Engine()
+    order = []
+
+    def ticker(name, period):
+        for _ in range(3):
+            yield engine.timeout(period)
+            order.append((name, engine.now))
+
+    engine.process(ticker("a", 1.0))
+    engine.process(ticker("b", 1.5))
+    engine.run()
+    # At t=3.0 both fire; b's timeout was enqueued first (at t=1.5).
+    assert order == [
+        ("a", 1.0), ("b", 1.5), ("a", 2.0), ("b", 3.0), ("a", 3.0), ("b", 4.5)
+    ]

@@ -1,0 +1,123 @@
+"""Link channels: FIFO queueing, Q_i accounting, the state board."""
+
+import pytest
+
+from repro.sim import Engine, LinkChannel, LinkStateBoard
+from repro.topology.links import LinkSpec, LinkType
+from repro.topology.nodes import gpu
+
+
+def make_link(engine, board=None, lanes=1):
+    spec = LinkSpec(0, gpu(0), gpu(1), LinkType.NVLINK, lanes=lanes)
+    return LinkChannel(engine, spec, board)
+
+
+def test_service_time():
+    engine = Engine()
+    link = make_link(engine)
+    expected = link.spec.latency + 1e6 / link.spec.bandwidth
+    assert link.service_time(1e6) == pytest.approx(expected)
+
+
+def test_single_transfer_completes_after_service_time():
+    engine = Engine()
+    link = make_link(engine)
+    done = []
+
+    def sender():
+        yield link.transmit(1_000_000)
+        done.append(engine.now)
+
+    engine.process(sender())
+    engine.run()
+    assert done[0] == pytest.approx(link.service_time(1_000_000))
+
+
+def test_fifo_queueing_serializes_transfers():
+    engine = Engine()
+    link = make_link(engine)
+    finishes = []
+
+    def sender(name):
+        yield link.transmit(1_000_000)
+        finishes.append((name, engine.now))
+
+    engine.process(sender("first"))
+    engine.process(sender("second"))
+    engine.run()
+    service = link.service_time(1_000_000)
+    assert finishes[0][1] == pytest.approx(service)
+    assert finishes[1][1] == pytest.approx(2 * service)
+
+
+def test_queue_delay_reflects_backlog():
+    engine = Engine()
+    link = make_link(engine)
+    link.transmit(1_000_000)
+    link.transmit(1_000_000)
+    assert link.queue_delay() == pytest.approx(2 * link.service_time(1_000_000))
+
+
+def test_commit_adds_to_queue_delay_and_fulfill_removes():
+    engine = Engine()
+    link = make_link(engine)
+    link.commit(2_000_000)
+    assert link.queue_delay() == pytest.approx(link.service_time(2_000_000))
+    link.fulfill(2_000_000)
+    assert link.queue_delay() == 0.0
+
+
+def test_busy_time_and_bytes_accumulate():
+    engine = Engine()
+    link = make_link(engine)
+    link.transmit(500_000)
+    link.transmit(500_000)
+    engine.run()
+    assert link.bytes_sent == 1_000_000
+    assert link.transfers == 2
+    assert link.busy_time == pytest.approx(2 * link.service_time(500_000))
+
+
+def test_zero_byte_transfer_rejected():
+    engine = Engine()
+    link = make_link(engine)
+    with pytest.raises(ValueError):
+        link.transmit(0)
+
+
+class TestLinkStateBoard:
+    def test_published_state_arrives_after_latency(self):
+        engine = Engine()
+        board = LinkStateBoard(engine, broadcast_latency=1e-3, quantum=1e-9)
+        link = make_link(engine, board)
+        link.transmit(250_000_000)  # 10 ms of service
+        # Immediately: nothing published yet.
+        assert board.published_queue_delay(link.spec.link_id) == 0.0
+        engine.run(until=2e-3)  # past the 1 ms broadcast latency
+        assert board.published_queue_delay(link.spec.link_id) > 0.0
+
+    def test_small_changes_filtered_by_quantum(self):
+        engine = Engine()
+        board = LinkStateBoard(engine, broadcast_latency=0.0, quantum=1.0)
+        link = make_link(engine, board)
+        link.transmit(1_000)  # microseconds of service << 1 s quantum
+        assert board.broadcast_count == 0
+
+    def test_published_delay_decays_with_time(self):
+        engine = Engine()
+        board = LinkStateBoard(engine, broadcast_latency=0.0, quantum=1e-9)
+        link = make_link(engine, board)
+        link.transmit(25_000_000)
+        engine.run(until=1e-4)
+        early = board.published_queue_delay(link.spec.link_id)
+        engine.run(until=9e-4)
+        late = board.published_queue_delay(link.spec.link_id)
+        assert late < early
+
+    def test_broadcast_counts_measure_chattiness(self):
+        engine = Engine()
+        board = LinkStateBoard(engine, broadcast_latency=0.0, quantum=1e-9)
+        link = make_link(engine, board)
+        for _ in range(5):
+            link.transmit(25_000_000)
+        assert board.broadcast_count == 5

@@ -1,0 +1,46 @@
+"""Bisection cuts and shuffle reports."""
+
+import pytest
+
+from repro.sim import bisection_cut
+from repro.sim.stats import LinkStats
+from repro.topology.links import LinkSpec, LinkType
+from repro.topology.nodes import gpu
+
+
+def test_dgx1_min_cut_is_the_board_split(dgx1):
+    cut = bisection_cut(dgx1)
+    assert set(cut.side_a) in ({0, 1, 2, 3}, {4, 5, 6, 7})
+    assert cut.capacity_ab == pytest.approx(175.6e9, rel=0.01)
+    assert cut.capacity_ba == pytest.approx(175.6e9, rel=0.01)
+
+
+def test_crossing_links_are_cross_board(dgx1):
+    cut = bisection_cut(dgx1)
+    by_id = {link.link_id: link for link in dgx1.links}
+    for link_id in cut.crossing_ab:
+        link = by_id[link_id]
+        if link.src.is_gpu and link.dst.is_gpu:
+            sides = ({0, 1, 2, 3}, {4, 5, 6, 7})
+            src_board = 0 if link.src.index in sides[0] else 1
+            dst_board = 0 if link.dst.index in sides[0] else 1
+            assert src_board != dst_board
+
+
+def test_cut_subset(dgx1):
+    cut = bisection_cut(dgx1, (0, 1))
+    assert cut.side_a == (0,) and cut.side_b == (1,)
+
+
+def test_cut_needs_two_gpus(dgx1):
+    with pytest.raises(ValueError):
+        bisection_cut(dgx1, (5,))
+
+
+def test_link_stats_utilization():
+    spec = LinkSpec(0, gpu(0), gpu(1), LinkType.NVLINK)
+    stats = LinkStats(spec=spec, bytes_sent=100, busy_time=0.5, transfers=3)
+    assert stats.utilization(1.0) == pytest.approx(0.5)
+    assert stats.utilization(0.25) == 1.0  # clamped
+    assert stats.achieved_bandwidth(2.0) == pytest.approx(50.0)
+    assert stats.utilization(0.0) == 0.0

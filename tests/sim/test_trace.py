@@ -1,0 +1,75 @@
+"""Simulation tracing."""
+
+import pytest
+
+from repro.routing import DirectPolicy
+from repro.sim import FlowMatrix, ShuffleConfig, ShuffleSimulator, Tracer
+from repro.sim.trace import TraceEvent
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def traced_run(dgx1):
+    tracer = Tracer()
+    flows = FlowMatrix.all_to_all((0, 1, 4), 8 * MB)
+    config = ShuffleConfig(injection_rate=None, consume_rate=None)
+    report = ShuffleSimulator(dgx1, (0, 1, 4), config, tracer=tracer).run(
+        flows, DirectPolicy()
+    )
+    return tracer, report
+
+
+def test_transfers_recorded(traced_run):
+    tracer, report = traced_run
+    transfers = [e for e in tracer.events if e.kind == "transfer"]
+    assert len(transfers) > 0
+    # Every traced byte corresponds to wire traffic.
+    assert sum(e.nbytes for e in transfers) == report.wire_bytes
+
+
+def test_horizon_matches_elapsed(traced_run):
+    tracer, report = traced_run
+    assert tracer.horizon == pytest.approx(report.elapsed, rel=0.05)
+
+
+def test_busy_time_consistent_with_link_stats(traced_run):
+    tracer, report = traced_run
+    for link_id, stats in report.link_stats.items():
+        label = str(stats.spec)
+        assert tracer.busy_time(label) == pytest.approx(stats.busy_time)
+        assert tracer.bytes_moved(label) == stats.bytes_sent
+
+
+def test_csv_export(traced_run):
+    tracer, _ = traced_run
+    csv = tracer.to_csv()
+    lines = csv.strip().splitlines()
+    assert lines[0] == "time,duration,kind,subject,bytes,detail"
+    assert len(lines) == len(tracer.events) + 1
+
+
+def test_ascii_gantt_renders(traced_run):
+    tracer, _ = traced_run
+    chart = tracer.ascii_gantt(width=40, top=5)
+    assert "#" in chart
+    assert "ms" in chart
+
+
+def test_empty_tracer():
+    tracer = Tracer()
+    assert tracer.horizon == 0.0
+    assert tracer.ascii_gantt() == "(no trace events)\n"
+    assert tracer.subjects() == ()
+
+
+def test_event_cap():
+    tracer = Tracer(max_events=2)
+    for index in range(5):
+        tracer.record(index, 1.0, "transfer", "x", 1)
+    assert len(tracer) == 2
+
+
+def test_event_end():
+    event = TraceEvent(time=1.0, duration=0.5, kind="transfer", subject="a", nbytes=1)
+    assert event.end == 1.5

@@ -1,0 +1,59 @@
+"""The DGX-1 machine matches the published hybrid cube-mesh."""
+
+from repro.topology import LinkType, dgx1_topology
+from repro.topology.dgx1 import DGX1_NVLINKS
+
+
+def test_every_gpu_uses_six_nvlink_ports():
+    """Each V100 in the DGX-1 has exactly six NVLink links in use."""
+    lanes_per_gpu = {g: 0 for g in range(8)}
+    for a, b, lanes in DGX1_NVLINKS:
+        lanes_per_gpu[a] += lanes
+        lanes_per_gpu[b] += lanes
+    assert all(count == 6 for count in lanes_per_gpu.values())
+
+
+def test_each_quad_is_an_nvlink_clique():
+    machine = dgx1_topology()
+    for quad in ((0, 1, 2, 3), (4, 5, 6, 7)):
+        for a in quad:
+            for b in quad:
+                if a != b:
+                    assert machine.nvlink_between(a, b) is not None
+
+
+def test_four_cross_board_links():
+    machine = dgx1_topology()
+    cross = [
+        (a, b)
+        for a in range(4)
+        for b in range(4, 8)
+        if machine.nvlink_between(a, b) is not None
+    ]
+    assert sorted(cross) == [(0, 4), (1, 5), (2, 6), (3, 7)]
+
+
+def test_twelve_of_28_pairs_are_staged():
+    """§2.2: PCIe is involved in the direct routes of 12 GPU pairs."""
+    machine = dgx1_topology()
+    staged = [
+        (a, b)
+        for a in range(8)
+        for b in range(a + 1, 8)
+        if machine.nvlink_between(a, b) is None
+    ]
+    assert len(staged) == 12
+
+
+def test_pcie_switches_shared_by_gpu_pairs():
+    machine = dgx1_topology()
+    # GPUs 0 and 1 reach the same switch: their staged paths to GPU 6
+    # (no NVLink from either) start at the same uplink hardware.
+    path_0 = machine.direct_path(0, 6)
+    path_1 = machine.direct_path(1, 6)
+    assert path_0[1].src == path_1[1].src  # shared sw0
+    assert path_0[1].link_type is LinkType.PCIE
+
+
+def test_topology_is_cached():
+    assert dgx1_topology() is dgx1_topology()

@@ -1,0 +1,97 @@
+"""Link specs and the effective-bandwidth curve (Figure 4's physics)."""
+
+import pytest
+
+from repro.topology.links import (
+    KB,
+    MB,
+    NVLINK_BANDWIDTH,
+    PCIE_BANDWIDTH,
+    LinkSpec,
+    LinkType,
+    bottleneck_bandwidth,
+    effective_bandwidth,
+    transfer_time,
+)
+from repro.topology.nodes import gpu, switch
+
+
+def nvlink(lanes=1):
+    return LinkSpec(0, gpu(0), gpu(1), LinkType.NVLINK, lanes=lanes)
+
+
+def pcie():
+    return LinkSpec(1, gpu(0), switch(0), LinkType.PCIE)
+
+
+def test_default_bandwidths_applied():
+    assert nvlink().bandwidth == pytest.approx(NVLINK_BANDWIDTH)
+    assert pcie().bandwidth == pytest.approx(PCIE_BANDWIDTH)
+
+
+def test_double_link_doubles_bandwidth():
+    assert nvlink(lanes=2).bandwidth == pytest.approx(2 * NVLINK_BANDWIDTH)
+
+
+def test_invalid_lanes_rejected():
+    with pytest.raises(ValueError):
+        nvlink(lanes=0)
+
+
+def test_transfer_time_is_latency_plus_wire_time():
+    link = nvlink()
+    expected = link.latency + 1_000_000 / link.bandwidth
+    assert transfer_time(link, 1_000_000) == pytest.approx(expected)
+
+
+def test_transfer_time_rejects_negative_bytes():
+    with pytest.raises(ValueError):
+        transfer_time(nvlink(), -1)
+
+
+def test_effective_bandwidth_small_packets_degrade_heavily():
+    """Figure 4: ~20x degradation at 2 KB packets."""
+    link = nvlink()
+    degradation = link.bandwidth / effective_bandwidth(link, 2 * KB)
+    assert 10 <= degradation <= 30
+
+
+def test_effective_bandwidth_saturates_by_12mb():
+    """Figure 4: links saturate around 12 MB and gain nothing beyond."""
+    link = nvlink()
+    at_12mb = effective_bandwidth(link, 12 * MB)
+    at_16mb = effective_bandwidth(link, 16 * MB)
+    assert at_12mb >= 0.97 * link.bandwidth
+    assert (at_16mb - at_12mb) / link.bandwidth < 0.01
+
+
+def test_effective_bandwidth_monotone_in_size():
+    link = pcie()
+    sizes = [2 * KB * (2**i) for i in range(14)]
+    values = [effective_bandwidth(link, s) for s in sizes]
+    assert values == sorted(values)
+
+
+def test_effective_bandwidth_zero_bytes():
+    assert effective_bandwidth(nvlink(), 0) == 0.0
+
+
+def test_bottleneck_is_slowest_link():
+    fast = nvlink(lanes=2)
+    slow = pcie()
+    size = 2 * MB
+    assert bottleneck_bandwidth([fast, slow], size) == pytest.approx(
+        effective_bandwidth(slow, size)
+    )
+
+
+def test_bottleneck_requires_links():
+    with pytest.raises(ValueError):
+        bottleneck_bandwidth([], 1024)
+
+
+def test_nvlink_faster_than_pcie_at_all_sizes():
+    for size in (2 * KB, 64 * KB, 2 * MB, 16 * MB):
+        assert effective_bandwidth(nvlink(), size) > effective_bandwidth(
+            pcie(), size
+        )

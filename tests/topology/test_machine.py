@@ -1,0 +1,109 @@
+"""MachineTopology structural queries."""
+
+import pytest
+
+from repro.topology import LinkType, dgx1_topology
+from repro.topology.machine import TopologyError
+from repro.topology.nodes import gpu
+
+
+def test_gpu_ids_sorted(dgx1):
+    assert dgx1.gpu_ids == tuple(range(8))
+    assert dgx1.num_gpus == 8
+
+
+def test_nvlink_between_adjacent_pair(dgx1):
+    link = dgx1.nvlink_between(0, 4)
+    assert link is not None
+    assert link.link_type is LinkType.NVLINK
+    assert link.lanes == 2  # double link on the DGX-1
+
+
+def test_nvlink_between_non_adjacent_pair(dgx1):
+    assert dgx1.nvlink_between(0, 5) is None
+
+
+def test_nvlink_neighbors_symmetric(dgx1):
+    for a in dgx1.gpu_ids:
+        for b in dgx1.nvlink_neighbors(a):
+            assert a in dgx1.nvlink_neighbors(b)
+
+
+def test_direct_path_nvlink_single_link(dgx1):
+    path = dgx1.direct_path(0, 4)
+    assert len(path) == 1
+    assert path[0].link_type is LinkType.NVLINK
+
+
+def test_direct_path_same_switch_stays_on_pcie(dgx1):
+    # GPUs 0 and 1 share sw0 but also have NVLink; force the staged
+    # path by querying a pair with no NVLink: 0 and 5 (cross socket).
+    path = dgx1.direct_path(0, 5)
+    types = [link.link_type for link in path]
+    assert LinkType.QPI in types
+    assert types.count(LinkType.PCIE) == 4
+    assert path[0].src == gpu(0)
+    assert path[-1].dst == gpu(5)
+
+
+def test_direct_path_contiguous(dgx1):
+    for src in dgx1.gpu_ids:
+        for dst in dgx1.gpu_ids:
+            if src == dst:
+                continue
+            path = dgx1.direct_path(src, dst)
+            for first, second in zip(path, path[1:]):
+                assert first.dst == second.src
+
+
+def test_direct_path_self_rejected(dgx1):
+    with pytest.raises(TopologyError):
+        dgx1.direct_path(3, 3)
+
+
+def test_staged_path_has_no_intermediate_gpus(dgx1):
+    for src, dst in ((0, 5), (1, 6), (3, 4)):
+        if dgx1.nvlink_between(src, dst):
+            continue
+        path = dgx1.direct_path(src, dst)
+        inner_nodes = [link.dst for link in path[:-1]]
+        assert not any(node.is_gpu for node in inner_nodes)
+
+
+def test_bisection_bandwidth_eight_gpus(dgx1):
+    """Six NVLink links + QPI cross the canonical board split."""
+    bandwidth = dgx1.bisection_bandwidth()
+    assert bandwidth == pytest.approx(150e9 + 25.6e9, rel=0.01)
+
+
+def test_bisection_bandwidth_subset_excludes_foreign_relays(dgx1):
+    # With only GPUs 0 and 1 participating, traffic cannot be relayed
+    # through GPUs 2-7, so the cut is one NVLink + the PCIe path.
+    bandwidth = dgx1.bisection_bandwidth((0, 1))
+    assert bandwidth == pytest.approx(25e9 + 16e9, rel=0.01)
+
+
+def test_bisection_bandwidth_requires_two_gpus(dgx1):
+    with pytest.raises(TopologyError):
+        dgx1.bisection_bandwidth((3,))
+
+
+def test_station_is_fully_nvlink_connected(station):
+    for a in station.gpu_ids:
+        for b in station.gpu_ids:
+            if a != b:
+                assert station.nvlink_between(a, b) is not None
+
+
+def test_duplicate_link_ids_rejected(dgx1):
+    from repro.topology.machine import MachineTopology
+
+    bad = [link for link in dgx1.links[:2]]
+    bad[1] = type(bad[1])(
+        link_id=bad[0].link_id,
+        src=bad[1].src,
+        dst=bad[1].dst,
+        link_type=bad[1].link_type,
+    )
+    with pytest.raises(TopologyError):
+        MachineTopology("bad", dgx1.nodes, tuple(bad))

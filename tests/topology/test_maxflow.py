@@ -1,0 +1,56 @@
+"""The Dinic max-flow solver used for bisection capacities."""
+
+import pytest
+
+from repro.topology.maxflow import FlowNetwork
+
+
+def test_single_edge():
+    net = FlowNetwork(2)
+    net.add_edge(0, 1, 10.0)
+    assert net.max_flow(0, 1) == pytest.approx(10.0)
+
+
+def test_series_bottleneck():
+    net = FlowNetwork(3)
+    net.add_edge(0, 1, 10.0)
+    net.add_edge(1, 2, 4.0)
+    assert net.max_flow(0, 2) == pytest.approx(4.0)
+
+
+def test_parallel_paths_sum():
+    net = FlowNetwork(4)
+    net.add_edge(0, 1, 3.0)
+    net.add_edge(1, 3, 3.0)
+    net.add_edge(0, 2, 5.0)
+    net.add_edge(2, 3, 5.0)
+    assert net.max_flow(0, 3) == pytest.approx(8.0)
+
+
+def test_classic_augmenting_path_case():
+    """Cross edge requiring flow rerouting (textbook diamond)."""
+    net = FlowNetwork(4)
+    net.add_edge(0, 1, 10)
+    net.add_edge(0, 2, 10)
+    net.add_edge(1, 2, 1)
+    net.add_edge(1, 3, 10)
+    net.add_edge(2, 3, 10)
+    assert net.max_flow(0, 3) == pytest.approx(20.0)
+
+
+def test_no_path_is_zero():
+    net = FlowNetwork(3)
+    net.add_edge(0, 1, 5.0)
+    assert net.max_flow(0, 2) == 0.0
+
+
+def test_source_equals_sink_rejected():
+    net = FlowNetwork(2)
+    with pytest.raises(ValueError):
+        net.max_flow(1, 1)
+
+
+def test_negative_capacity_rejected():
+    net = FlowNetwork(2)
+    with pytest.raises(ValueError):
+        net.add_edge(0, 1, -1.0)

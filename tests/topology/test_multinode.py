@@ -1,0 +1,106 @@
+"""Rack-scale multi-node machines (paper §7 future work)."""
+
+import pytest
+
+from repro.core import MGJoin
+from repro.topology import LinkType, multi_node_dgx1, node_of
+from repro.workloads import WorkloadSpec, generate_workload
+
+from helpers import make_workload
+
+
+@pytest.fixture(scope="module")
+def two_node():
+    return multi_node_dgx1(2)
+
+
+def test_gpu_count(two_node):
+    assert two_node.num_gpus == 16
+    assert multi_node_dgx1(4).num_gpus == 32
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        multi_node_dgx1(1)
+    with pytest.raises(ValueError):
+        multi_node_dgx1(2, ib_lanes=0)
+
+
+def test_node_of():
+    assert node_of(0) == 0
+    assert node_of(7) == 0
+    assert node_of(8) == 1
+    assert node_of(15) == 1
+    with pytest.raises(ValueError):
+        node_of(-1)
+
+
+def test_intra_node_topology_is_dgx1(two_node):
+    # Same NVLink degree per GPU as a single DGX-1.
+    for gpu_id in two_node.gpu_ids:
+        assert len(two_node.nvlink_neighbors(gpu_id)) == 4
+
+
+def test_no_cross_node_nvlink(two_node):
+    for gpu_id in two_node.gpu_ids:
+        for neighbor in two_node.nvlink_neighbors(gpu_id):
+            assert node_of(neighbor) == node_of(gpu_id)
+
+
+def test_cross_node_path_uses_infiniband(two_node):
+    path = two_node.direct_path(0, 8)
+    assert any(link.link_type is LinkType.INFINIBAND for link in path)
+
+
+def test_intra_node_path_never_leaves_node(two_node):
+    path = two_node.direct_path(8, 13)
+    assert not any(link.link_type is LinkType.INFINIBAND for link in path)
+
+
+def test_bisection_is_ib_bound(two_node):
+    # The min cut separates the nodes: a handful of IB lanes.
+    bandwidth = two_node.bisection_bandwidth()
+    assert bandwidth == pytest.approx(4 * 12.5e9, rel=0.01)
+
+
+def test_join_is_exact_across_nodes(two_node):
+    workload = make_workload(num_gpus=16, real=512)
+    result = MGJoin(two_node).run(workload)
+    assert result.matches_real == workload.r.num_tuples
+
+
+def test_cross_node_join_is_communication_bound():
+    """With a thin single-lane IB pipe, the distribution no longer
+    hides under compute (§7: why rack-scale needs faster fabrics)."""
+    thin = multi_node_dgx1(2, ib_lanes=1)
+    workload = generate_workload(
+        WorkloadSpec(
+            gpu_ids=tuple(range(16)),
+            logical_tuples_per_gpu=512 * 1024 * 1024,
+            real_tuples_per_gpu=1 << 13,
+        )
+    )
+    result = MGJoin(thin).run(workload)
+    assert result.breakdown.distribution_share > 0.30
+
+
+def test_fatter_ib_restores_overlap(two_node):
+    """Four bonded IB lanes let the shuffle hide under compute again —
+    the quantitative version of the paper's future-work argument."""
+    workload = generate_workload(
+        WorkloadSpec(
+            gpu_ids=tuple(range(16)),
+            logical_tuples_per_gpu=512 * 1024 * 1024,
+            real_tuples_per_gpu=1 << 13,
+        )
+    )
+    result = MGJoin(two_node).run(workload)
+    assert result.breakdown.distribution_share < 0.15
+
+
+def test_ring_for_more_nodes():
+    four = multi_node_dgx1(4)
+    # Node 0 reaches node 2 by staging over two IB hops or the ring;
+    # the direct path must still exist and cross IB.
+    path = four.direct_path(0, 16)
+    assert any(link.link_type is LinkType.INFINIBAND for link in path)

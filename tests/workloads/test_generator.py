@@ -1,0 +1,83 @@
+"""The synthetic workload generator (paper §5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import WorkloadSpec, generate_workload
+
+from helpers import make_workload
+
+
+class TestSpecValidation:
+    def test_scale_must_divide(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                gpu_ids=(0,), logical_tuples_per_gpu=1000,
+                real_tuples_per_gpu=512,
+            )
+
+    def test_duplicate_gpus_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(gpu_ids=(0, 0))
+
+    def test_empty_gpus_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(gpu_ids=())
+
+    def test_logical_scale(self):
+        spec = WorkloadSpec(
+            gpu_ids=(0, 1),
+            logical_tuples_per_gpu=512 * 1024 * 1024,
+            real_tuples_per_gpu=1 << 16,
+        )
+        assert spec.logical_scale == 8192
+
+
+class TestGeneration:
+    def test_equal_relation_sizes(self):
+        workload = make_workload(num_gpus=4, real=2048)
+        assert workload.r.num_tuples == workload.s.num_tuples
+
+    def test_keys_are_a_permutation(self):
+        """Sequential-then-shuffled keys: 100% join selectivity."""
+        workload = make_workload(num_gpus=2, real=1024)
+        keys = np.sort(workload.r.all_keys())
+        assert np.array_equal(keys, np.arange(2048, dtype=np.uint32))
+
+    def test_r_and_s_differ(self):
+        workload = make_workload(num_gpus=2, real=1024)
+        assert not np.array_equal(
+            workload.r.shard(0).keys, workload.s.shard(0).keys
+        )
+
+    def test_deterministic_per_seed(self):
+        a = make_workload(num_gpus=2, real=512, seed=7)
+        b = make_workload(num_gpus=2, real=512, seed=7)
+        assert np.array_equal(a.r.shard(0).keys, b.r.shard(0).keys)
+
+    def test_seeds_differ(self):
+        a = make_workload(num_gpus=2, real=512, seed=1)
+        b = make_workload(num_gpus=2, real=512, seed=2)
+        assert not np.array_equal(a.r.shard(0).keys, b.r.shard(0).keys)
+
+    def test_uniform_placement_even(self):
+        workload = make_workload(num_gpus=4, real=1000)
+        sizes = {g: workload.r.tuples_on(g) for g in range(4)}
+        assert set(sizes.values()) == {1000}
+
+    def test_zipf_placement_skews_sizes(self):
+        workload = make_workload(num_gpus=4, real=1000, placement_zipf=1.0)
+        sizes = [workload.r.tuples_on(g) for g in range(4)]
+        assert sizes[0] > sizes[3]
+        assert sum(sizes) == 4000  # total conserved
+
+    def test_key_zipf_creates_duplicates(self):
+        workload = make_workload(num_gpus=2, real=2048, key_zipf=1.0)
+        keys = workload.r.all_keys()
+        assert len(np.unique(keys)) < len(keys)
+
+    def test_workload_logical_accessors(self):
+        workload = make_workload(num_gpus=2, real=1024, logical=4096)
+        assert workload.logical_scale == 4
+        assert workload.logical_tuples == 2 * 2 * 1024 * 4
+        assert workload.logical_tuples_on(0) == 2 * 1024 * 4

@@ -1,0 +1,74 @@
+"""Finite-Zipf helpers."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.zipf import (
+    zipf_partition_counts,
+    zipf_sample,
+    zipf_weights,
+)
+
+
+class TestWeights:
+    def test_zero_factor_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_weights_normalize(self):
+        for z in (0.0, 0.5, 1.0, 2.0):
+            assert zipf_weights(37, z).sum() == pytest.approx(1.0)
+
+    def test_weights_decrease_with_rank(self):
+        weights = zipf_weights(10, 1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_higher_z_more_skew(self):
+        mild = zipf_weights(10, 0.5)
+        strong = zipf_weights(10, 1.5)
+        assert strong[0] > mild[0]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -0.5)
+
+
+class TestSample:
+    def test_values_in_range(self):
+        rng = np.random.default_rng(0)
+        sample = zipf_sample(16, 1000, 1.0, rng)
+        assert sample.min() >= 0 and sample.max() < 16
+
+    def test_rank_zero_most_frequent(self):
+        rng = np.random.default_rng(1)
+        sample = zipf_sample(8, 20_000, 1.0, rng)
+        counts = np.bincount(sample, minlength=8)
+        assert counts[0] == counts.max()
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_sample(8, -1, 1.0, np.random.default_rng(0))
+
+
+class TestPartitionCounts:
+    def test_counts_sum_to_total(self):
+        for z in (0.0, 0.5, 1.0):
+            counts = zipf_partition_counts(8, 12345, z)
+            assert counts.sum() == 12345
+
+    def test_uniform_split_even(self):
+        counts = zipf_partition_counts(4, 1000, 0.0)
+        assert counts.tolist() == [250, 250, 250, 250]
+
+    def test_skewed_split_decreasing(self):
+        counts = zipf_partition_counts(4, 10_000, 1.0)
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+        assert counts[0] > 2 * counts[-1]
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            zipf_partition_counts(8, 999, 0.7),
+            zipf_partition_counts(8, 999, 0.7),
+        )
