@@ -12,7 +12,8 @@ multi-GPU machine:
 * :mod:`repro.baselines` — DPRJ, UMJ and single-GPU joins,
 * :mod:`repro.workloads` — the paper's synthetic workloads,
 * :mod:`repro.relational` — columnar engine + TPC-H (Figure 14),
-* :mod:`repro.bench` — regenerates every figure of the evaluation.
+* :mod:`repro.bench` — regenerates every figure of the evaluation,
+* :mod:`repro.obs` — observability: spans, metrics, Chrome-trace export.
 
 Quickstart::
 
@@ -27,6 +28,7 @@ Quickstart::
 
 from repro.baselines import DPRJJoin, SingleGpuJoin, UMJJoin
 from repro.core import JoinResult, MGJoin, MGJoinConfig
+from repro.obs import Observer
 from repro.routing import (
     AdaptiveArmPolicy,
     BandwidthPolicy,
@@ -59,6 +61,7 @@ __all__ = [
     "MGJoin",
     "MGJoinConfig",
     "MachineTopology",
+    "Observer",
     "ShuffleConfig",
     "ShuffleSimulator",
     "SingleGpuJoin",

@@ -38,11 +38,12 @@ class DPRJJoin(MGJoin):
         machine: MachineTopology,
         config: MGJoinConfig | None = None,
         policy: RoutingPolicy | None = None,
+        observer=None,
     ) -> None:
         base = config or MGJoinConfig()
         if base.compression:
             base = replace(base, compression=False)
-        super().__init__(machine, base, policy or DirectPolicy())
+        super().__init__(machine, base, policy or DirectPolicy(), observer=observer)
 
     def _make_assignment(self, histograms: HistogramSet) -> PartitionAssignment:
         return modulo_assignment(histograms)

@@ -35,12 +35,15 @@ class UMJJoin(MGJoin):
     overlap_distribution = False
 
     def __init__(
-        self, machine: MachineTopology, config: MGJoinConfig | None = None
+        self,
+        machine: MachineTopology,
+        config: MGJoinConfig | None = None,
+        observer=None,
     ) -> None:
         base = config or MGJoinConfig()
         if base.compression:
             base = replace(base, compression=False)
-        super().__init__(machine, base, policy=None)
+        super().__init__(machine, base, policy=None, observer=observer)
         self._last_fault_time = 0.0
 
     def _make_assignment(self, histograms: HistogramSet) -> PartitionAssignment:
@@ -66,8 +69,15 @@ class UMJJoin(MGJoin):
             pulled = sum(
                 nbytes for (_, dst), nbytes in flows.flows.items() if dst == gpu_id
             )
-            worst = max(worst, compute.page_fault_time(pulled, num_gpus))
+            fault_time = compute.page_fault_time(pulled, num_gpus)
+            if self.observer is not None:
+                self.observer.metrics.counter("umj.faulted_bytes", gpu=gpu_id).inc(
+                    pulled
+                )
+            worst = max(worst, fault_time)
         self._last_fault_time = worst
+        if self.observer is not None:
+            self.observer.metrics.gauge("umj.page_fault_seconds").set(worst)
         return _FaultReport(worst) if worst > 0 else None
 
 

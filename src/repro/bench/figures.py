@@ -17,6 +17,7 @@ from repro.bench.harness import (
     PAPER_TUPLES_PER_GPU,
     FigureResult,
     bench_workload,
+    run_observed,
 )
 from repro.core import MGJoin, MGJoinConfig
 from repro.core.assignment import assign_partitions
@@ -399,7 +400,13 @@ def fig12_breakdown(real_tuples: int = BENCH_REAL_TUPLES) -> FigureResult:
             tuple(range(num_gpus)), real_tuples_per_gpu=real_tuples
         )
         for algo in (DPRJJoin(machine), MGJoin(machine)):
-            run = algo.run(workload)
+            if num_gpus == 8:
+                # Keep the full-machine runs' telemetry (per-link bytes,
+                # route decisions, skew handling) next to the figure.
+                run, observer = run_observed(algo, workload)
+                result.attach_metrics(f"{algo.algorithm}-8gpus", observer)
+            else:
+                run = algo.run(workload)
             share = run.breakdown.distribution_share
             result.add(
                 algorithm=run.algorithm,

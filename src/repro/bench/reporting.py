@@ -54,18 +54,15 @@ def save_figure_result(
         .replace(".", "")
         .replace("/", "-")
     )
+    payload = {
+        "figure": result.figure,
+        "title": result.title,
+        "rows": result.rows,
+        "notes": result.notes,
+    }
+    if result.metric_snapshots:
+        payload["metrics"] = result.metric_snapshots
     json_path = out_dir / f"{stem}.json"
-    json_path.write_text(
-        json.dumps(
-            {
-                "figure": result.figure,
-                "title": result.title,
-                "rows": result.rows,
-                "notes": result.notes,
-            },
-            indent=2,
-            default=str,
-        )
-    )
+    json_path.write_text(json.dumps(payload, indent=2, default=str))
     (out_dir / f"{stem}.md").write_text(result.to_markdown())
     return json_path

@@ -3,8 +3,12 @@
 Commands:
 
 * ``topology`` — describe a machine (links, bisection, staged pairs).
-* ``join`` — run one join (mg-join / dprj / umj) and print the report.
+* ``join`` — run one join (mg-join / dprj / umj) and print the report;
+  ``--trace out.json`` captures a Chrome trace of the whole pipeline.
 * ``shuffle`` — run one distribution step under a routing policy.
+* ``trace`` — run one fully-observed distribution step and export the
+  Chrome trace / merged CSV / terminal summary (see
+  ``docs/observability.md``).
 * ``figure`` — regenerate a paper figure (fig01 .. fig14).
 * ``tpch`` — run TPC-H queries on a chosen engine.
 
@@ -102,6 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--zipf-placement", type=float, default=0.0)
     join.add_argument("--zipf-keys", type=float, default=0.0)
     join.add_argument("--seed", type=int, default=42)
+    join.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome trace-event JSON of the run (Perfetto-loadable)",
+    )
+    join.add_argument(
+        "--trace-csv", metavar="PATH", default=None,
+        help="write the merged spans+metrics CSV of the run",
+    )
 
     shuffle = commands.add_parser("shuffle", help="run one distribution step")
     shuffle.add_argument("--machine", choices=sorted(MACHINES), default="dgx1")
@@ -109,6 +121,28 @@ def build_parser() -> argparse.ArgumentParser:
     shuffle.add_argument("--gpus", type=int, default=8)
     shuffle.add_argument(
         "--bytes-per-flow", type=parse_size, default=parse_size("1G")
+    )
+
+    trace = commands.add_parser(
+        "trace", help="run one observed distribution step and export traces"
+    )
+    trace.add_argument("--machine", choices=sorted(MACHINES), default="dgx1")
+    trace.add_argument("--policy", choices=sorted(POLICIES), default="adaptive")
+    trace.add_argument("--gpus", type=int, default=8)
+    trace.add_argument(
+        "--bytes-per-flow", type=parse_size, default=parse_size("256M")
+    )
+    trace.add_argument(
+        "--out", metavar="PATH", default="trace.json",
+        help="Chrome trace-event JSON output path",
+    )
+    trace.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write the merged spans+metrics CSV here",
+    )
+    trace.add_argument(
+        "--gantt", action="store_true",
+        help="print the terminal Gantt chart of the busiest links",
     )
 
     figure = commands.add_parser("figure", help="regenerate a paper figure")
@@ -133,6 +167,7 @@ def main(argv: list[str] | None = None) -> int:
         "topology": _cmd_topology,
         "join": _cmd_join,
         "shuffle": _cmd_shuffle,
+        "trace": _cmd_trace,
         "figure": _cmd_figure,
         "tpch": _cmd_tpch,
     }[args.command]
@@ -190,11 +225,18 @@ def _cmd_join(args) -> int:
             seed=args.seed,
         )
     )
+    observer = None
+    if args.trace or args.trace_csv:
+        from repro.obs import Observer
+
+        observer = Observer()
     algorithm_cls = ALGORITHMS[args.algorithm]
     if args.algorithm == "umj":
-        algorithm = algorithm_cls(machine)
+        algorithm = algorithm_cls(machine, observer=observer)
     else:
-        algorithm = algorithm_cls(machine, policy=POLICIES[args.policy]())
+        algorithm = algorithm_cls(
+            machine, policy=POLICIES[args.policy](), observer=observer
+        )
     result = algorithm.run(workload)
     print(f"algorithm        : {result.algorithm}")
     print(f"gpus             : {result.num_gpus}")
@@ -205,7 +247,25 @@ def _cmd_join(args) -> int:
     print(f"cycles / tuple   : {result.cycles_per_tuple:.1f}")
     for phase, seconds in result.breakdown.as_dict().items():
         print(f"  {phase:22s}: {seconds * 1e3:9.2f} ms")
+    if observer is not None:
+        _export_observation(observer, args.trace, args.trace_csv)
     return 0
+
+
+def _export_observation(observer, trace_path, csv_path) -> None:
+    from repro.obs import export
+
+    print()
+    if trace_path:
+        path = export.write_chrome_trace(observer, trace_path)
+        print(f"chrome trace     : {path} (open in chrome://tracing or Perfetto)")
+    if csv_path:
+        import pathlib
+
+        pathlib.Path(csv_path).write_text(export.to_csv(observer))
+        print(f"merged CSV       : {csv_path}")
+    print()
+    print(export.summary(observer), end="")
 
 
 def _round_to_multiple(logical: int, real: int) -> int:
@@ -237,6 +297,35 @@ def _cmd_shuffle(args) -> int:
             f"  {str(stats.spec):28s} {stats.bytes_sent / 1e9:7.2f} GB "
             f"{stats.utilization(report.elapsed) * 100:5.1f}% busy"
         )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """One fully-observed shuffle: every exporter exercised."""
+    from repro.obs import Observer
+    from repro.sim.trace import Tracer
+
+    machine = MACHINES[args.machine]()
+    gpu_ids = _select_gpus(machine, args.gpus)
+    flows = FlowMatrix.all_to_all(gpu_ids, args.bytes_per_flow)
+    policy = POLICIES[args.policy]()
+    observer = Observer()
+    # Route the per-link trace into the same span store so the Chrome
+    # export shows each link's transfers as its own timeline lane.
+    tracer = Tracer(spans=observer.spans)
+    report = ShuffleSimulator(
+        machine, gpu_ids, tracer=tracer, observer=observer
+    ).run(flows, policy)
+    print(f"policy   : {report.policy_name}")
+    print(f"payload  : {report.payload_bytes / 1e9:.2f} GB")
+    print(f"elapsed  : {report.elapsed * 1e3:.2f} ms (simulated)")
+    print(f"throughput: {report.throughput / 1e9:.1f} GB/s")
+    if tracer.dropped_events:
+        print(f"WARNING  : {tracer.dropped_events} trace events dropped")
+    if args.gantt:
+        print()
+        print(tracer.ascii_gantt(), end="")
+    _export_observation(observer, args.out, args.csv)
     return 0
 
 

@@ -42,11 +42,23 @@ from repro.core.histogram import (
 from repro.core.local_partition import plan_local_passes, refine
 from repro.core.probe import probe_partitions
 from repro.core.relation import GpuShard, JoinWorkload
+from repro.obs import NULL_OBSERVER, Observer
 from repro.routing.adaptive import AdaptiveArmPolicy
 from repro.routing.base import RoutingPolicy
 from repro.sim.shuffle import FlowMatrix, ShuffleSimulator
 from repro.sim.stats import ShuffleReport
 from repro.topology.machine import MachineTopology
+
+#: Which wall-clock span names feed each :meth:`PhaseBreakdown.as_dict`
+#: key.  ``MGJoin.run`` opens exactly these spans; the regression test
+#: in ``tests/obs`` asserts the two stay in sync, so a new phase cannot
+#: be timed without also appearing in the reported breakdown.
+PHASE_SPANS: dict[str, tuple[str, ...]] = {
+    "histogram": ("histogram",),
+    "partition_compute": ("global_partition", "local_partition"),
+    "distribution_exposed": ("shuffle",),
+    "probe": ("probe",),
+}
 
 
 @dataclass(frozen=True)
@@ -157,10 +169,13 @@ class MGJoin:
         machine: MachineTopology,
         config: MGJoinConfig | None = None,
         policy: RoutingPolicy | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.machine = machine
         self.config = config or MGJoinConfig()
         self.policy = policy or AdaptiveArmPolicy()
+        #: Observability sink (spans + metrics); ``None`` = off.
+        self.observer = observer
 
     # ------------------------------------------------------------------
 
@@ -171,54 +186,75 @@ class MGJoin:
         unknown = set(gpu_ids) - set(self.machine.gpu_ids)
         if unknown:
             raise ValueError(f"workload references unknown GPUs: {sorted(unknown)}")
+        obs = self.observer if self.observer is not None else NULL_OBSERVER
         compute = config.compute
         scale = workload.logical_scale
         num_partitions = config.num_partitions or max_partitions(
             compute.spec, config.histogram_entry_bytes, config.thread_blocks_per_sm
         )
 
-        # Phase 1: histograms (real counts; times at logical scale).
-        histograms = build_histograms(workload.r, workload.s, num_partitions)
-        histogram_time = max(
-            compute.histogram_time(
-                workload.logical_tuples_on(g), key_bytes=config.key_bytes
-            )
-            for g in gpu_ids
-        )
+        with obs.span(
+            "join",
+            algorithm=self.algorithm,
+            gpus=len(gpu_ids),
+            logical_tuples=workload.logical_tuples,
+            partitions=num_partitions,
+        ):
+            # Phase 1: histograms (real counts; times at logical scale).
+            with obs.span("histogram"):
+                histograms = build_histograms(workload.r, workload.s, num_partitions)
+                histogram_time = max(
+                    compute.histogram_time(
+                        workload.logical_tuples_on(g), key_bytes=config.key_bytes
+                    )
+                    for g in gpu_ids
+                )
 
-        # Phase 2a: partition assignment (overlapped with the partition
-        # kernel per the paper, so it adds no critical-path time).
-        if len(gpu_ids) > 1:
-            assignment = self._make_assignment(histograms)
-        else:
-            assignment = _single_gpu_assignment(histograms)
+            # Phase 2a: partition assignment (overlapped with the
+            # partition kernel per the paper, so it adds no
+            # critical-path time).
+            with obs.span("assignment"):
+                if len(gpu_ids) > 1:
+                    assignment = self._make_assignment(histograms)
+                else:
+                    assignment = _single_gpu_assignment(histograms)
+                compression = self._compression_model(workload, num_partitions)
+            # Selective broadcast is the skew handler: count activations.
+            obs.counter("assign.broadcast_partitions").inc(assignment.num_broadcast)
 
-        compression = self._compression_model(workload, num_partitions)
+            # Phase 2b: global partitioning pass + simulated distribution.
+            with obs.span("global_partition"):
+                global_pass_time = max(
+                    compute.partition_time(
+                        workload.logical_tuples_on(g), config.tuple_bytes, passes=1
+                    )
+                    for g in gpu_ids
+                )
+                flows = plan_flows(histograms, assignment, compression, scale)
+                with obs.span(
+                    "shuffle", flows=len(flows.flows), payload_bytes=flows.total_bytes
+                ):
+                    shuffle_report = self._simulate_distribution(
+                        flows, gpu_ids, global_pass_time, compression
+                    )
+                distribution_time = shuffle_report.elapsed if shuffle_report else 0.0
+                data = execute_distribution(
+                    workload.r, workload.s, histograms, assignment
+                )
 
-        # Phase 2b: global partitioning pass + simulated distribution.
-        global_pass_time = max(
-            compute.partition_time(
-                workload.logical_tuples_on(g), config.tuple_bytes, passes=1
-            )
-            for g in gpu_ids
-        )
-        flows = plan_flows(histograms, assignment, compression, scale)
-        shuffle_report = self._simulate_distribution(
-            flows, gpu_ids, global_pass_time, compression
-        )
-        distribution_time = shuffle_report.elapsed if shuffle_report else 0.0
+            # Phase 3: local partitioning (overlapped with arrival).
+            with obs.span("local_partition"):
+                local_passes, local_pass_time, local_total_time = self._plan_local(
+                    data, gpu_ids, num_partitions, scale
+                )
+            if local_passes > 1:
+                obs.counter("local.extra_passes").inc(local_passes - 1)
 
-        data = execute_distribution(workload.r, workload.s, histograms, assignment)
-
-        # Phase 3: local partitioning (overlapped with arrival).
-        local_passes, local_pass_time, local_total_time = self._plan_local(
-            data, gpu_ids, num_partitions, scale
-        )
-
-        # Phase 4: probe (real join, exact result).
-        matches, per_gpu_matches, probe_time = self._probe(
-            data, gpu_ids, num_partitions, local_passes, scale
-        )
+            # Phase 4: probe (real join, exact result).
+            with obs.span("probe"):
+                matches, per_gpu_matches, probe_time = self._probe(
+                    data, gpu_ids, num_partitions, local_passes, scale
+                )
 
         # Compose the pipeline.  The partitioning passes of one GPU are
         # all HBM-bandwidth bound, so they serialize with each other.
@@ -240,6 +276,10 @@ class MGJoin:
             distribution_exposed=exposed,
             probe=probe_time,
         )
+        if self.observer is not None:
+            self._emit_simulated_timeline(
+                self.observer, breakdown, global_pass_time, distribution_time
+            )
         return JoinResult(
             algorithm=self.algorithm,
             num_gpus=len(gpu_ids),
@@ -255,6 +295,67 @@ class MGJoin:
             gpu_clock_hz=compute.spec.clock_hz,
             gpu_sms=compute.spec.num_sms,
             per_gpu_matches=per_gpu_matches,
+        )
+
+    def _emit_simulated_timeline(
+        self,
+        observer: Observer,
+        breakdown: PhaseBreakdown,
+        global_pass_time: float,
+        distribution_time: float,
+    ) -> None:
+        """Append the modelled phase schedule as simulated-clock spans.
+
+        This is the "where does simulated time go" view (Figure 12):
+        compute phases on one track, the (overlapped) distribution on a
+        second, so Perfetto shows how much transfer hid under compute.
+        """
+        t_hist = breakdown.histogram
+        t_global_end = t_hist + global_pass_time
+        local_total = breakdown.partition_compute - global_pass_time
+        track = "pipeline (sim)"
+        observer.add_span(
+            "histogram", 0.0, t_hist, track=track, category="phase"
+        )
+        observer.add_span(
+            "global_partition", t_hist, t_global_end, track=track, category="phase"
+        )
+        if self.overlap_distribution:
+            # Distribution runs concurrently with the compute chain;
+            # only its un-hidden slice extends the critical path.
+            distribution_start = t_hist
+            local_start = t_global_end
+        else:
+            # Transfer-then-compute: the full transfer sits between the
+            # global and local passes.
+            distribution_start = t_global_end
+            local_start = t_global_end + breakdown.distribution_exposed
+        observer.add_span(
+            "local_partition",
+            local_start,
+            local_start + local_total,
+            track=track,
+            category="phase",
+        )
+        if distribution_time > 0:
+            observer.add_span(
+                "distribution",
+                distribution_start,
+                distribution_start + distribution_time,
+                track="network (sim)",
+                category="phase",
+                exposed_seconds=breakdown.distribution_exposed,
+                overlapped=self.overlap_distribution,
+            )
+        probe_start = (
+            t_hist + breakdown.partition_compute + breakdown.distribution_exposed
+        )
+        observer.add_span(
+            "probe",
+            probe_start,
+            probe_start + breakdown.probe,
+            track=track,
+            category="phase",
         )
 
     # ------------------------------------------------------------------
@@ -314,7 +415,16 @@ class MGJoin:
             injection_rate=injection_rate,
             consume_rate=consume_rate,
         )
-        simulator = ShuffleSimulator(self.machine, gpu_ids, shuffle_config)
+        tracer = None
+        if self.observer is not None:
+            # Per-link transfer lanes merge into the pipeline trace.
+            from repro.sim.trace import Tracer
+
+            tracer = Tracer(spans=self.observer.spans)
+        simulator = ShuffleSimulator(
+            self.machine, gpu_ids, shuffle_config, tracer=tracer,
+            observer=self.observer,
+        )
         return simulator.run(flows, self.policy)
 
     def _hbm_communication_tax(
@@ -397,7 +507,14 @@ class MGJoin:
                 s_parts,
                 materialize=config.materialize,
                 method=config.probe_method,
+                observer=self.observer,
             )
+            if self.observer is not None:
+                metrics = self.observer.metrics
+                metrics.counter("probe.matches", gpu=gpu_id).inc(result.matches)
+                metrics.counter("probe.copartitions", gpu=gpu_id).inc(
+                    result.buckets_probed
+                )
             per_gpu[gpu_id] = result.matches
             matches += result.matches
             probe_time = max(

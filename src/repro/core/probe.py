@@ -131,8 +131,14 @@ def probe_partitions(
     s_parts: LocalPartitions,
     materialize: bool = False,
     method: str = "nested-loop",
+    observer=None,
 ) -> ProbeResult:
-    """Join matching buckets of the two local partition sets."""
+    """Join matching buckets of the two local partition sets.
+
+    With an :class:`~repro.obs.Observer`, the per-co-partition match
+    counts feed the ``probe.matches_per_copartition`` histogram — the
+    skew forensics view of the probe phase.
+    """
     if r_parts.bucket_bits != s_parts.bucket_bits:
         raise ValueError("co-partitions were refined to different depths")
     try:
@@ -141,6 +147,11 @@ def probe_partitions(
         raise ValueError(
             f"unknown probe method {method!r}; have {sorted(PROBE_METHODS)}"
         ) from None
+    match_histogram = (
+        observer.metrics.histogram("probe.matches_per_copartition")
+        if observer is not None
+        else None
+    )
     result = ProbeResult()
     s_index = {int(b): i for i, b in enumerate(s_parts.bucket_ids)}
     for r_index, bucket_id in enumerate(r_parts.bucket_ids):
@@ -152,7 +163,11 @@ def probe_partitions(
         joined = kernel(r_bucket, s_bucket, materialize=materialize)
         result.buckets_probed += 1
         if materialize:
+            bucket_matches = len(joined[0])
             result.add(joined[0], joined[1], materialize=True)
         else:
+            bucket_matches = joined
             result.matches += joined
+        if match_histogram is not None:
+            match_histogram.observe(bucket_matches)
     return result.finalize(materialize)

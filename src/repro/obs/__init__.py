@@ -1,0 +1,135 @@
+"""Full-pipeline observability: spans, metrics, trace export.
+
+One :class:`Observer` bundles the two measurement surfaces of a run —
+a :class:`~repro.obs.spans.SpanTracer` (where time goes) and a
+:class:`~repro.obs.metrics.MetricsRegistry` (how much of what moved) —
+and is threaded through the join orchestrator, the shuffle simulator,
+the link channels and the routing policies::
+
+    from repro import MGJoin, Observer, dgx1_topology
+    from repro.obs.export import write_chrome_trace
+
+    observer = Observer()
+    result = MGJoin(machine, observer=observer).run(workload)
+    write_chrome_trace(observer, "join.json")   # chrome://tracing / Perfetto
+
+Instrumented code holds an ``observer`` that is either a real
+:class:`Observer` or ``None``; the hot paths guard with a plain
+``is not None`` check so a run without observability pays only that.
+:data:`NULL_OBSERVER` additionally offers no-op ``span()`` /
+``instant()`` for call sites that prefer unconditional ``with`` blocks.
+
+Span/metric naming conventions and exporter formats are documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import (
+    PIPELINE_TRACK,
+    SIM,
+    WALL,
+    Instant,
+    Span,
+    SpanTracer,
+)
+
+
+class Observer:
+    """Bundles one run's span tracer and metrics registry."""
+
+    enabled = True
+
+    def __init__(self, max_records: int = 2_000_000) -> None:
+        self.spans = SpanTracer(max_records=max_records)
+        self.metrics = MetricsRegistry()
+
+    # Convenience pass-throughs so instrumented code reads naturally.
+
+    def span(self, name: str, track: str = PIPELINE_TRACK, **attrs):
+        return self.spans.span(name, track=track, **attrs)
+
+    def add_span(self, name: str, start: float, end: float, **kwargs):
+        return self.spans.add_span(name, start, end, **kwargs)
+
+    def instant(self, name: str, time_s: float, **kwargs):
+        return self.spans.instant(name, time_s, **kwargs)
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self.metrics.histogram(name, **labels)
+
+
+class _NullInstrument:
+    """Accepts inc/set/add/observe and does nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullObserver:
+    """Do-nothing stand-in so ``with observer.span(...)`` always works."""
+
+    enabled = False
+    spans = None
+    metrics = None
+
+    _instrument = _NullInstrument()
+
+    @contextmanager
+    def span(self, name: str, track: str = PIPELINE_TRACK, **attrs):
+        yield None
+
+    def add_span(self, name: str, start: float, end: float, **kwargs):
+        return None
+
+    def instant(self, name: str, time_s: float, **kwargs):
+        return None
+
+    def counter(self, name: str, **labels) -> _NullInstrument:
+        return self._instrument
+
+    def gauge(self, name: str, **labels) -> _NullInstrument:
+        return self._instrument
+
+    def histogram(self, name: str, **labels) -> _NullInstrument:
+        return self._instrument
+
+
+#: Shared no-op observer; ``observer or NULL_OBSERVER`` is the idiom.
+NULL_OBSERVER = NullObserver()
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "Observer",
+    "PIPELINE_TRACK",
+    "SIM",
+    "Span",
+    "SpanTracer",
+    "WALL",
+]

@@ -1,0 +1,281 @@
+"""Exporters: Chrome trace-event JSON, merged CSV, terminal summary.
+
+The Chrome trace export follows the Trace Event Format (the JSON
+Object Format variant: ``{"traceEvents": [...]}``) and loads directly
+in ``chrome://tracing`` or https://ui.perfetto.dev.  Wall-clock spans
+and simulated-clock spans live on two separate "processes" so the two
+time axes never interleave:
+
+* pid 1 — ``wall clock (host)``: the pipeline phases as actually
+  executed by the reproduction,
+* pid 2 — ``simulated time``: the modelled timeline (phase schedule,
+  per-link transfers, ARM route decisions as instant events).
+
+Each distinct track (``pipeline``, ``gpu3``, a link label, ...) maps to
+one "thread" row within its process.  Metric snapshots ride along under
+``otherData`` so one file carries the whole run.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from typing import TYPE_CHECKING
+
+from repro.obs.spans import SIM, WALL, SpanTracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observer
+
+_CLOCK_PIDS = {WALL: 1, SIM: 2}
+_PID_NAMES = {1: "wall clock (host)", 2: "simulated time"}
+
+
+def _to_micros(seconds: float) -> float:
+    return seconds * 1e6
+
+
+class _TidAllocator:
+    """Stable track-label -> tid mapping, one namespace per pid."""
+
+    def __init__(self) -> None:
+        self._tids: dict[tuple[int, str], int] = {}
+        self._next: dict[int, int] = {}
+
+    def tid(self, pid: int, track: str) -> int:
+        key = (pid, track)
+        if key not in self._tids:
+            self._next[pid] = self._next.get(pid, 0) + 1
+            self._tids[key] = self._next[pid]
+        return self._tids[key]
+
+    def metadata_events(self) -> list[dict]:
+        events = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+            for pid, name in _PID_NAMES.items()
+        ]
+        for (pid, track), tid in sorted(self._tids.items(), key=lambda i: i[1]):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        return events
+
+
+def chrome_trace_events(spans: SpanTracer) -> list[dict]:
+    """Render a tracer's spans and instants as trace-event dicts."""
+    tids = _TidAllocator()
+    events: list[dict] = []
+    for span in spans.spans:
+        pid = _CLOCK_PIDS.get(span.clock, 1)
+        args = dict(span.attrs)
+        if span.parent_id is not None:
+            args["parent"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or span.clock,
+                "ph": "X",
+                "ts": _to_micros(span.start),
+                "dur": _to_micros(span.duration),
+                "pid": pid,
+                "tid": tids.tid(pid, span.track),
+                "id": span.span_id,
+                "args": args,
+            }
+        )
+    for instant in spans.instants:
+        pid = _CLOCK_PIDS.get(instant.clock, 1)
+        events.append(
+            {
+                "name": instant.name,
+                "cat": instant.category or instant.clock,
+                "ph": "i",
+                "s": "t",
+                "ts": _to_micros(instant.time),
+                "pid": pid,
+                "tid": tids.tid(pid, instant.track),
+                "args": dict(instant.attrs),
+            }
+        )
+    return tids.metadata_events() + events
+
+
+def to_chrome_trace(observer: "Observer") -> dict:
+    """The full Chrome trace object for one observed run."""
+    return {
+        "traceEvents": chrome_trace_events(observer.spans),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "dropped_records": observer.spans.dropped,
+            "metrics": observer.metrics.snapshot(),
+        },
+    }
+
+
+def write_chrome_trace(observer: "Observer", path: str | pathlib.Path) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(to_chrome_trace(observer), indent=1))
+    return path
+
+
+#: Phases an "X" (complete) event must carry beyond the common fields.
+_COMMON_FIELDS = ("name", "ph", "ts", "pid", "tid")
+
+
+def validate_chrome_trace(trace: object) -> list[str]:
+    """Check an object against the Chrome trace-event schema.
+
+    Returns a list of problems (empty means the trace is loadable).
+    Used by the test suite and the CI smoke run.
+    """
+    problems: list[str] = []
+    if not isinstance(trace, dict):
+        return [f"trace must be a JSON object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or not phase:
+            problems.append(f"{where}: missing ph")
+            continue
+        for fname in _COMMON_FIELDS:
+            if phase == "M" and fname == "ts":
+                continue  # metadata events carry no timestamp
+            if fname not in event:
+                problems.append(f"{where}: missing {fname!r}")
+        for fname in ("ts", "dur"):
+            if fname in event and not isinstance(event[fname], (int, float)):
+                problems.append(f"{where}: {fname} must be numeric")
+        if phase == "X":
+            if "dur" not in event:
+                problems.append(f"{where}: complete event missing dur")
+            elif isinstance(event["dur"], (int, float)) and event["dur"] < 0:
+                problems.append(f"{where}: negative dur")
+        if phase == "i" and event.get("s") not in ("g", "p", "t", None):
+            problems.append(f"{where}: bad instant scope {event.get('s')!r}")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args must be an object")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Merged CSV
+# ---------------------------------------------------------------------------
+
+
+def to_csv(observer: "Observer") -> str:
+    """Spans, instants and metrics merged into one flat CSV.
+
+    ``record`` distinguishes the three; unused columns stay empty, and
+    every row keeps (clock, track, name) so the file pivots cleanly.
+    """
+    out = io.StringIO()
+    out.write("record,clock,track,name,start,duration,value,labels\n")
+
+    def _esc(text: str) -> str:
+        if any(ch in text for ch in ',"\n'):
+            return '"' + text.replace('"', '""') + '"'
+        return text
+
+    for span in sorted(observer.spans.spans, key=lambda s: (s.clock, s.start)):
+        out.write(
+            f"span,{span.clock},{_esc(span.track)},{_esc(span.name)},"
+            f"{span.start:.9f},{span.duration:.9f},,"
+            f"{_esc(_label_text(span.attrs))}\n"
+        )
+    for inst in sorted(observer.spans.instants, key=lambda i: (i.clock, i.time)):
+        out.write(
+            f"instant,{inst.clock},{_esc(inst.track)},{_esc(inst.name)},"
+            f"{inst.time:.9f},0,,{_esc(_label_text(inst.attrs))}\n"
+        )
+    snapshot = observer.metrics.snapshot()
+    for kind in ("counters", "gauges"):
+        for row in snapshot[kind]:
+            out.write(
+                f"{kind[:-1]},,,{_esc(row['name'])},,,"
+                f"{row['value']},{_esc(_label_text(row['labels']))}\n"
+            )
+    for row in snapshot["histograms"]:
+        stats = {k: row[k] for k in ("count", "min", "max", "mean", "p50", "p99")}
+        out.write(
+            f"histogram,,,{_esc(row['name'])},,,"
+            f"{row['total']},{_esc(_label_text({**row['labels'], **stats}))}\n"
+        )
+    return out.getvalue()
+
+
+def _label_text(labels: dict) -> str:
+    return ";".join(f"{key}={value}" for key, value in sorted(labels.items()))
+
+
+# ---------------------------------------------------------------------------
+# Terminal summary
+# ---------------------------------------------------------------------------
+
+
+def summary(observer: "Observer", top: int = 8) -> str:
+    """A human-oriented rollup: phase spans, then the busiest metrics."""
+    spans = observer.spans
+    lines: list[str] = []
+    wall = [s for s in spans.spans if s.clock == WALL]
+    if wall:
+        lines.append("wall-clock spans (aggregated by name):")
+        by_name: dict[str, tuple[int, float]] = {}
+        for span in wall:
+            count, total = by_name.get(span.name, (0, 0.0))
+            by_name[span.name] = (count + 1, total + span.duration)
+        width = max(len(name) for name in by_name)
+        for name, (count, total) in sorted(
+            by_name.items(), key=lambda item: item[1][1], reverse=True
+        ):
+            lines.append(f"  {name:<{width}}  {total * 1e3:10.2f} ms  x{count}")
+    sim = [s for s in spans.spans if s.clock == SIM and s.category == "phase"]
+    if sim:
+        lines.append("simulated phase schedule:")
+        for span in sorted(sim, key=lambda s: s.start):
+            lines.append(
+                f"  {span.name:<22} {span.start * 1e3:9.2f} ->"
+                f" {span.end * 1e3:9.2f} ms on {span.track}"
+            )
+    decisions = spans.find_instants(category="route")
+    if decisions:
+        lines.append(f"route decisions: {len(decisions)}")
+    snapshot = observer.metrics.snapshot()
+    counters = sorted(
+        snapshot["counters"], key=lambda row: row["value"], reverse=True
+    )
+    if counters:
+        lines.append(f"top counters (of {len(counters)}):")
+        for row in counters[:top]:
+            label = _label_text(row["labels"])
+            suffix = f" {{{label}}}" if label else ""
+            lines.append(f"  {row['name']}{suffix} = {row['value']:g}")
+    for row in snapshot["histograms"]:
+        lines.append(
+            f"  {row['name']}: n={row['count']} mean={row['mean']:.3g}"
+            f" p99={row['p99']:.3g} max={row['max']:.3g}"
+        )
+    if observer.spans.dropped:
+        lines.append(f"WARNING: {observer.spans.dropped} records dropped (cap hit)")
+    if not lines:
+        return "(no observations recorded)\n"
+    return "\n".join(lines) + "\n"

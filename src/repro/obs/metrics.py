@@ -1,0 +1,185 @@
+"""A small labelled-metrics registry (counters, gauges, histograms).
+
+The registry mirrors the shape of Prometheus-style client libraries at
+a fraction of the surface: a metric family is a name, an instrument is
+``family + frozen label set``, and lookups are get-or-create::
+
+    registry.counter("link.bytes", link="gpu0->gpu1[nvlink]").inc(2 * MB)
+    registry.gauge("board.pending").set(3)
+    registry.histogram("board.staleness_seconds").observe(4.2e-6)
+
+Hot paths should hold on to the returned instrument instead of
+re-looking it up per event — instruments are plain objects with an
+``inc``/``set``/``observe`` method and no locking (the simulator is
+single-threaded).
+
+``snapshot()`` renders everything into plain dicts, ready for JSON
+persistence next to benchmark results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Histograms keep at most this many raw samples for percentiles; the
+#: running count/sum/min/max stay exact beyond it.
+HISTOGRAM_SAMPLE_CAP = 4096
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing value."""
+
+    name: str
+    labels: dict
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins value."""
+
+    name: str
+    labels: dict
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution summary with a bounded raw-sample tail."""
+
+    name: str
+    labels: dict
+    count: int = 0
+    total: float = 0.0
+    vmin: float = float("inf")
+    vmax: float = float("-inf")
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        if len(self.samples) < HISTOGRAM_SAMPLE_CAP:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile over the retained samples."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[index]
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument of one run."""
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple, object] = {}
+        self._kinds: dict[tuple, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def _get(self, kind: str, name: str, labels: dict):
+        key = (name, tuple(sorted(labels.items())))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._KINDS[kind](name=name, labels=dict(labels))
+            self._instruments[key] = instrument
+            self._kinds[key] = kind
+        elif self._kinds[key] != kind:
+            raise ValueError(
+                f"metric {name!r}{labels} already registered as "
+                f"{self._kinds[key]}, not {kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    # -- views -------------------------------------------------------------
+
+    def instruments(self) -> list:
+        return list(self._instruments.values())
+
+    def families(self) -> set[str]:
+        return {name for name, _ in self._instruments}
+
+    def value(self, name: str, **labels) -> float:
+        """Current value of a counter/gauge (0.0 when never touched)."""
+        key = (name, tuple(sorted(labels.items())))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            return 0.0
+        return instrument.value  # type: ignore[union-attr]
+
+    def total(self, name: str) -> float:
+        """Sum of a counter family's values across all label sets."""
+        return sum(
+            instrument.value
+            for (family, _), instrument in self._instruments.items()
+            if family == name and isinstance(instrument, Counter)
+        )
+
+    def snapshot(self) -> dict:
+        """Everything as plain JSON-ready dicts, grouped by kind."""
+        out: dict[str, list[dict]] = {"counters": [], "gauges": [], "histograms": []}
+        for key, instrument in sorted(
+            self._instruments.items(), key=lambda item: item[0]
+        ):
+            kind = self._kinds[key]
+            if kind == "histogram":
+                hist: Histogram = instrument  # type: ignore[assignment]
+                out["histograms"].append(
+                    {
+                        "name": hist.name,
+                        "labels": hist.labels,
+                        "count": hist.count,
+                        "total": hist.total,
+                        "min": hist.vmin if hist.count else 0.0,
+                        "max": hist.vmax if hist.count else 0.0,
+                        "mean": hist.mean,
+                        "p50": hist.percentile(50),
+                        "p99": hist.percentile(99),
+                    }
+                )
+            else:
+                out[kind + "s"].append(
+                    {
+                        "name": instrument.name,  # type: ignore[union-attr]
+                        "labels": instrument.labels,  # type: ignore[union-attr]
+                        "value": instrument.value,  # type: ignore[union-attr]
+                    }
+                )
+        return out

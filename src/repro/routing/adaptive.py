@@ -104,4 +104,44 @@ class AdaptiveArmPolicy(RoutingPolicy):
         near_best = [route for score, route in scored if score <= cutoff]
         turn = self._rotation.get((src, dst), 0)
         self._rotation[(src, dst)] = turn + 1
-        return near_best[turn % len(near_best)]
+        chosen = near_best[turn % len(near_best)]
+        observer = context.observer
+        if observer is not None:
+            self._record_decision(
+                context, observer, src, dst, chosen, scored, packet_bytes, batch_bytes
+            )
+        return chosen
+
+    def _record_decision(
+        self,
+        context: RoutingContext,
+        observer,
+        src: int,
+        dst: int,
+        chosen: Route,
+        scored: list[tuple[float, Route]],
+        packet_bytes: int,
+        batch_bytes: int,
+    ) -> None:
+        """Emit one ARM decision: an instant event carrying the Eq. 2
+        terms of the chosen route, plus per-route packet counters."""
+        transmission = _transmission_time(context.machine, chosen, packet_bytes)
+        arm = next(score for score, route in scored if route is chosen)
+        observer.instant(
+            "arm.decision",
+            context.engine.now,
+            track=f"gpu{src}",
+            category="route",
+            src=src,
+            dst=dst,
+            route=str(chosen),
+            T_R=transmission,
+            D_R=arm - transmission,
+            arm=arm,
+            candidates=len(scored),
+            batch_bytes=batch_bytes,
+            direct=chosen.is_direct,
+        )
+        observer.metrics.counter("route.decisions", src=src, dst=dst).inc()
+        if not chosen.is_direct:
+            observer.metrics.counter("route.multi_hop_decisions").inc()

@@ -11,12 +11,16 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.sim.engine import Engine
 from repro.sim.linksim import LinkChannel, LinkStateBoard
 from repro.topology.links import LinkSpec
 from repro.topology.machine import MachineTopology
 from repro.topology.routes import Route, RouteEnumerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observer
 
 
 @dataclass
@@ -29,6 +33,9 @@ class RoutingContext:
     links: dict[int, LinkChannel]
     board: LinkStateBoard
     num_gpus: int
+    #: Observability sink for route decisions and state staleness;
+    #: ``None`` = off (policies must guard on it).
+    observer: "Observer | None" = None
 
     def queue_delay_seen_by(self, viewer_gpu: int, spec: LinkSpec) -> float:
         """Queue delay of ``spec`` as GPU ``viewer_gpu`` perceives it.
@@ -38,7 +45,14 @@ class RoutingContext:
         """
         if spec.src.is_gpu and spec.src.index == viewer_gpu:
             return self.links[spec.link_id].queue_delay()
-        return self.board.published_queue_delay(spec.link_id)
+        published = self.board.published_queue_delay(spec.link_id)
+        if self.observer is not None:
+            # How stale is the broadcast view this decision just used?
+            actual = self.links[spec.link_id].queue_delay()
+            self.observer.metrics.histogram("board.staleness_seconds").observe(
+                abs(actual - published)
+            )
+        return published
 
     def exact_queue_delay(self, spec: LinkSpec) -> float:
         """Ground-truth queue delay (used by the centralized baseline)."""

@@ -189,6 +189,13 @@ class GpuNode:
                 route = self.policy.choose_route(
                     self.context, self.gpu_id, dst, batch_payload, self.packet_size
                 )
+                observer = self.context.observer
+                if observer is not None:
+                    metrics = observer.metrics
+                    metrics.counter("shuffle.packets", route=str(route)).inc(
+                        len(batch)
+                    )
+                    metrics.counter("shuffle.batches", gpu=self.gpu_id).inc()
                 for packet in batch:
                     packet.route = route
                     self._commit_route(packet)
@@ -303,6 +310,14 @@ class GpuNode:
         self.stats.delivered_bytes += packet.payload_bytes
         self.stats.delivered_packets += 1
         self.stats.last_delivery_time = self.engine.now
+        observer = self.context.observer
+        if observer is not None:
+            observer.metrics.counter(
+                "shuffle.delivered_bytes", gpu=self.gpu_id
+            ).inc(packet.payload_bytes)
+            observer.metrics.histogram("shuffle.packet_hops").observe(
+                packet.route.num_hops
+            )
         slot = packet.held_buffer
         if self.consume_rate is None:
             if slot is not None:

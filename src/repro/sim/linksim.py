@@ -22,6 +22,7 @@ from repro.sim.engine import Engine, SimEvent
 from repro.topology.links import LinkSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Counter, Observer
     from repro.sim.trace import Tracer
 
 
@@ -33,6 +34,8 @@ class LinkChannel:
     spec: LinkSpec
     board: "LinkStateBoard | None" = None
     tracer: "Tracer | None" = None
+    #: Metrics sink (bytes / transfers per link); ``None`` = off.
+    observer: "Observer | None" = None
     _free_at: float = 0.0
     #: Accumulated busy (service) time, for utilization accounting.
     busy_time: float = 0.0
@@ -43,6 +46,10 @@ class LinkChannel:
     #: queues.  Included in the queue delay so the adaptive metric sees
     #: congestion building up before the wire does.
     committed_load: float = 0.0
+    #: Per-link metric instruments, created lazily on first transfer so
+    #: the label is rendered once, not per packet.
+    _bytes_counter: "Counter | None" = None
+    _transfer_counter: "Counter | None" = None
 
     def service_time(self, nbytes: float) -> float:
         return self.spec.latency + nbytes / self.spec.bandwidth
@@ -87,6 +94,16 @@ class LinkChannel:
                 subject=str(self.spec),
                 nbytes=nbytes,
             )
+        if self.observer is not None:
+            if self._bytes_counter is None:
+                label = str(self.spec)
+                metrics = self.observer.metrics
+                self._bytes_counter = metrics.counter("link.bytes", link=label)
+                self._transfer_counter = metrics.counter(
+                    "link.transfers", link=label
+                )
+            self._bytes_counter.inc(nbytes)
+            self._transfer_counter.inc()
         return self.engine.timeout(completion - now)
 
 
@@ -112,6 +129,8 @@ class LinkStateBoard:
     _published: dict[int, float] = field(default_factory=dict)
     _last_broadcast: dict[int, float] = field(default_factory=dict)
     broadcast_count: int = 0
+    #: Metrics sink (broadcast chatter, suppressed updates).
+    observer: "Observer | None" = None
 
     def publish(self, link: LinkChannel) -> None:
         link_id = link.spec.link_id
@@ -122,9 +141,13 @@ class LinkStateBoard:
         last_delay = max(0.0, last_clear_at - now)
         change = abs(new_delay - last_delay)
         if change < max(self.threshold * last_delay, self.quantum):
+            if self.observer is not None:
+                self.observer.metrics.counter("board.suppressed").inc()
             return
         self._last_broadcast[link_id] = clear_at
         self.broadcast_count += 1
+        if self.observer is not None:
+            self.observer.metrics.counter("board.broadcasts").inc()
         self.engine.schedule(self.broadcast_latency, self._deliver, link_id, clear_at)
 
     def _deliver(self, link_id: int, clear_at: float) -> None:

@@ -118,9 +118,12 @@ class ShuffleSimulator:
         gpu_ids: tuple[int, ...] | None = None,
         config: ShuffleConfig | None = None,
         tracer=None,
+        observer=None,
     ) -> None:
         self.machine = machine
         self.tracer = tracer
+        #: Observability sink (spans/metrics); ``None`` = off.
+        self.observer = observer
         self.gpu_ids = tuple(sorted(gpu_ids if gpu_ids is not None else machine.gpu_ids))
         if len(self.gpu_ids) < 2:
             raise ValueError("a shuffle needs at least two GPUs")
@@ -141,9 +144,12 @@ class ShuffleSimulator:
             broadcast_latency=config.broadcast_latency,
             threshold=config.broadcast_threshold,
             quantum=config.broadcast_quantum,
+            observer=self.observer,
         )
         links = {
-            spec.link_id: LinkChannel(engine, spec, board, self.tracer)
+            spec.link_id: LinkChannel(
+                engine, spec, board, self.tracer, observer=self.observer
+            )
             for spec in self.machine.links
         }
         relay_ids = (
@@ -161,6 +167,7 @@ class ShuffleSimulator:
             links=links,
             board=board,
             num_gpus=len(self.gpu_ids),
+            observer=self.observer,
         )
         delivered: list[Packet] = []
         nodes: dict[int, GpuNode] = {}
@@ -189,7 +196,19 @@ class ShuffleSimulator:
             if outgoing:
                 nodes[gpu_id].start_flows(outgoing)
         engine.run()
-        return self._build_report(engine, policy, flows, links, nodes, delivered, board)
+        report = self._build_report(
+            engine, policy, flows, links, nodes, delivered, board
+        )
+        if self.observer is not None:
+            metrics = self.observer.metrics
+            metrics.gauge("shuffle.elapsed_seconds").set(report.elapsed)
+            metrics.gauge("shuffle.payload_bytes").set(report.payload_bytes)
+            metrics.gauge("shuffle.wire_bytes").set(report.wire_bytes)
+            metrics.gauge("shuffle.buffer_syncs").set(report.buffer_sync_count)
+            metrics.gauge("shuffle.board_broadcasts").set(
+                report.board_broadcast_count
+            )
+        return report
 
     def _build_report(
         self,

@@ -6,14 +6,33 @@ congestion forensics the paper does with the NVIDIA profiler: which
 links were hot when, how a flow's packets spread over routes, where
 backpressure stalled senders.
 
-Enable it via ``ShuffleSimulator(..., tracer=Tracer())``; afterwards
-the tracer offers CSV export and a terminal Gantt rendering.
+Since the observability layer landed, :class:`Tracer` is a thin
+adapter over :class:`repro.obs.spans.SpanTracer`: every ``record``
+becomes one simulated-clock span (``category="link"``, track = the
+link/GPU label), so a shuffle trace can be merged into a full-pipeline
+Chrome trace by handing the simulator an observer-backed tracer::
+
+    observer = Observer()
+    tracer = Tracer(spans=observer.spans)
+    ShuffleSimulator(machine, tracer=tracer).run(flows, policy)
+    write_chrome_trace(observer, "shuffle.json")
+
+The legacy query/CSV/Gantt API is unchanged, and events past the
+``max_events`` cap are no longer silently lost: they are counted in
+:attr:`Tracer.dropped_events` and the first drop warns once.
 """
 
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
+
+from repro.obs.spans import SpanTracer
+
+#: Category tag marking spans owned by this adapter inside a shared
+#: :class:`SpanTracer`.
+LINK_CATEGORY = "link"
 
 
 @dataclass(frozen=True)
@@ -32,13 +51,29 @@ class TraceEvent:
         return self.time + self.duration
 
 
-@dataclass
 class Tracer:
-    """Collects :class:`TraceEvent` records during a simulation."""
+    """Collects :class:`TraceEvent` records during a simulation.
 
-    events: list[TraceEvent] = field(default_factory=list)
-    #: Hard cap so a runaway simulation cannot eat unbounded memory.
-    max_events: int = 2_000_000
+    Args:
+        spans: Span store to append to.  Pass an observer's tracer to
+            merge link events into a full-pipeline trace; by default
+            the tracer owns a private store.
+        max_events: Hard cap on events *this tracer* records, so a
+            runaway simulation cannot eat unbounded memory.  Dropped
+            events are counted in :attr:`dropped_events`.
+    """
+
+    def __init__(
+        self, spans: SpanTracer | None = None, max_events: int = 2_000_000
+    ) -> None:
+        self.spans = spans if spans is not None else SpanTracer(max_records=max_events)
+        self.max_events = max_events
+        #: Events refused because ``max_events`` (or the span store's
+        #: own cap) was reached — check this before trusting a trace.
+        self.dropped_events = 0
+        self._recorded = 0
+        self._warned_drop = False
+        self._events_cache: tuple[int, list[TraceEvent]] | None = None
 
     def record(
         self,
@@ -49,21 +84,56 @@ class Tracer:
         nbytes: int,
         detail: str = "",
     ) -> None:
-        if len(self.events) >= self.max_events:
+        if self._recorded >= self.max_events:
+            self.dropped_events += 1
+            if not self._warned_drop:
+                self._warned_drop = True
+                warnings.warn(
+                    f"Tracer reached max_events={self.max_events}; further "
+                    "events are dropped (see Tracer.dropped_events)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return
-        self.events.append(
-            TraceEvent(
-                time=time,
-                duration=duration,
-                kind=kind,
-                subject=subject,
-                nbytes=nbytes,
-                detail=detail,
-            )
+        span = self.spans.add_span(
+            kind,
+            time,
+            time + duration,
+            track=subject,
+            category=LINK_CATEGORY,
+            bytes=int(nbytes),
+            detail=detail,
         )
+        if span is None:
+            # The shared span store hit its own cap (and warned); count
+            # the loss here too so this tracer's CSV footer reports it.
+            self.dropped_events += 1
+            return
+        self._recorded += 1
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The recorded events, as legacy :class:`TraceEvent` views."""
+        cache = self._events_cache
+        if cache is not None and cache[0] == self._recorded:
+            return cache[1]
+        events = [
+            TraceEvent(
+                time=span.start,
+                duration=span.duration,
+                kind=span.name,
+                subject=span.track,
+                nbytes=span.attrs.get("bytes", 0),
+                detail=span.attrs.get("detail", ""),
+            )
+            for span in self.spans.spans
+            if span.category == LINK_CATEGORY
+        ]
+        self._events_cache = (self._recorded, events)
+        return events
 
     def __len__(self) -> int:
-        return len(self.events)
+        return self._recorded
 
     # -- queries -----------------------------------------------------------
 
@@ -81,9 +151,10 @@ class Tracer:
 
     @property
     def horizon(self) -> float:
-        if not self.events:
+        events = self.events
+        if not events:
             return 0.0
-        return max(event.end for event in self.events)
+        return max(event.end for event in events)
 
     # -- export ------------------------------------------------------------
 
@@ -96,6 +167,8 @@ class Tracer:
                 f"{event.time:.9f},{event.duration:.9f},{event.kind},"
                 f"{event.subject},{event.nbytes},{event.detail}\n"
             )
+        if self.dropped_events:
+            out.write(f"# dropped_events,{self.dropped_events}\n")
         return out.getvalue()
 
     def ascii_gantt(self, width: int = 72, top: int = 12) -> str:

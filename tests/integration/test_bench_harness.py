@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.bench.harness import FigureResult, bench_workload
+from repro.bench.harness import FigureResult, bench_workload, run_observed
 from repro.bench.reporting import format_markdown_table, save_figure_result
 
 
@@ -57,6 +57,39 @@ class TestSaveFigureResult:
         result.add(a=1)
         path = save_figure_result(result, tmp_path)
         assert path.name == "ablation_a-b.json"
+
+    def test_metric_snapshots_persisted(self, tmp_path):
+        from repro.obs import Observer
+
+        result = FigureResult("Figure 98", "metrics test")
+        result.add(a=1)
+        observer = Observer()
+        observer.counter("probe.matches", gpu=0).inc(5)
+        result.attach_metrics("mgjoin-8gpus", observer)
+        path = save_figure_result(result, tmp_path)
+        data = json.loads(path.read_text())
+        snapshot = data["metrics"]["mgjoin-8gpus"]
+        assert snapshot["counters"][0]["value"] == 5
+
+    def test_no_metrics_key_without_snapshots(self, tmp_path):
+        result = FigureResult("Figure 97", "no metrics")
+        result.add(a=1)
+        data = json.loads(save_figure_result(result, tmp_path).read_text())
+        assert "metrics" not in data
+
+
+class TestRunObserved:
+    def test_observer_attached_then_restored(self, dgx1):
+        from helpers import make_workload
+        from repro.core.mgjoin import MGJoin
+
+        algorithm = MGJoin(dgx1)
+        workload = make_workload(num_gpus=2, real=512, logical=1 << 14)
+        result, observer = run_observed(algorithm, workload)
+        assert algorithm.observer is None  # restored
+        assert result.matches_real > 0
+        assert observer.spans.find("join")
+        assert observer.metrics.total("probe.matches") == result.matches_real
 
 
 class TestBenchWorkload:

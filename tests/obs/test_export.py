@@ -1,0 +1,169 @@
+"""Exporters: Chrome trace events, schema validation, CSV, summary."""
+
+import json
+
+import pytest
+
+from repro.obs import Observer
+from repro.obs.export import (
+    chrome_trace_events,
+    summary,
+    to_chrome_trace,
+    to_csv,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture
+def observed():
+    observer = Observer()
+    with observer.span("join", gpus=4):
+        with observer.span("histogram"):
+            pass
+    observer.add_span(
+        "transfer", 1.0, 2.0, track="gpu0->gpu1[nvlink]", category="link", bytes=64
+    )
+    observer.instant("arm.decision", 1.5, track="gpu0", category="route", T_R=0.5)
+    observer.counter("shuffle.packets", route="gpu0->gpu1").inc(3)
+    observer.gauge("shuffle.elapsed_seconds").set(2.0)
+    observer.histogram("board.staleness_seconds").observe(1e-6)
+    return observer
+
+
+def test_clocks_map_to_separate_pids(observed):
+    events = chrome_trace_events(observed.spans)
+    by_name = {e["name"]: e for e in events if e["ph"] in ("X", "i")}
+    assert by_name["join"]["pid"] == 1  # wall clock
+    assert by_name["transfer"]["pid"] == 2  # simulated time
+    assert by_name["arm.decision"]["pid"] == 2
+    # Nesting survives via args.parent.
+    assert by_name["histogram"]["args"]["parent"] == by_name["join"]["id"]
+
+
+def test_metadata_names_processes_and_tracks(observed):
+    events = chrome_trace_events(observed.spans)
+    meta = [e for e in events if e["ph"] == "M"]
+    process_names = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+    thread_names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+    assert process_names == {"wall clock (host)", "simulated time"}
+    assert {"pipeline", "gpu0->gpu1[nvlink]", "gpu0"} <= thread_names
+
+
+def test_timestamps_are_microseconds(observed):
+    events = chrome_trace_events(observed.spans)
+    transfer = next(e for e in events if e["name"] == "transfer")
+    assert transfer["ts"] == pytest.approx(1.0e6)
+    assert transfer["dur"] == pytest.approx(1.0e6)
+
+
+def test_to_chrome_trace_is_valid_and_serialisable(observed):
+    trace = to_chrome_trace(observed)
+    assert validate_chrome_trace(trace) == []
+    assert trace["otherData"]["dropped_records"] == 0
+    metrics = trace["otherData"]["metrics"]
+    assert metrics["counters"][0]["name"] == "shuffle.packets"
+    json.dumps(trace)
+
+
+def test_write_chrome_trace_roundtrip(observed, tmp_path):
+    path = write_chrome_trace(observed, tmp_path / "trace.json")
+    loaded = json.loads(path.read_text())
+    assert validate_chrome_trace(loaded) == []
+    assert len(loaded["traceEvents"]) == len(chrome_trace_events(observed.spans))
+
+
+@pytest.mark.parametrize(
+    "trace, fragment",
+    [
+        ([], "JSON object"),
+        ({}, "traceEvents must be a list"),
+        ({"traceEvents": [42]}, "not an object"),
+        ({"traceEvents": [{"name": "x"}]}, "missing ph"),
+        ({"traceEvents": [{"ph": "X", "name": "x"}]}, "missing"),
+        (
+            {
+                "traceEvents": [
+                    {"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 1, "dur": -5}
+                ]
+            },
+            "negative dur",
+        ),
+        (
+            {
+                "traceEvents": [
+                    {"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 1}
+                ]
+            },
+            "missing dur",
+        ),
+        (
+            {
+                "traceEvents": [
+                    {"name": "x", "ph": "i", "ts": 0, "pid": 1, "tid": 1, "s": "z"}
+                ]
+            },
+            "bad instant scope",
+        ),
+        (
+            {
+                "traceEvents": [
+                    {"name": "x", "ph": "B", "ts": "0", "pid": 1, "tid": 1}
+                ]
+            },
+            "must be numeric",
+        ),
+    ],
+)
+def test_validate_chrome_trace_flags_problems(trace, fragment):
+    problems = validate_chrome_trace(trace)
+    assert problems
+    assert any(fragment in p for p in problems)
+
+
+def test_metadata_events_need_no_timestamp():
+    trace = {
+        "traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "x"}}
+        ]
+    }
+    assert validate_chrome_trace(trace) == []
+
+
+def test_csv_merges_all_record_kinds(observed):
+    lines = to_csv(observed).splitlines()
+    assert lines[0] == "record,clock,track,name,start,duration,value,labels"
+    kinds = {line.split(",", 1)[0] for line in lines[1:]}
+    assert kinds == {"span", "instant", "counter", "gauge", "histogram"}
+    counter_row = next(line for line in lines if line.startswith("counter"))
+    assert "shuffle.packets" in counter_row
+    assert "route=gpu0->gpu1" in counter_row
+
+
+def test_csv_quotes_awkward_labels():
+    observer = Observer()
+    observer.counter("c", note='has,"both"').inc()
+    csv = to_csv(observer)
+    assert '"note=has,""both"""' in csv
+
+
+def test_summary_mentions_everything(observed):
+    text = summary(observed)
+    assert "wall-clock spans" in text
+    assert "join" in text
+    assert "route decisions: 1" in text
+    assert "shuffle.packets" in text
+    assert "board.staleness_seconds" in text
+    assert "WARNING" not in text
+
+
+def test_summary_reports_drops():
+    observer = Observer(max_records=1)
+    with pytest.warns(RuntimeWarning):
+        observer.add_span("a", 0.0, 1.0)
+        observer.add_span("b", 0.0, 1.0)
+    assert "1 records dropped" in summary(observer)
+
+
+def test_summary_empty_observer():
+    assert summary(Observer()) == "(no observations recorded)\n"

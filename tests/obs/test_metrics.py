@@ -1,0 +1,110 @@
+"""MetricsRegistry: get-or-create, label identity, snapshots."""
+
+import pytest
+
+from repro.obs.metrics import HISTOGRAM_SAMPLE_CAP, MetricsRegistry
+
+
+def test_counter_get_or_create_by_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("link.bytes", link="0->1")
+    b = registry.counter("link.bytes", link="0->1")
+    c = registry.counter("link.bytes", link="1->0")
+    assert a is b
+    assert a is not c
+    a.inc(10)
+    a.inc()
+    assert registry.value("link.bytes", link="0->1") == 11
+    assert registry.value("link.bytes", link="1->0") == 0
+    assert len(registry) == 2
+
+
+def test_label_order_does_not_matter():
+    registry = MetricsRegistry()
+    a = registry.counter("m", src=0, dst=1)
+    b = registry.counter("m", dst=1, src=0)
+    assert a is b
+
+
+def test_counter_rejects_negative_increment():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="gauge"):
+        registry.counter("n").inc(-1)
+
+
+def test_kind_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("x", gpu=0)
+    with pytest.raises(ValueError, match="already registered"):
+        registry.gauge("x", gpu=0)
+    # A different label set is a distinct instrument, so no conflict.
+    registry.counter("x", gpu=1).inc()
+
+
+def test_gauge_set_and_add():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth")
+    gauge.set(4)
+    gauge.add(-1.5)
+    assert registry.value("depth") == pytest.approx(2.5)
+
+
+def test_total_sums_counter_family():
+    registry = MetricsRegistry()
+    registry.counter("pkts", route="a").inc(3)
+    registry.counter("pkts", route="b").inc(4)
+    registry.gauge("pkts_rate").set(100)  # different family, ignored
+    assert registry.total("pkts") == 7
+    assert registry.total("missing") == 0
+
+
+def test_histogram_stats_and_percentiles():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat")
+    for value in [1.0, 2.0, 3.0, 4.0]:
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.mean == pytest.approx(2.5)
+    assert hist.vmin == 1.0 and hist.vmax == 4.0
+    assert hist.percentile(0) == 1.0
+    assert hist.percentile(100) == 4.0
+    assert hist.percentile(50) in (2.0, 3.0)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_histogram_sample_cap_keeps_exact_aggregates():
+    registry = MetricsRegistry()
+    hist = registry.histogram("big")
+    n = HISTOGRAM_SAMPLE_CAP + 100
+    for value in range(n):
+        hist.observe(float(value))
+    assert hist.count == n
+    assert len(hist.samples) == HISTOGRAM_SAMPLE_CAP
+    assert hist.vmax == float(n - 1)  # max is exact despite sampling
+    assert hist.total == pytest.approx(n * (n - 1) / 2)
+
+
+def test_empty_histogram_is_safe():
+    registry = MetricsRegistry()
+    hist = registry.histogram("empty")
+    assert hist.mean == 0.0
+    assert hist.percentile(99) == 0.0
+
+
+def test_snapshot_shape():
+    registry = MetricsRegistry()
+    registry.counter("c", gpu=1).inc(2)
+    registry.gauge("g").set(7)
+    registry.histogram("h").observe(3.0)
+    snap = registry.snapshot()
+    assert snap["counters"] == [{"name": "c", "labels": {"gpu": 1}, "value": 2.0}]
+    assert snap["gauges"] == [{"name": "g", "labels": {}, "value": 7.0}]
+    (hist_row,) = snap["histograms"]
+    assert hist_row["count"] == 1
+    assert hist_row["mean"] == 3.0
+    assert hist_row["min"] == hist_row["max"] == hist_row["p50"] == 3.0
+    # Snapshot must be JSON-serialisable as-is.
+    import json
+
+    json.dumps(snap)

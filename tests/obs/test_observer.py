@@ -1,0 +1,40 @@
+"""Observer bundle and the NULL_OBSERVER no-op stand-in."""
+
+from repro.obs import NULL_OBSERVER, NullObserver, Observer
+
+
+def test_observer_pass_throughs():
+    observer = Observer()
+    with observer.span("work", gpus=2) as span:
+        observer.instant("mark", 0.5, category="route")
+    observer.add_span("sim", 0.0, 1.0, track="gpu0")
+    observer.counter("c").inc(2)
+    observer.gauge("g").set(1)
+    observer.histogram("h").observe(4.0)
+    assert observer.enabled
+    assert span in observer.spans.spans
+    assert observer.spans.find("sim")
+    assert observer.spans.find_instants("mark")
+    assert observer.metrics.value("c") == 2
+
+
+def test_null_observer_is_inert():
+    with NULL_OBSERVER.span("anything", gpus=8) as span:
+        assert span is None
+    assert NULL_OBSERVER.add_span("x", 0.0, 1.0) is None
+    assert NULL_OBSERVER.instant("x", 0.0) is None
+    assert not NULL_OBSERVER.enabled
+    # All instrument handles are the same shared no-op object.
+    counter = NULL_OBSERVER.counter("c", gpu=1)
+    assert counter is NULL_OBSERVER.gauge("g")
+    assert counter is NULL_OBSERVER.histogram("h")
+    counter.inc()
+    counter.set(3)
+    counter.add(1)
+    counter.observe(2.0)
+
+
+def test_null_observer_singleton_idiom():
+    observer = None
+    resolved = observer or NULL_OBSERVER
+    assert isinstance(resolved, NullObserver)

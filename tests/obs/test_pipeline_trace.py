@@ -1,0 +1,234 @@
+"""End-to-end observability of a full MG-Join run.
+
+Acceptance criteria for the observability layer: an observed 8-GPU join
+emits a loadable Chrome trace with spans for every pipeline phase,
+per-route ARM decision events carrying their T_R / D_R terms, and the
+whole thing survives the CLI round trip (``repro join --trace``).
+"""
+
+import json
+import time
+
+import pytest
+
+from helpers import make_workload
+from repro.core.mgjoin import PHASE_SPANS, MGJoin, PhaseBreakdown
+from repro.obs import SIM, WALL, Observer
+from repro.obs.export import validate_chrome_trace
+from repro.routing import AdaptiveArmPolicy
+from repro.sim import FlowMatrix, ShuffleConfig, ShuffleSimulator
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def observed_join(dgx1):
+    observer = Observer()
+    workload = make_workload(num_gpus=8, real=1 << 12, logical=1 << 20)
+    result = MGJoin(dgx1, observer=observer).run(workload)
+    return observer, result
+
+
+def test_every_phase_has_a_wall_span(observed_join):
+    observer, _ = observed_join
+    names = {s.name for s in observer.spans.find(clock=WALL)}
+    assert {
+        "join",
+        "histogram",
+        "assignment",
+        "global_partition",
+        "shuffle",
+        "local_partition",
+        "probe",
+    } <= names
+
+
+def test_span_nesting_matches_pipeline_structure(observed_join):
+    observer, _ = observed_join
+    spans = observer.spans
+    (join,) = spans.find("join", clock=WALL)
+    assert join.parent_id is None
+    for phase in ("histogram", "global_partition", "local_partition", "probe"):
+        (span,) = spans.find(phase, clock=WALL)
+        assert spans.parent_of(span) is join, phase
+    (shuffle,) = spans.find("shuffle", clock=WALL)
+    assert spans.parent_of(shuffle).name == "global_partition"
+
+
+def test_route_decisions_recorded_with_arm_terms(observed_join):
+    observer, _ = observed_join
+    decisions = observer.spans.find_instants("arm.decision", category="route")
+    assert len(decisions) > 0
+    for decision in decisions:
+        attrs = decision.attrs
+        assert attrs["T_R"] >= 0
+        assert attrs["D_R"] >= 0
+        # ARM(R, P) = T_R + D_R (Eq. 4).
+        assert attrs["arm"] == pytest.approx(attrs["T_R"] + attrs["D_R"])
+        assert "->" in attrs["route"]
+    assert observer.metrics.total("route.decisions") == len(decisions)
+
+
+def test_simulated_timeline_spans(observed_join):
+    observer, result = observed_join
+    sim_phases = observer.spans.find(clock=SIM, category="phase")
+    names = {s.name for s in sim_phases}
+    assert {"histogram", "global_partition", "local_partition", "probe"} <= names
+    (distribution,) = [s for s in sim_phases if s.name == "distribution"]
+    assert distribution.attrs["overlapped"] is True
+    (probe,) = [s for s in sim_phases if s.name == "probe"]
+    assert probe.end == pytest.approx(result.breakdown.total)
+
+
+def test_link_transfers_merge_into_trace(observed_join):
+    observer, result = observed_join
+    link_spans = observer.spans.find(category="link")
+    transfers = [s for s in link_spans if s.name == "transfer"]
+    assert transfers
+    assert sum(s.attrs["bytes"] for s in transfers) == result.shuffle_report.wire_bytes
+
+
+def test_pipeline_metrics_recorded(observed_join):
+    observer, result = observed_join
+    metrics = observer.metrics
+    assert metrics.total("shuffle.packets") > 0
+    assert metrics.total("link.bytes") == result.shuffle_report.wire_bytes
+    assert metrics.total("probe.matches") == result.matches_real
+    assert metrics.value("shuffle.elapsed_seconds") == pytest.approx(
+        result.shuffle_report.elapsed
+    )
+    staleness = metrics.histogram("board.staleness_seconds")
+    assert staleness.count > 0
+
+
+# ---------------------------------------------------------------------------
+# PhaseBreakdown <-> spans sync regression (a new timed phase must also
+# appear in the reported breakdown, and vice versa).
+# ---------------------------------------------------------------------------
+
+
+def test_phase_spans_cover_breakdown_keys():
+    breakdown = PhaseBreakdown(0.0, 0.0, 0.0, 0.0)
+    assert set(PHASE_SPANS) == set(breakdown.as_dict())
+
+
+def test_phase_spans_match_spans_actually_timed(observed_join):
+    observer, _ = observed_join
+    timed = {s.name for s in observer.spans.find(clock=WALL, category="phase")}
+    mapped = {name for names in PHASE_SPANS.values() for name in names}
+    # Every breakdown contributor is really timed by MGJoin.run ...
+    assert mapped <= timed
+    # ... and every timed phase is accounted for (the root span and the
+    # assignment, which the paper overlaps off the critical path, are
+    # deliberately not part of the breakdown).
+    assert timed - mapped == {"join", "assignment"}
+
+
+# ---------------------------------------------------------------------------
+# CLI round trip
+# ---------------------------------------------------------------------------
+
+
+def test_cli_join_trace_roundtrip(tmp_path, capsys):
+    from repro.cli import main
+
+    trace_path = tmp_path / "join.json"
+    csv_path = tmp_path / "join.csv"
+    rc = main(
+        [
+            "join",
+            "--gpus",
+            "8",
+            "--tuples-per-gpu",
+            "1M",
+            "--real-tuples",
+            "4K",
+            "--trace",
+            str(trace_path),
+            "--trace-csv",
+            str(csv_path),
+        ]
+    )
+    assert rc == 0
+    trace = json.loads(trace_path.read_text())
+    assert validate_chrome_trace(trace) == []
+    events = trace["traceEvents"]
+    spans = {e["name"]: e for e in events if e["ph"] == "X" and e["pid"] == 1}
+    for phase in ("join", "histogram", "global_partition", "shuffle", "probe"):
+        assert phase in spans, phase
+    assert spans["shuffle"]["args"]["parent"] == spans["global_partition"]["id"]
+    assert spans["histogram"]["args"]["parent"] == spans["join"]["id"]
+    decisions = [e for e in events if e["name"] == "arm.decision" and e["ph"] == "i"]
+    assert len(decisions) > 0
+    assert trace["otherData"]["metrics"]["counters"]
+    csv_lines = csv_path.read_text().splitlines()
+    assert csv_lines[0] == "record,clock,track,name,start,duration,value,labels"
+    assert len(csv_lines) > 1
+    out = capsys.readouterr().out
+    assert "chrome trace" in out
+
+
+def test_cli_trace_command(tmp_path, capsys):
+    from repro.cli import main
+
+    out_path = tmp_path / "shuffle.json"
+    rc = main(
+        [
+            "trace",
+            "--gpus",
+            "4",
+            "--bytes-per-flow",
+            "16M",
+            "--out",
+            str(out_path),
+            "--gantt",
+        ]
+    )
+    assert rc == 0
+    trace = json.loads(out_path.read_text())
+    assert validate_chrome_trace(trace) == []
+    # Per-link lanes come through as simulated-clock transfer spans.
+    transfers = [
+        e for e in trace["traceEvents"] if e["name"] == "transfer" and e["ph"] == "X"
+    ]
+    assert transfers
+    out = capsys.readouterr().out
+    assert "route decisions" in out
+
+
+# ---------------------------------------------------------------------------
+# Disabled-path overhead guard
+# ---------------------------------------------------------------------------
+
+
+def _time_shuffle(dgx1, observer) -> float:
+    gpu_ids = tuple(range(8))
+    flows = FlowMatrix.all_to_all(gpu_ids, 8 * MB)
+    best = float("inf")
+    for _ in range(3):
+        simulator = ShuffleSimulator(
+            dgx1, gpu_ids, ShuffleConfig(), observer=observer
+        )
+        start = time.perf_counter()
+        simulator.run(flows, AdaptiveArmPolicy())
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_observability_overhead_is_negligible(dgx1):
+    """A Figure-6-style shuffle with ``observer=None`` must not be
+    slower than the same shuffle recording everything: recording is a
+    strict superset of the disabled path's work, so this bounds the
+    cost of the ``is not None`` guards well under the 5% budget.
+    """
+    disabled = _time_shuffle(dgx1, observer=None)
+    enabled = _time_shuffle(dgx1, observer=Observer())
+    assert disabled <= enabled * 1.05 + 0.010
+
+
+def test_disabled_run_records_nothing(dgx1):
+    workload = make_workload(num_gpus=4, real=1 << 10, logical=1 << 16)
+    join = MGJoin(dgx1)
+    assert join.observer is None
+    result = join.run(workload)
+    assert result.matches_real > 0

@@ -1,5 +1,7 @@
 """Simulation tracing."""
 
+import warnings
+
 import pytest
 
 from repro.routing import DirectPolicy
@@ -63,11 +65,59 @@ def test_empty_tracer():
     assert tracer.subjects() == ()
 
 
-def test_event_cap():
+def test_event_cap_counts_drops_and_warns_once():
     tracer = Tracer(max_events=2)
-    for index in range(5):
-        tracer.record(index, 1.0, "transfer", "x", 1)
+    assert tracer.dropped_events == 0
+    with pytest.warns(RuntimeWarning, match="max_events"):
+        for index in range(5):
+            tracer.record(index, 1.0, "transfer", "x", 1)
     assert len(tracer) == 2
+    assert len(tracer.events) == 2
+    assert tracer.dropped_events == 3
+    # The warning fires only on the first drop; later drops are only
+    # counted (simplefilter("error") would raise if it re-warned).
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        tracer.record(9.0, 1.0, "transfer", "x", 1)
+    assert tracer.dropped_events == 4
+
+
+def test_csv_footer_reports_drops():
+    tracer = Tracer(max_events=1)
+    with pytest.warns(RuntimeWarning):
+        tracer.record(0.0, 1.0, "transfer", "x", 1)
+        tracer.record(1.0, 1.0, "transfer", "x", 1)
+    assert tracer.to_csv().strip().endswith("# dropped_events,1")
+
+
+def test_shared_span_store_merges_and_respects_its_cap():
+    from repro.obs.spans import SpanTracer
+
+    spans = SpanTracer(max_records=1)
+    tracer = Tracer(spans=spans, max_events=10)
+    with pytest.warns(RuntimeWarning, match="max_records"):
+        tracer.record(0.0, 1.0, "transfer", "gpu0->gpu1", 64)
+        tracer.record(1.0, 1.0, "transfer", "gpu0->gpu1", 64)
+    # The second event was refused by the shared store, not by the
+    # tracer's own cap — it still counts as a drop here.
+    assert len(tracer) == 1
+    assert tracer.dropped_events == 1
+    (span,) = spans.spans
+    assert span.track == "gpu0->gpu1"
+    assert span.attrs["bytes"] == 64
+
+
+def test_events_are_views_over_spans():
+    tracer = Tracer()
+    tracer.record(0.5, 0.25, "deliver", "gpu2", 128, detail="pkt")
+    (event,) = tracer.events
+    assert event == TraceEvent(
+        time=0.5, duration=0.25, kind="deliver", subject="gpu2", nbytes=128,
+        detail="pkt",
+    )
+    assert tracer.busy_time("gpu2") == pytest.approx(0.25)
+    assert tracer.bytes_moved("gpu2") == 128
+    assert tracer.horizon == pytest.approx(0.75)
 
 
 def test_event_end():
