@@ -1,0 +1,17 @@
+"""Perf-regression gate: the committed BENCH baseline must hold.
+
+Collects the canonical perf metrics (skewed 8-GPU shuffle + small
+MG-Join, all deterministic simulation) and compares them against the
+committed ``BENCH_dgx1-8gpu.json``.  Any gated metric moving more than
+10% in its bad direction fails the build; refresh the baseline with
+``python -m repro perf --update`` when a change is intentional.
+"""
+
+from repro.bench import regression
+
+
+def test_perf_gate_against_committed_baseline():
+    result = regression.run_gate()
+    print()
+    print(result.render())
+    assert result.ok, "perf regression against committed baseline (see table)"

@@ -9,12 +9,28 @@ qualitative claims (who wins, by roughly what factor).
 
 from repro.bench.harness import FigureResult, bench_workload
 from repro.bench import figures
+from repro.bench.regression import (
+    GateResult,
+    MetricComparison,
+    collect_perf_metrics,
+    compare,
+    load_baseline,
+    run_gate,
+    write_baseline,
+)
 from repro.bench.reporting import format_markdown_table, save_figure_result
 
 __all__ = [
     "FigureResult",
+    "GateResult",
+    "MetricComparison",
     "bench_workload",
+    "collect_perf_metrics",
+    "compare",
     "figures",
     "format_markdown_table",
+    "load_baseline",
+    "run_gate",
     "save_figure_result",
+    "write_baseline",
 ]

@@ -9,6 +9,11 @@ Commands:
 * ``trace`` — run one fully-observed distribution step and export the
   Chrome trace / merged CSV / terminal summary (see
   ``docs/observability.md``).
+* ``analyze`` — run one sampled join (or shuffle) and emit the link
+  congestion analysis: link x time heatmap, per-phase bottleneck
+  attribution and the ARM decision-regret table.
+* ``perf`` — collect the canonical perf metrics and gate them against
+  a committed ``BENCH_*.json`` baseline (10% tolerance).
 * ``figure`` — regenerate a paper figure (fig01 .. fig14).
 * ``tpch`` — run TPC-H queries on a chosen engine.
 
@@ -145,6 +150,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the terminal Gantt chart of the busiest links",
     )
 
+    analyze = commands.add_parser(
+        "analyze",
+        help="run one sampled join/shuffle and emit the congestion analysis",
+    )
+    analyze.add_argument("--machine", choices=sorted(MACHINES), default="dgx1")
+    analyze.add_argument("--policy", choices=sorted(POLICIES), default="adaptive")
+    analyze.add_argument("--gpus", type=int, default=8)
+    analyze.add_argument(
+        "--mode", choices=("join", "shuffle"), default="join",
+        help="analyze a full MG-Join run or a bare distribution step",
+    )
+    analyze.add_argument(
+        "--bytes-per-flow", type=parse_size, default=parse_size("64M"),
+        help="per-flow payload (shuffle mode)",
+    )
+    analyze.add_argument(
+        "--hot-gpu", type=int, default=None, metavar="ID",
+        help="skew shuffle-mode traffic toward one hot receiver",
+    )
+    analyze.add_argument(
+        "--tuples-per-gpu", type=parse_size, default=parse_size("512M"),
+        help="logical tuples per relation per GPU (join mode)",
+    )
+    analyze.add_argument(
+        "--real-tuples", type=parse_size, default=parse_size("64K"),
+        help="materialized tuples per relation per GPU (join mode)",
+    )
+    analyze.add_argument("--zipf-placement", type=float, default=0.0)
+    analyze.add_argument("--zipf-keys", type=float, default=0.5)
+    analyze.add_argument("--seed", type=int, default=42)
+    analyze.add_argument(
+        "--buckets", type=int, default=48,
+        help="time buckets across the heatmap's x axis",
+    )
+    analyze.add_argument(
+        "--top", type=int, default=10, help="links/rows shown per section"
+    )
+    analyze.add_argument(
+        "--out-dir", metavar="DIR", default=None,
+        help="also write heatmap.csv/json, bottlenecks.json and regret.csv",
+    )
+
+    perf = commands.add_parser(
+        "perf", help="gate current perf metrics against a BENCH baseline"
+    )
+    perf.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="BENCH_*.json baseline file (default: repo BENCH_dgx1-8gpu.json)",
+    )
+    perf.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed relative regression (default 0.10)",
+    )
+    perf.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from the current collection and exit",
+    )
+
     figure = commands.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", help="fig01, fig04, ..., fig14")
     figure.add_argument("--out", default=None, help="directory for results")
@@ -168,6 +231,8 @@ def main(argv: list[str] | None = None) -> int:
         "join": _cmd_join,
         "shuffle": _cmd_shuffle,
         "trace": _cmd_trace,
+        "analyze": _cmd_analyze,
+        "perf": _cmd_perf,
         "figure": _cmd_figure,
         "tpch": _cmd_tpch,
     }[args.command]
@@ -238,6 +303,17 @@ def _cmd_join(args) -> int:
             machine, policy=POLICIES[args.policy](), observer=observer
         )
     result = algorithm.run(workload)
+    metadata = None
+    if observer is not None:
+        from repro.obs import run_metadata
+
+        metadata = run_metadata(
+            topology=args.machine,
+            num_gpus=len(gpu_ids),
+            seed=args.seed,
+            algorithm=args.algorithm,
+            policy=args.policy,
+        )
     print(f"algorithm        : {result.algorithm}")
     print(f"gpus             : {result.num_gpus}")
     print(f"logical tuples   : {result.logical_tuples:,}")
@@ -248,16 +324,16 @@ def _cmd_join(args) -> int:
     for phase, seconds in result.breakdown.as_dict().items():
         print(f"  {phase:22s}: {seconds * 1e3:9.2f} ms")
     if observer is not None:
-        _export_observation(observer, args.trace, args.trace_csv)
+        _export_observation(observer, args.trace, args.trace_csv, metadata)
     return 0
 
 
-def _export_observation(observer, trace_path, csv_path) -> None:
+def _export_observation(observer, trace_path, csv_path, metadata=None) -> None:
     from repro.obs import export
 
     print()
     if trace_path:
-        path = export.write_chrome_trace(observer, trace_path)
+        path = export.write_chrome_trace(observer, trace_path, metadata)
         print(f"chrome trace     : {path} (open in chrome://tracing or Perfetto)")
     if csv_path:
         import pathlib
@@ -286,6 +362,10 @@ def _cmd_shuffle(args) -> int:
     print(f"throughput           : {report.throughput / 1e9:.1f} GB/s")
     print(f"average hops         : {report.average_hops:.2f}")
     print(f"bisection utilization: {report.bisection_utilization * 100:.1f}%")
+    print(
+        f"  per direction      : a->b {report.bisection_utilization_ab * 100:.1f}%"
+        f"  b->a {report.bisection_utilization_ba * 100:.1f}%"
+    )
     busiest = sorted(
         report.link_stats.values(),
         key=lambda stats: stats.busy_time,
@@ -320,13 +400,155 @@ def _cmd_trace(args) -> int:
     print(f"payload  : {report.payload_bytes / 1e9:.2f} GB")
     print(f"elapsed  : {report.elapsed * 1e3:.2f} ms (simulated)")
     print(f"throughput: {report.throughput / 1e9:.1f} GB/s")
+    print(
+        f"bisection: {report.bisection_utilization * 100:.1f}%"
+        f" (a->b {report.bisection_utilization_ab * 100:.1f}%"
+        f" / b->a {report.bisection_utilization_ba * 100:.1f}%)"
+    )
     if tracer.dropped_events:
         print(f"WARNING  : {tracer.dropped_events} trace events dropped")
     if args.gantt:
         print()
         print(tracer.ascii_gantt(), end="")
-    _export_observation(observer, args.out, args.csv)
+    from repro.obs import run_metadata
+
+    metadata = run_metadata(
+        topology=args.machine, num_gpus=len(gpu_ids), policy=args.policy
+    )
+    _export_observation(observer, args.out, args.csv, metadata)
     return 0
+
+
+def _phase_windows(observer, horizon):
+    """Split the shuffle clock at the last route decision: before it
+    the global partition pass is still injecting packets, after it the
+    network drains into the local partition pass (§4 overlap)."""
+    from repro.obs.analyze import PhaseWindow
+
+    decisions = observer.spans.find_instants("arm.decision")
+    split = max((instant.time for instant in decisions), default=0.0)
+    if 0.0 < split < horizon:
+        return [
+            PhaseWindow("inject (global partition overlap)", 0.0, split),
+            PhaseWindow("drain (local partition overlap)", split, horizon),
+        ]
+    return None
+
+
+def _cmd_analyze(args) -> int:
+    """One sampled run -> heatmap + bottleneck attribution + regret."""
+    from repro.obs import Observer, run_metadata
+    from repro.obs.analyze import (
+        LinkTimelineSampler,
+        ascii_heatmap,
+        attribute,
+        audit_decisions,
+        render_bottleneck_report,
+        render_regret_table,
+        write_analysis,
+    )
+
+    machine = MACHINES[args.machine]()
+    gpu_ids = _select_gpus(machine, args.gpus)
+    observer = Observer()
+    sampler = LinkTimelineSampler()
+    if args.mode == "join":
+        workload = generate_workload(
+            WorkloadSpec(
+                gpu_ids=gpu_ids,
+                logical_tuples_per_gpu=_round_to_multiple(
+                    args.tuples_per_gpu, args.real_tuples
+                ),
+                real_tuples_per_gpu=args.real_tuples,
+                placement_zipf=args.zipf_placement,
+                key_zipf=args.zipf_keys,
+                seed=args.seed,
+            )
+        )
+        algorithm = MGJoin(
+            machine,
+            policy=POLICIES[args.policy](),
+            observer=observer,
+            sampler=sampler,
+        )
+        result = algorithm.run(workload)
+        report = result.shuffle_report
+        print(f"algorithm : {result.algorithm}  ({len(gpu_ids)} GPUs)")
+        print(f"total time: {result.total_time * 1e3:.2f} ms")
+    else:
+        flows = FlowMatrix()
+        for src in gpu_ids:
+            for dst in gpu_ids:
+                if src != dst:
+                    flows.add(src, dst, args.bytes_per_flow)
+                    if args.hot_gpu is not None and dst == args.hot_gpu:
+                        flows.add(src, dst, 5 * args.bytes_per_flow)
+        report = ShuffleSimulator(
+            machine, gpu_ids, observer=observer, sampler=sampler
+        ).run(flows, POLICIES[args.policy]())
+    if report is None:
+        print("no distribution step was simulated; nothing to analyze")
+        return 1
+    print(
+        f"shuffle   : {report.elapsed * 1e3:.2f} ms,"
+        f" {report.throughput / 1e9:.1f} GB/s,"
+        f" bisection {report.bisection_utilization * 100:.1f}%"
+        f" (a->b {report.bisection_utilization_ab * 100:.1f}%"
+        f" / b->a {report.bisection_utilization_ba * 100:.1f}%)"
+    )
+    timeline = sampler.timeline(args.buckets)
+    phases = _phase_windows(observer, sampler.horizon)
+    bottlenecks = attribute(sampler, report.cut, phases=phases, top=args.top)
+    regret = audit_decisions(machine, observer, sampler)
+    print()
+    print(ascii_heatmap(timeline, top=args.top))
+    print()
+    print(render_bottleneck_report(bottlenecks, top_links=min(5, args.top)))
+    print()
+    print(render_regret_table(regret, top=args.top))
+    if args.out_dir:
+        metadata = run_metadata(
+            topology=args.machine,
+            num_gpus=len(gpu_ids),
+            seed=args.seed,
+            policy=args.policy,
+            mode=args.mode,
+        )
+        paths = write_analysis(
+            args.out_dir,
+            timeline=timeline,
+            bottlenecks=bottlenecks,
+            regret=regret,
+            metadata=metadata,
+        )
+        print()
+        for path in paths:
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    """Collect perf metrics, gate against (or refresh) the baseline."""
+    from repro.bench import regression
+    from repro.obs import run_metadata
+
+    path = args.baseline or regression.baseline_path()
+    current = regression.collect_perf_metrics()
+    if args.update:
+        metadata = run_metadata(
+            topology="dgx1", num_gpus=8, seed=42,
+            policy="adaptive", workload="skewed-shuffle+mg-join",
+        )
+        regression.write_baseline(path, current, metadata)
+        print(f"baseline updated: {path}")
+        return 0
+    tolerance = (
+        args.tolerance if args.tolerance is not None
+        else regression.DEFAULT_TOLERANCE
+    )
+    result = regression.run_gate(path, tolerance=tolerance, current=current)
+    print(result.render(), end="")
+    return 0 if result.ok else 1
 
 
 def _cmd_figure(args) -> int:

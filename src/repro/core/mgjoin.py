@@ -170,12 +170,16 @@ class MGJoin:
         config: MGJoinConfig | None = None,
         policy: RoutingPolicy | None = None,
         observer: Observer | None = None,
+        sampler=None,
     ) -> None:
         self.machine = machine
         self.config = config or MGJoinConfig()
         self.policy = policy or AdaptiveArmPolicy()
         #: Observability sink (spans + metrics); ``None`` = off.
         self.observer = observer
+        #: Link-timeline sampler for the distribution step
+        #: (:class:`repro.obs.analyze.LinkTimelineSampler`); ``None`` = off.
+        self.sampler = sampler
 
     # ------------------------------------------------------------------
 
@@ -423,7 +427,7 @@ class MGJoin:
             tracer = Tracer(spans=self.observer.spans)
         simulator = ShuffleSimulator(
             self.machine, gpu_ids, shuffle_config, tracer=tracer,
-            observer=self.observer,
+            observer=self.observer, sampler=self.sampler,
         )
         return simulator.run(flows, self.policy)
 

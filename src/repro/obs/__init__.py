@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.obs.meta import config_hash, run_metadata
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.spans import (
     PIPELINE_TRACK,
@@ -132,4 +133,6 @@ __all__ = [
     "Span",
     "SpanTracer",
     "WALL",
+    "config_hash",
+    "run_metadata",
 ]

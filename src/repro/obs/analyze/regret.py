@@ -1,0 +1,209 @@
+"""ARM decision audit: was each routing choice right, in hindsight?
+
+Every routing policy records one ``arm.decision`` instant per batch
+(see :meth:`repro.routing.base.RoutingPolicy.emit_decision`) carrying
+the candidate routes it considered.  This module replays each instant
+against the *realized* link timelines captured by a
+:class:`~repro.obs.analyze.timeline.LinkTimelineSampler`: for every
+candidate route it recomputes the ARM cost (Eq. 2) using the queue
+delays the links actually had at that instant — the ground truth the
+deciding GPU could not see through the delayed broadcast board.
+
+Per-batch **regret** is the realized cost of the chosen route minus
+the realized cost of the best candidate.  Regret of zero means the
+decision was optimal given what actually happened; the audit also
+correlates regret with the link-state board's staleness at decision
+time, quantifying how much the broadcast delay costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.obs.analyze.timeline import LinkTimelineSampler
+from repro.topology.links import bottleneck_bandwidth
+from repro.topology.routes import Route, physical_links
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observer
+    from repro.topology.machine import MachineTopology
+
+
+def parse_route(text: str) -> Route:
+    """Inverse of ``str(Route)``: ``"0->3->5"`` -> ``Route((0, 3, 5))``."""
+    return Route(tuple(int(part) for part in text.split("->")))
+
+
+@dataclass(frozen=True)
+class DecisionAudit:
+    """One replayed routing decision."""
+
+    time: float
+    src: int
+    dst: int
+    policy: str
+    chosen: str
+    best: str
+    #: Realized ARM cost (seconds) of the chosen / best candidate.
+    realized_chosen: float
+    realized_best: float
+    batch_bytes: int
+    #: Broadcast-board error (seconds) the decider saw, if recorded.
+    staleness: float | None
+
+    @property
+    def regret(self) -> float:
+        return max(0.0, self.realized_chosen - self.realized_best)
+
+    @property
+    def was_optimal(self) -> bool:
+        return self.chosen == self.best
+
+
+@dataclass
+class RegretReport:
+    """Aggregated audit of every decision in one run."""
+
+    policy: str
+    rows: list[DecisionAudit] = field(default_factory=list)
+
+    @property
+    def decisions(self) -> int:
+        return len(self.rows)
+
+    @property
+    def mean_regret(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(row.regret for row in self.rows) / len(self.rows)
+
+    @property
+    def total_regret(self) -> float:
+        return sum(row.regret for row in self.rows)
+
+    @property
+    def optimal_share(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(row.was_optimal for row in self.rows) / len(self.rows)
+
+    def percentile_regret(self, q: float) -> float:
+        if not self.rows:
+            return 0.0
+        ordered = sorted(row.regret for row in self.rows)
+        index = min(
+            len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))
+        )
+        return ordered[index]
+
+    @property
+    def staleness_regret_correlation(self) -> float | None:
+        """Pearson correlation of board staleness vs regret.
+
+        ``None`` when staleness was not recorded or either series is
+        constant (correlation undefined).
+        """
+        pairs = [
+            (row.staleness, row.regret)
+            for row in self.rows
+            if row.staleness is not None
+        ]
+        if len(pairs) < 2:
+            return None
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        mean_x = sum(xs) / len(xs)
+        mean_y = sum(ys) / len(ys)
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in pairs)
+        var_x = sum((x - mean_x) ** 2 for x in xs)
+        var_y = sum((y - mean_y) ** 2 for y in ys)
+        if var_x <= 0 or var_y <= 0:
+            return None
+        return cov / math.sqrt(var_x * var_y)
+
+    def worst(self, top: int = 10) -> list[DecisionAudit]:
+        return sorted(self.rows, key=lambda row: row.regret, reverse=True)[:top]
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "decisions": self.decisions,
+            "mean_regret": self.mean_regret,
+            "p95_regret": self.percentile_regret(95),
+            "total_regret": self.total_regret,
+            "optimal_share": self.optimal_share,
+            "staleness_regret_correlation": self.staleness_regret_correlation,
+        }
+
+
+def realized_arm(
+    machine: "MachineTopology",
+    sampler: LinkTimelineSampler,
+    route: Route,
+    packet_bytes: int,
+    when: float,
+) -> float:
+    """ARM(R, P) recomputed from the realized link state at ``when``.
+
+    Same form as :func:`repro.routing.adaptive.arm_value` — bottleneck
+    transmission time plus per-link queue + latency — but the queue
+    delays come from the sampled timeline (strictly before ``when``,
+    so a decision's own commits are excluded) instead of the decider's
+    broadcast view.
+    """
+    links = physical_links(machine, route)
+    transmission = packet_bytes / bottleneck_bandwidth(list(links), packet_bytes)
+    delay = 0.0
+    for spec in links:
+        delay += sampler.queue_delay_at(spec.link_id, when) + spec.latency
+    return transmission + delay
+
+
+def audit_decisions(
+    machine: "MachineTopology",
+    observer: "Observer",
+    sampler: LinkTimelineSampler,
+) -> RegretReport:
+    """Replay every recorded ``arm.decision`` against the timelines.
+
+    Decisions recorded without a candidate-route list (telemetry from
+    before the observatory landed) are skipped rather than guessed at.
+    """
+    policy = ""
+    rows: list[DecisionAudit] = []
+    route_cache: dict[str, Route] = {}
+    for instant in observer.spans.find_instants("arm.decision"):
+        attrs = instant.attrs
+        candidates = attrs.get("routes")
+        packet_bytes = attrs.get("packet_bytes")
+        if not candidates or not packet_bytes:
+            continue
+        policy = attrs.get("policy", policy)
+        costs: dict[str, float] = {}
+        for text in candidates:
+            route = route_cache.get(text)
+            if route is None:
+                route = route_cache.setdefault(text, parse_route(text))
+            costs[text] = realized_arm(
+                machine, sampler, route, packet_bytes, instant.time
+            )
+        chosen = attrs["route"]
+        best = min(costs, key=lambda text: (costs[text], text != chosen))
+        rows.append(
+            DecisionAudit(
+                time=instant.time,
+                src=attrs["src"],
+                dst=attrs["dst"],
+                policy=attrs.get("policy", ""),
+                chosen=chosen,
+                best=best,
+                realized_chosen=costs[chosen],
+                realized_best=costs[best],
+                batch_bytes=attrs.get("batch_bytes", 0),
+                staleness=attrs.get("staleness"),
+            )
+        )
+    rows.sort(key=lambda row: row.time)
+    return RegretReport(policy=policy, rows=rows)

@@ -113,22 +113,34 @@ def chrome_trace_events(spans: SpanTracer) -> list[dict]:
     return tids.metadata_events() + events
 
 
-def to_chrome_trace(observer: "Observer") -> dict:
-    """The full Chrome trace object for one observed run."""
+def to_chrome_trace(observer: "Observer", metadata: dict | None = None) -> dict:
+    """The full Chrome trace object for one observed run.
+
+    ``metadata`` (see :func:`repro.obs.meta.run_metadata`) rides along
+    under ``otherData["run"]`` so a trace file is self-describing:
+    which repro version, topology and seed produced it.
+    """
+    other: dict = {
+        "generator": "repro.obs",
+        "dropped_records": observer.spans.dropped,
+        "metrics": observer.metrics.snapshot(),
+    }
+    if metadata is not None:
+        other["run"] = dict(metadata)
     return {
         "traceEvents": chrome_trace_events(observer.spans),
         "displayTimeUnit": "ms",
-        "otherData": {
-            "generator": "repro.obs",
-            "dropped_records": observer.spans.dropped,
-            "metrics": observer.metrics.snapshot(),
-        },
+        "otherData": other,
     }
 
 
-def write_chrome_trace(observer: "Observer", path: str | pathlib.Path) -> pathlib.Path:
+def write_chrome_trace(
+    observer: "Observer",
+    path: str | pathlib.Path,
+    metadata: dict | None = None,
+) -> pathlib.Path:
     path = pathlib.Path(path)
-    path.write_text(json.dumps(to_chrome_trace(observer), indent=1))
+    path.write_text(json.dumps(to_chrome_trace(observer, metadata), indent=1))
     return path
 
 
@@ -215,7 +227,10 @@ def to_csv(observer: "Observer") -> str:
                 f"{row['value']},{_esc(_label_text(row['labels']))}\n"
             )
     for row in snapshot["histograms"]:
-        stats = {k: row[k] for k in ("count", "min", "max", "mean", "p50", "p99")}
+        stats = {
+            k: row[k]
+            for k in ("count", "min", "max", "mean", "p50", "p95", "p99")
+        }
         out.write(
             f"histogram,,,{_esc(row['name'])},,,"
             f"{row['total']},{_esc(_label_text({**row['labels'], **stats}))}\n"
@@ -269,10 +284,19 @@ def summary(observer: "Observer", top: int = 8) -> str:
             label = _label_text(row["labels"])
             suffix = f" {{{label}}}" if label else ""
             lines.append(f"  {row['name']}{suffix} = {row['value']:g}")
-    for row in snapshot["histograms"]:
+    histograms = snapshot["histograms"]
+    if histograms:
+        lines.append(f"histograms ({len(histograms)}):")
+    for row in histograms:
+        label = _label_text(row["labels"])
+        suffix = f" {{{label}}}" if label else ""
         lines.append(
-            f"  {row['name']}: n={row['count']} mean={row['mean']:.3g}"
-            f" p99={row['p99']:.3g} max={row['max']:.3g}"
+            f"  {row['name']}{suffix}: n={row['count']} mean={row['mean']:.3g}"
+            f" max={row['max']:.3g}"
+        )
+        lines.append(
+            f"    p50={row['p50']:.3g}  p95={row['p95']:.3g}"
+            f"  p99={row['p99']:.3g}"
         )
     if observer.spans.dropped:
         lines.append(f"WARNING: {observer.spans.dropped} records dropped (cap hit)")

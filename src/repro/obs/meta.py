@@ -1,0 +1,71 @@
+"""Run-metadata stamping for traces and benchmark artifacts.
+
+Every exported artifact (Chrome trace, ``BENCH_*.json`` baseline,
+bottleneck report) should be self-describing: which repro version,
+topology, GPU count, RNG seed and configuration produced it.  Without
+that, a committed baseline silently goes stale the moment a default
+changes.  :func:`run_metadata` builds the canonical header dict and
+:func:`config_hash` gives a short stable digest of any JSON-able
+configuration mapping so two artifacts can be compared for
+like-for-like provenance at a glance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+
+
+def repro_version() -> str:
+    """The package version, looked up lazily.
+
+    ``repro/__init__`` imports ``repro.obs`` (directly and through the
+    simulator), so ``repro.obs.meta`` must not import ``repro`` at
+    module import time — that would be a cycle.
+    """
+    import repro
+
+    return repro.__version__
+
+
+def config_hash(config: object) -> str:
+    """Short stable digest of a configuration object.
+
+    Accepts dataclasses, mappings, or anything JSON-serialisable once
+    converted; key order never affects the digest.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        config = dataclasses.asdict(config)
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+
+def run_metadata(
+    *,
+    topology: str | None = None,
+    num_gpus: int | None = None,
+    seed: int | None = None,
+    config: object = None,
+    **extra,
+) -> dict:
+    """The canonical artifact header.
+
+    Only the keys that apply to the run are emitted; ``extra`` keyword
+    pairs ride along verbatim (e.g. ``policy="mg-join"``).
+    """
+    meta: dict = {
+        "repro_version": repro_version(),
+        "python": platform.python_version(),
+    }
+    if topology is not None:
+        meta["topology"] = topology
+    if num_gpus is not None:
+        meta["num_gpus"] = num_gpus
+    if seed is not None:
+        meta["seed"] = seed
+    if config is not None:
+        meta["config_hash"] = config_hash(config)
+    meta.update(extra)
+    return meta

@@ -171,6 +171,7 @@ class MetricsRegistry:
                         "max": hist.vmax if hist.count else 0.0,
                         "mean": hist.mean,
                         "p50": hist.percentile(50),
+                        "p95": hist.percentile(95),
                         "p99": hist.percentile(99),
                     }
                 )

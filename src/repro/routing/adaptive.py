@@ -123,25 +123,20 @@ class AdaptiveArmPolicy(RoutingPolicy):
         packet_bytes: int,
         batch_bytes: int,
     ) -> None:
-        """Emit one ARM decision: an instant event carrying the Eq. 2
-        terms of the chosen route, plus per-route packet counters."""
+        """Emit one ARM decision: the generic auditable instant (all
+        candidate routes + estimates) plus the Eq. 2 terms of the
+        chosen route."""
         transmission = _transmission_time(context.machine, chosen, packet_bytes)
         arm = next(score for score, route in scored if route is chosen)
-        observer.instant(
-            "arm.decision",
-            context.engine.now,
-            track=f"gpu{src}",
-            category="route",
-            src=src,
-            dst=dst,
-            route=str(chosen),
+        self.emit_decision(
+            context,
+            src,
+            dst,
+            chosen,
+            batch_bytes=batch_bytes,
+            packet_bytes=packet_bytes,
+            scored=scored,
             T_R=transmission,
             D_R=arm - transmission,
             arm=arm,
-            candidates=len(scored),
-            batch_bytes=batch_bytes,
-            direct=chosen.is_direct,
         )
-        observer.metrics.counter("route.decisions", src=src, dst=dst).inc()
-        if not chosen.is_direct:
-            observer.metrics.counter("route.multi_hop_decisions").inc()

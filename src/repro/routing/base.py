@@ -21,6 +21,7 @@ from repro.topology.routes import Route, RouteEnumerator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observer
+    from repro.obs.analyze.timeline import LinkTimelineSampler
 
 
 @dataclass
@@ -36,6 +37,8 @@ class RoutingContext:
     #: Observability sink for route decisions and state staleness;
     #: ``None`` = off (policies must guard on it).
     observer: "Observer | None" = None
+    #: Time-resolved link/flow sampler; ``None`` = off.
+    sampler: "LinkTimelineSampler | None" = None
 
     def queue_delay_seen_by(self, viewer_gpu: int, spec: LinkSpec) -> float:
         """Queue delay of ``spec`` as GPU ``viewer_gpu`` perceives it.
@@ -79,3 +82,79 @@ class RoutingPolicy(abc.ABC):
     def batch_overhead(self, context: RoutingContext) -> float:
         """Extra seconds charged before each batch (e.g. global sync)."""
         return 0.0
+
+    def emit_decision(
+        self,
+        context: RoutingContext,
+        src: int,
+        dst: int,
+        chosen: Route,
+        *,
+        batch_bytes: int,
+        packet_bytes: int,
+        scored: "list[tuple[float, Route]] | None" = None,
+        **extra,
+    ) -> None:
+        """Record one auditable ``arm.decision`` instant.
+
+        Every policy calls this (not just the adaptive one), so the
+        decision audit can compare policies on equal footing.  The
+        instant carries the *candidate route set* the policy could have
+        picked — with the policy's own cost estimates when it scored
+        them — plus the broadcast-board staleness over the chosen
+        route's remote links, enabling counterfactual replay against
+        the realized link timelines (``repro.obs.analyze.regret``).
+        """
+        observer = context.observer
+        if observer is None:
+            return
+        if scored is not None:
+            routes = [str(route) for _, route in scored]
+            estimates = [score for score, _ in scored]
+        else:
+            routes = [str(route) for route in context.enumerator.routes(src, dst)]
+            estimates = None
+        attrs = dict(
+            src=src,
+            dst=dst,
+            policy=self.name,
+            route=str(chosen),
+            routes=routes,
+            candidates=len(routes),
+            batch_bytes=batch_bytes,
+            packet_bytes=packet_bytes,
+            direct=chosen.is_direct,
+            staleness=self._board_staleness(context, src, chosen),
+            **extra,
+        )
+        if estimates is not None:
+            attrs["est"] = estimates
+        observer.instant(
+            "arm.decision",
+            context.engine.now,
+            track=f"gpu{src}",
+            category="route",
+            **attrs,
+        )
+        observer.metrics.counter("route.decisions", src=src, dst=dst).inc()
+        if not chosen.is_direct:
+            observer.metrics.counter("route.multi_hop_decisions").inc()
+
+    @staticmethod
+    def _board_staleness(
+        context: RoutingContext, viewer_gpu: int, route: Route
+    ) -> float:
+        """Mean |actual - published| queue delay over the route's
+        remote links — how wrong the decider's view was, in seconds."""
+        from repro.topology.routes import physical_links
+
+        error = 0.0
+        remote = 0
+        for spec in physical_links(context.machine, route):
+            if spec.src.is_gpu and spec.src.index == viewer_gpu:
+                continue
+            remote += 1
+            actual = context.links[spec.link_id].queue_delay()
+            published = context.board.published_queue_delay(spec.link_id)
+            error += abs(actual - published)
+        return error / remote if remote else 0.0

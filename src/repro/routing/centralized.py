@@ -46,10 +46,23 @@ class CentralizedPolicy(AdaptiveArmPolicy):
     ) -> Route:
         best_route: Route | None = None
         best_arm = float("inf")
+        scored: list[tuple[float, Route]] = []
         for route in context.enumerator.routes(src, dst):
             arm = arm_value(context, route, packet_bytes, exact=True)
+            scored.append((arm, route))
             if arm < best_arm - 1e-15:
                 best_arm = arm
                 best_route = route
         assert best_route is not None
+        if context.observer is not None:
+            self._record_decision(
+                context,
+                context.observer,
+                src,
+                dst,
+                best_route,
+                scored,
+                packet_bytes,
+                batch_bytes,
+            )
         return best_route

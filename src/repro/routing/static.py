@@ -41,7 +41,17 @@ class _StaticPolicy(RoutingPolicy):
         batch_bytes: int,
         packet_bytes: int,
     ) -> Route:
-        return self._best_route(context.enumerator, context.machine, src, dst)
+        chosen = self._best_route(context.enumerator, context.machine, src, dst)
+        if context.observer is not None:
+            self.emit_decision(
+                context,
+                src,
+                dst,
+                chosen,
+                batch_bytes=batch_bytes,
+                packet_bytes=packet_bytes,
+            )
+        return chosen
 
     @lru_cache(maxsize=None)
     def _best_route(self, enumerator, machine, src: int, dst: int) -> Route:
@@ -58,7 +68,17 @@ class DirectPolicy(_StaticPolicy):
     name = "direct"
 
     def choose_route(self, context, src, dst, batch_bytes, packet_bytes) -> Route:
-        return context.enumerator.direct_route(src, dst)
+        chosen = context.enumerator.direct_route(src, dst)
+        if context.observer is not None:
+            self.emit_decision(
+                context,
+                src,
+                dst,
+                chosen,
+                batch_bytes=batch_bytes,
+                packet_bytes=packet_bytes,
+            )
+        return chosen
 
     def _rank(self, machine, route):  # pragma: no cover - not used
         return route.num_hops

@@ -108,6 +108,17 @@ class Engine:
         """Current simulation time in seconds."""
         return self._now
 
+    @property
+    def pending(self) -> int:
+        """Number of scheduled callbacks not yet executed.
+
+        Periodic observers (e.g. the link-timeline probe) use this to
+        stop rescheduling themselves once they are the only thing left
+        on the heap, so sampling never keeps a finished simulation
+        alive.
+        """
+        return len(self._heap)
+
     def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:

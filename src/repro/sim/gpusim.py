@@ -46,6 +46,12 @@ class Packet:
     sequence: int
     #: Buffer slot currently holding this packet (None at the source).
     held_buffer: RoutingBuffer | None = None
+    #: Simulated time the packet was injected at its source.
+    created_at: float = 0.0
+    #: Uncontended service time of the packet's full route — the sum of
+    #: link service times with empty queues.  Realized latency minus
+    #: this is the packet's congestion-queueing share.
+    ideal_latency: float = 0.0
 
     @property
     def wire_bytes(self) -> int:
@@ -198,6 +204,7 @@ class GpuNode:
                     metrics.counter("shuffle.batches", gpu=self.gpu_id).inc()
                 for packet in batch:
                     packet.route = route
+                    packet.created_at = self.engine.now
                     self._commit_route(packet)
                     self.enqueue(packet)
                     self.stats.injected_packets += 1
@@ -207,7 +214,9 @@ class GpuNode:
     def _commit_route(self, packet: Packet) -> None:
         for src, dst in packet.route.hops():
             for spec in self.machine.hop_path(src, dst):
-                self.links[spec.link_id].commit(packet.wire_bytes)
+                channel = self.links[spec.link_id]
+                channel.commit(packet.wire_bytes)
+                packet.ideal_latency += channel.service_time(packet.wire_bytes)
 
     # ------------------------------------------------------------------
     # Outgoing queues + senders
@@ -318,6 +327,11 @@ class GpuNode:
             observer.metrics.histogram("shuffle.packet_hops").observe(
                 packet.route.num_hops
             )
+            observer.metrics.histogram("shuffle.flow_latency_seconds").observe(
+                self.engine.now - packet.created_at
+            )
+        if self.context.sampler is not None:
+            self.context.sampler.record_delivery(packet, self.engine.now)
         slot = packet.held_buffer
         if self.consume_rate is None:
             if slot is not None:

@@ -23,6 +23,7 @@ from repro.topology.links import LinkSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Counter, Observer
+    from repro.obs.analyze.timeline import LinkTimelineSampler
     from repro.sim.trace import Tracer
 
 
@@ -36,6 +37,8 @@ class LinkChannel:
     tracer: "Tracer | None" = None
     #: Metrics sink (bytes / transfers per link); ``None`` = off.
     observer: "Observer | None" = None
+    #: Time-resolved busy/queue sampler; ``None`` = off.
+    sampler: "LinkTimelineSampler | None" = None
     _free_at: float = 0.0
     #: Accumulated busy (service) time, for utilization accounting.
     busy_time: float = 0.0
@@ -59,10 +62,14 @@ class LinkChannel:
         self.committed_load += self.service_time(nbytes)
         if self.board is not None:
             self.board.publish(self)
+        if self.sampler is not None:
+            self.sampler.record_queue(self)
 
     def fulfill(self, nbytes: float) -> None:
         """Clear a reservation as the packet is submitted to the wire."""
         self.committed_load = max(0.0, self.committed_load - self.service_time(nbytes))
+        if self.sampler is not None:
+            self.sampler.record_queue(self)
 
     def queue_delay(self) -> float:
         """Time a packet routed over this link *now* would wait.
@@ -86,6 +93,8 @@ class LinkChannel:
         self.transfers += 1
         if self.board is not None:
             self.board.publish(self)
+        if self.sampler is not None:
+            self.sampler.record_transfer(self, now, start, completion, nbytes)
         if self.tracer is not None:
             self.tracer.record(
                 time=start,

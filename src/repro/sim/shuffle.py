@@ -119,11 +119,14 @@ class ShuffleSimulator:
         config: ShuffleConfig | None = None,
         tracer=None,
         observer=None,
+        sampler=None,
     ) -> None:
         self.machine = machine
         self.tracer = tracer
         #: Observability sink (spans/metrics); ``None`` = off.
         self.observer = observer
+        #: Link-timeline sampler (repro.obs.analyze); ``None`` = off.
+        self.sampler = sampler
         self.gpu_ids = tuple(sorted(gpu_ids if gpu_ids is not None else machine.gpu_ids))
         if len(self.gpu_ids) < 2:
             raise ValueError("a shuffle needs at least two GPUs")
@@ -152,6 +155,8 @@ class ShuffleSimulator:
             )
             for spec in self.machine.links
         }
+        if self.sampler is not None:
+            self.sampler.bind(engine, links)
         relay_ids = (
             self.machine.gpu_ids if config.allow_external_relays else self.gpu_ids
         )
@@ -168,6 +173,7 @@ class ShuffleSimulator:
             board=board,
             num_gpus=len(self.gpu_ids),
             observer=self.observer,
+            sampler=self.sampler,
         )
         delivered: list[Packet] = []
         nodes: dict[int, GpuNode] = {}

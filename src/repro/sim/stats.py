@@ -177,5 +177,31 @@ class ShuffleReport:
             return 0.0
         return min(1.0, crossed_bytes / self.elapsed / capacity)
 
+    def _directional_utilization(
+        self, crossing: tuple[int, ...], capacity: float
+    ) -> float:
+        if self.elapsed <= 0 or capacity <= 0:
+            return 0.0
+        crossed_bytes = sum(
+            stats.bytes_sent
+            for link_id, stats in self.link_stats.items()
+            if link_id in set(crossing)
+        )
+        return min(1.0, crossed_bytes / self.elapsed / capacity)
+
+    @property
+    def bisection_utilization_ab(self) -> float:
+        """Figure 8 metric restricted to the a->b crossing direction."""
+        return self._directional_utilization(
+            self.cut.crossing_ab, self.cut.capacity_ab
+        )
+
+    @property
+    def bisection_utilization_ba(self) -> float:
+        """Figure 8 metric restricted to the b->a crossing direction."""
+        return self._directional_utilization(
+            self.cut.crossing_ba, self.cut.capacity_ba
+        )
+
     def link_utilization(self, link_id: int) -> float:
         return self.link_stats[link_id].utilization(self.elapsed)

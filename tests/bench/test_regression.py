@@ -1,0 +1,134 @@
+"""The perf-regression gate: baselines, directions, tolerance."""
+
+import json
+
+import pytest
+
+from repro.bench import regression
+
+
+@pytest.fixture(scope="module")
+def committed_baseline():
+    path = regression.baseline_path()
+    assert path.name == "BENCH_dgx1-8gpu.json"
+    assert path.exists(), "committed perf baseline is missing"
+    return regression.load_baseline(path)
+
+
+def test_committed_baseline_is_well_formed(committed_baseline):
+    metrics = committed_baseline["metrics"]
+    assert set(metrics) == set(regression.METRIC_DIRECTIONS)
+    assert committed_baseline["directions"] == regression.METRIC_DIRECTIONS
+    run = committed_baseline["run"]
+    assert run["topology"] == "dgx1"
+    assert run["num_gpus"] == 8
+    assert "repro_version" in run
+    assert metrics["shuffle.throughput_gbps"] > 0
+    # The committed numbers must themselves witness the paper's claim:
+    # adaptive routing leaves far less regret than direct routing.
+    assert metrics["arm.mean_regret_us"] < metrics["arm.direct_mean_regret_us"]
+
+
+def test_identical_metrics_pass(committed_baseline):
+    result = regression.compare(
+        committed_baseline["metrics"], dict(committed_baseline["metrics"])
+    )
+    assert result.ok
+    assert result.regressions == []
+    assert all(c.change == 0.0 for c in result.comparisons)
+    assert "PASS" in result.render()
+
+
+def test_injected_throughput_regression_fails(committed_baseline):
+    """The acceptance scenario: a >10% throughput drop must gate."""
+    metrics = committed_baseline["metrics"]
+    degraded = dict(metrics)
+    degraded["shuffle.throughput_gbps"] = metrics["shuffle.throughput_gbps"] * 0.85
+    result = regression.compare(metrics, degraded)
+    assert not result.ok
+    assert [c.name for c in result.regressions] == ["shuffle.throughput_gbps"]
+    rendered = result.render()
+    assert "FAIL" in rendered and "REGRESSION" in rendered
+
+
+def test_lower_is_better_metrics_gate_on_increase(committed_baseline):
+    metrics = committed_baseline["metrics"]
+    worse = dict(metrics)
+    worse["arm.mean_regret_us"] = metrics["arm.mean_regret_us"] * 1.2
+    result = regression.compare(metrics, worse)
+    assert [c.name for c in result.regressions] == ["arm.mean_regret_us"]
+    # A large *decrease* of a lower-is-better metric is an improvement.
+    better = dict(metrics)
+    better["shuffle.elapsed_ms"] = metrics["shuffle.elapsed_ms"] * 0.5
+    assert regression.compare(metrics, better).ok
+
+
+def test_changes_within_tolerance_pass(committed_baseline):
+    metrics = committed_baseline["metrics"]
+    wobble = dict(metrics)
+    wobble["shuffle.throughput_gbps"] = metrics["shuffle.throughput_gbps"] * 0.91
+    wobble["arm.mean_regret_us"] = metrics["arm.mean_regret_us"] * 1.09
+    assert regression.compare(metrics, wobble).ok
+    # ... until the tolerance tightens.
+    assert not regression.compare(metrics, wobble, tolerance=0.05).ok
+
+
+def test_track_metrics_never_gate(committed_baseline):
+    metrics = committed_baseline["metrics"]
+    shifted = dict(metrics)
+    shifted["shuffle.bisection_utilization_ab"] = 0.0
+    shifted["arm.direct_mean_regret_us"] = metrics["arm.direct_mean_regret_us"] * 10
+    assert regression.compare(metrics, shifted).ok
+
+
+def test_missing_gated_metric_fails(committed_baseline):
+    metrics = committed_baseline["metrics"]
+    partial = {
+        k: v for k, v in metrics.items() if k != "join.throughput_btps"
+    }
+    result = regression.compare(metrics, partial)
+    assert not result.ok
+    assert result.missing == ["join.throughput_btps"]
+    assert "MISSING" in result.render()
+    # A missing track-only metric is fine.
+    no_track = {
+        k: v for k, v in metrics.items() if k != "arm.direct_mean_regret_us"
+    }
+    assert regression.compare(metrics, no_track).ok
+
+
+def test_zero_baseline_edge_cases():
+    directions = {"m": "higher"}
+    assert regression.compare({"m": 0.0}, {"m": 0.0}, directions=directions).ok
+    grown = regression.compare({"m": 0.0}, {"m": 1.0}, directions=directions)
+    assert grown.ok  # infinite improvement, not a regression
+    assert grown.comparisons[0].change == float("inf")
+
+
+def test_baseline_round_trip(tmp_path):
+    metrics = {"shuffle.throughput_gbps": 123.4, "custom.metric": 1.0}
+    path = regression.write_baseline(
+        tmp_path / "BENCH_test.json", metrics, {"topology": "tiny"}
+    )
+    payload = regression.load_baseline(path)
+    assert payload["metrics"] == metrics
+    assert payload["run"] == {"topology": "tiny"}
+    assert payload["directions"]["shuffle.throughput_gbps"] == "higher"
+    assert payload["directions"]["custom.metric"] == "track"
+
+
+def test_load_rejects_non_baseline(tmp_path):
+    bogus = tmp_path / "BENCH_bogus.json"
+    bogus.write_text(json.dumps({"hello": 1}))
+    with pytest.raises(ValueError):
+        regression.load_baseline(bogus)
+
+
+def test_run_gate_with_supplied_metrics(committed_baseline):
+    """run_gate honours baseline-embedded directions and tolerance."""
+    current = dict(committed_baseline["metrics"])
+    result = regression.run_gate(regression.baseline_path(), current=current)
+    assert result.ok
+    current["shuffle.throughput_gbps"] *= 0.5
+    result = regression.run_gate(regression.baseline_path(), current=current)
+    assert not result.ok

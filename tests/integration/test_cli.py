@@ -82,6 +82,72 @@ def test_shuffle_command(capsys):
     out = capsys.readouterr().out
     assert "direct" in out
     assert "busiest links" in out
+    assert "a->b" in out and "b->a" in out  # per-direction bisection
+
+
+def test_trace_command_stamps_metadata(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "trace.json"
+    code = main([
+        "trace", "--gpus", "4", "--bytes-per-flow", "8M",
+        "--out", str(out_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "bisection" in out and "a->b" in out
+    assert "p95=" in out  # histogram percentile lines in the summary
+    trace = json.loads(out_path.read_text())
+    run = trace["otherData"]["run"]
+    assert run["topology"] == "dgx1"
+    assert run["num_gpus"] == 4
+    assert "repro_version" in run
+
+
+def test_analyze_shuffle_command(capsys, tmp_path):
+    code = main([
+        "analyze", "--mode", "shuffle", "--gpus", "4",
+        "--bytes-per-flow", "4M", "--hot-gpu", "0",
+        "--out-dir", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "bottleneck attribution:" in out
+    assert "ARM decision audit" in out
+    assert "shade:" in out  # the heatmap legend
+    for name in ("heatmap.csv", "heatmap.json", "bottlenecks.json", "regret.csv"):
+        assert (tmp_path / name).exists()
+
+
+def test_analyze_join_command(capsys):
+    code = main([
+        "analyze", "--mode", "join", "--gpus", "4",
+        "--tuples-per-gpu", "1M", "--real-tuples", "4K",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mg-join" in out
+    assert "bottleneck attribution:" in out
+    assert "ARM decision audit" in out
+
+
+def test_perf_command_update_and_gate(capsys, tmp_path, monkeypatch):
+    from repro.bench import regression
+
+    # The canonical collection takes ~10 s; stub it for the CLI test
+    # (the real collection is covered by benchmarks/bench_perf_gate.py).
+    metrics = {"shuffle.throughput_gbps": 100.0, "arm.mean_regret_us": 10.0}
+    monkeypatch.setattr(regression, "collect_perf_metrics", lambda: dict(metrics))
+    baseline = tmp_path / "BENCH_test.json"
+    assert main(["perf", "--update", "--baseline", str(baseline)]) == 0
+    assert "baseline updated" in capsys.readouterr().out
+    assert baseline.exists()
+    assert main(["perf", "--baseline", str(baseline)]) == 0
+    assert "PASS" in capsys.readouterr().out
+    metrics["shuffle.throughput_gbps"] = 80.0  # -20%: must gate
+    assert main(["perf", "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "REGRESSION" in out
 
 
 def test_figure_command_unknown():

@@ -1,0 +1,50 @@
+"""Shared sampled runs for the analyzer tests.
+
+One skewed 8-GPU shuffle per policy, run once per session: the
+timeline, attribution and regret tests all read from the same recorded
+run instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Observer
+from repro.obs.analyze import LinkTimelineSampler
+from repro.routing import AdaptiveArmPolicy, DirectPolicy
+from repro.sim import FlowMatrix, ShuffleSimulator
+
+MB = 1024 * 1024
+
+
+def skewed_flows(gpu_ids, hot_gpu):
+    flows = FlowMatrix()
+    for src in gpu_ids:
+        for dst in gpu_ids:
+            if src != dst:
+                flows.add(src, dst, 24 * MB if dst == hot_gpu else 4 * MB)
+    return flows
+
+
+class SampledRun:
+    """One observed + sampled shuffle and everything it recorded."""
+
+    def __init__(self, machine, policy):
+        self.machine = machine
+        self.observer = Observer()
+        self.sampler = LinkTimelineSampler()
+        gpu_ids = tuple(machine.gpu_ids)[:8]
+        simulator = ShuffleSimulator(
+            machine, gpu_ids, observer=self.observer, sampler=self.sampler
+        )
+        self.report = simulator.run(skewed_flows(gpu_ids, gpu_ids[0]), policy)
+
+
+@pytest.fixture(scope="session")
+def adaptive_run(dgx1):
+    return SampledRun(dgx1, AdaptiveArmPolicy())
+
+
+@pytest.fixture(scope="session")
+def direct_run(dgx1):
+    return SampledRun(dgx1, DirectPolicy())

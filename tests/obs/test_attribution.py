@@ -1,0 +1,109 @@
+"""Bottleneck attribution over sampled runs."""
+
+import pytest
+
+from repro.obs.analyze import (
+    PhaseWindow,
+    attribute,
+    attribute_phase,
+    flow_latency_rows,
+)
+
+
+def test_default_single_phase_covers_the_run(adaptive_run):
+    report = attribute(adaptive_run.sampler, adaptive_run.report.cut)
+    assert len(report.phases) == 1
+    phase = report.phases[0]
+    assert phase.phase.name == "distribution"
+    assert phase.phase.start == 0.0
+    assert phase.phase.end == pytest.approx(adaptive_run.sampler.horizon)
+
+
+def test_bottleneck_names_a_saturated_link(adaptive_run):
+    report = attribute(adaptive_run.sampler, adaptive_run.report.cut)
+    phase = report.phases[0]
+    bottleneck = phase.bottleneck
+    assert bottleneck is not None
+    assert 0.0 < bottleneck.utilization <= 1.0
+    # The skewed workload's hot receiver is gpu0: the cap is a link
+    # into it, and its saturation leads the ranking.
+    assert "gpu0" in bottleneck.label
+    ranked = [link.utilization for link in phase.links]
+    assert ranked == sorted(ranked, reverse=True)
+
+
+def test_bisection_share_and_queueing_split(adaptive_run):
+    report = attribute(adaptive_run.sampler, adaptive_run.report.cut)
+    phase = report.phases[0]
+    assert 0.0 < phase.bisection_time_share <= 1.0
+    assert 0.0 <= phase.queueing_share < 1.0
+    crossing = [link for link in phase.links if link.crossing]
+    assert crossing, "skewed all-to-all traffic must cross the bisection"
+    assert {link.crossing for link in crossing} <= {"ab", "ba"}
+    # Per-direction utilization over the full window agrees with the
+    # ShuffleReport's own per-direction accounting.
+    assert phase.bisection_utilization_ab == pytest.approx(
+        adaptive_run.report.bisection_utilization_ab, rel=0.02
+    )
+    assert phase.bisection_utilization_ba == pytest.approx(
+        adaptive_run.report.bisection_utilization_ba, rel=0.02
+    )
+
+
+def test_phase_windows_split_the_run(adaptive_run):
+    sampler = adaptive_run.sampler
+    cut = adaptive_run.report.cut
+    horizon = sampler.horizon
+    halves = [
+        PhaseWindow("first half", 0.0, horizon / 2),
+        PhaseWindow("second half", horizon / 2, horizon),
+    ]
+    report = attribute(sampler, cut, phases=halves)
+    assert [p.phase.name for p in report.phases] == ["first half", "second half"]
+    whole = attribute_phase(sampler, cut, PhaseWindow("all", 0.0, horizon))
+    for link in whole.links:
+        split = sum(
+            phase_link.transmission_seconds
+            for phase in report.phases
+            for phase_link in phase.links
+            if phase_link.link_id == link.link_id
+        )
+        assert split == pytest.approx(link.transmission_seconds, rel=1e-9)
+
+
+def test_empty_phase_windows_are_dropped(adaptive_run):
+    report = attribute(
+        adaptive_run.sampler,
+        adaptive_run.report.cut,
+        phases=[PhaseWindow("empty", 1.0, 1.0), PhaseWindow("bad", 2.0, 1.0)],
+    )
+    assert report.phases == []
+
+
+def test_top_limits_the_ranking(adaptive_run):
+    report = attribute(adaptive_run.sampler, adaptive_run.report.cut, top=3)
+    assert len(report.phases[0].links) == 3
+
+
+def test_flow_latency_rows(adaptive_run):
+    rows = flow_latency_rows(adaptive_run.sampler)
+    pairs = {(row.flow_src, row.flow_dst) for row in rows}
+    assert len(pairs) == len(rows) == 8 * 7
+    latencies = [row.mean_latency for row in rows]
+    assert latencies == sorted(latencies, reverse=True)
+    for row in rows:
+        assert row.mean_latency > 0
+        assert 0.0 <= row.queueing_share <= 1.0
+        assert row.mean_queueing + row.mean_transmission == pytest.approx(
+            row.mean_latency
+        )
+
+
+def test_report_to_dict_is_json_ready(adaptive_run):
+    import json
+
+    report = attribute(adaptive_run.sampler, adaptive_run.report.cut, top=4)
+    payload = report.to_dict()
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["phases"][0]["links"]
+    assert payload["flows"][0]["queueing_share"] >= 0.0
