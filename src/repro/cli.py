@@ -12,6 +12,9 @@ Commands:
 * ``analyze`` — run one sampled join (or shuffle) and emit the link
   congestion analysis: link x time heatmap, per-phase bottleneck
   attribution and the ARM decision-regret table.
+* ``chaos`` — run a join healthy and under a fault scenario (built-in
+  preset or YAML/JSON plan), assert the result stayed correct and
+  report the throughput retained (see ``docs/robustness.md``).
 * ``perf`` — collect the canonical perf metrics and gate them against
   a committed ``BENCH_*.json`` baseline (10% tolerance).
 * ``figure`` — regenerate a paper figure (fig01 .. fig14).
@@ -192,6 +195,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write heatmap.csv/json, bottlenecks.json and regret.csv",
     )
 
+    from repro.faults.plan import PRESET_NAMES
+
+    analyze.add_argument(
+        "--chaos", choices=PRESET_NAMES, default=None, metavar="PRESET",
+        help="inject a fault preset into the analyzed run (a healthy run"
+        " is made first to size the fault schedule)",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run a join under a fault scenario and grade its survival",
+    )
+    chaos.add_argument("--machine", choices=sorted(MACHINES), default="dgx1")
+    chaos.add_argument("--policy", choices=sorted(POLICIES), default="adaptive")
+    chaos.add_argument("--gpus", type=int, default=8)
+    chaos.add_argument(
+        "--preset", choices=PRESET_NAMES, default=None,
+        help="built-in fault scenario (times scale with the healthy run)",
+    )
+    chaos.add_argument(
+        "--plan", metavar="PATH", default=None,
+        help="YAML/JSON fault plan with absolute times; overrides --preset",
+    )
+    chaos.add_argument(
+        "--tuples-per-gpu", type=parse_size, default=parse_size("512M"),
+        help="logical tuples per relation per GPU",
+    )
+    chaos.add_argument(
+        "--real-tuples", type=parse_size, default=parse_size("32K"),
+        help="materialized tuples per relation per GPU",
+    )
+    chaos.add_argument("--seed", type=int, default=42)
+    chaos.add_argument(
+        "--min-retention", type=float, default=None, metavar="FRACTION",
+        help="fail (exit 1) when faulted/healthy throughput drops below this",
+    )
+    chaos.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write the faulted run's Chrome trace (fault windows visible)",
+    )
+    chaos.add_argument(
+        "--out-dir", metavar="DIR", default=None,
+        help="write chaos artifacts (trace JSON, report JSON) here",
+    )
+
     perf = commands.add_parser(
         "perf", help="gate current perf metrics against a BENCH baseline"
     )
@@ -232,6 +280,7 @@ def main(argv: list[str] | None = None) -> int:
         "shuffle": _cmd_shuffle,
         "trace": _cmd_trace,
         "analyze": _cmd_analyze,
+        "chaos": _cmd_chaos,
         "perf": _cmd_perf,
         "figure": _cmd_figure,
         "tpch": _cmd_tpch,
@@ -465,11 +514,29 @@ def _cmd_analyze(args) -> int:
                 seed=args.seed,
             )
         )
+        faults = None
+        if args.chaos is not None:
+            from repro.faults import resolve_plan
+
+            healthy = MGJoin(machine, policy=POLICIES[args.policy]()).run(
+                workload
+            )
+            if healthy.shuffle_report is None:
+                print("workload never shuffles; nothing to break")
+                return 1
+            faults = resolve_plan(
+                args.chaos,
+                machine,
+                healthy.shuffle_report.elapsed,
+                args.seed,
+                gpu_ids,
+            )
         algorithm = MGJoin(
             machine,
             policy=POLICIES[args.policy](),
             observer=observer,
             sampler=sampler,
+            faults=faults,
         )
         result = algorithm.run(workload)
         report = result.shuffle_report
@@ -483,8 +550,18 @@ def _cmd_analyze(args) -> int:
                     flows.add(src, dst, args.bytes_per_flow)
                     if args.hot_gpu is not None and dst == args.hot_gpu:
                         flows.add(src, dst, 5 * args.bytes_per_flow)
+        faults = None
+        if args.chaos is not None:
+            from repro.faults import resolve_plan
+
+            healthy = ShuffleSimulator(machine, gpu_ids).run(
+                flows, POLICIES[args.policy]()
+            )
+            faults = resolve_plan(
+                args.chaos, machine, healthy.elapsed, args.seed, gpu_ids
+            )
         report = ShuffleSimulator(
-            machine, gpu_ids, observer=observer, sampler=sampler
+            machine, gpu_ids, observer=observer, sampler=sampler, faults=faults
         ).run(flows, POLICIES[args.policy]())
     if report is None:
         print("no distribution step was simulated; nothing to analyze")
@@ -506,6 +583,21 @@ def _cmd_analyze(args) -> int:
     print(render_bottleneck_report(bottlenecks, top_links=min(5, args.top)))
     print()
     print(render_regret_table(regret, top=args.top))
+    fault_events = observer.spans.find_instants(category="fault")
+    if fault_events:
+        print()
+        print(f"fault / recovery events ({len(fault_events)}):")
+        for instant in fault_events[: 2 * args.top]:
+            attrs = " ".join(
+                f"{key}={value}"
+                for key, value in sorted(instant.attrs.items())
+            )
+            print(
+                f"  {instant.time * 1e3:9.3f} ms  {instant.name:<15} {attrs}"
+            )
+        shown = 2 * args.top
+        if len(fault_events) > shown:
+            print(f"  ... {len(fault_events) - shown} more")
     if args.out_dir:
         metadata = run_metadata(
             topology=args.machine,
@@ -525,6 +617,85 @@ def _cmd_analyze(args) -> int:
         for path in paths:
             print(f"wrote {path}")
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    """Run one chaos scenario and grade completion + correctness."""
+    from repro.faults import FaultPlan, run_chaos
+    from repro.obs import Observer, run_metadata
+
+    if args.plan is None and args.preset is None:
+        raise SystemExit("chaos needs --preset NAME or --plan PATH")
+    machine = MACHINES[args.machine]()
+    gpu_ids = _select_gpus(machine, args.gpus)
+    workload = generate_workload(
+        WorkloadSpec(
+            gpu_ids=gpu_ids,
+            logical_tuples_per_gpu=_round_to_multiple(
+                args.tuples_per_gpu, args.real_tuples
+            ),
+            real_tuples_per_gpu=args.real_tuples,
+            seed=args.seed,
+        )
+    )
+    scenario = (
+        FaultPlan.from_file(args.plan) if args.plan is not None else args.preset
+    )
+    observer = Observer()
+    report = run_chaos(
+        machine,
+        workload,
+        scenario,
+        policy=POLICIES[args.policy](),
+        seed=args.seed,
+        observer=observer,
+        strict=False,
+    )
+    for line in report.summary_lines():
+        print(line)
+    ok = report.correct
+    if not ok:
+        print("FAIL: faulted run corrupted the join result")
+    if (
+        args.min_retention is not None
+        and report.throughput_retention < args.min_retention
+    ):
+        print(
+            f"FAIL: retention {report.throughput_retention:.3f} below the "
+            f"--min-retention floor {args.min_retention:.3f}"
+        )
+        ok = False
+    metadata = run_metadata(
+        topology=args.machine,
+        num_gpus=len(gpu_ids),
+        seed=args.seed,
+        policy=args.policy,
+        scenario=report.plan.name,
+    )
+    trace_path = args.trace
+    if args.out_dir is not None:
+        import json
+        import pathlib
+
+        out_dir = pathlib.Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        if trace_path is None:
+            trace_path = str(out_dir / "chaos_trace.json")
+        payload = {
+            "plan": report.plan.to_dict(),
+            "correct": report.correct,
+            "throughput_retention": report.throughput_retention,
+            "healthy_seconds": report.healthy.total_time,
+            "faulted_seconds": report.faulted.total_time,
+            "counters": report.fault_counters,
+            "run": dict(metadata),
+        }
+        report_path = out_dir / "chaos_report.json"
+        report_path.write_text(json.dumps(payload, indent=1))
+        print(f"chaos report   : {report_path}")
+    if trace_path is not None:
+        _export_observation(observer, trace_path, None, metadata)
+    return 0 if ok else 1
 
 
 def _cmd_perf(args) -> int:

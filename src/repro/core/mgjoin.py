@@ -171,6 +171,7 @@ class MGJoin:
         policy: RoutingPolicy | None = None,
         observer: Observer | None = None,
         sampler=None,
+        faults=None,
     ) -> None:
         self.machine = machine
         self.config = config or MGJoinConfig()
@@ -180,6 +181,9 @@ class MGJoin:
         #: Link-timeline sampler for the distribution step
         #: (:class:`repro.obs.analyze.LinkTimelineSampler`); ``None`` = off.
         self.sampler = sampler
+        #: Fault plan (:class:`repro.faults.FaultPlan`) injected into the
+        #: data-distribution step; ``None`` = healthy fabric.
+        self.faults = faults
 
     # ------------------------------------------------------------------
 
@@ -427,7 +431,7 @@ class MGJoin:
             tracer = Tracer(spans=self.observer.spans)
         simulator = ShuffleSimulator(
             self.machine, gpu_ids, shuffle_config, tracer=tracer,
-            observer=self.observer, sampler=self.sampler,
+            observer=self.observer, sampler=self.sampler, faults=self.faults,
         )
         return simulator.run(flows, self.policy)
 

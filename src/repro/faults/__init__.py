@@ -1,0 +1,46 @@
+"""Fault injection, recovery accounting and the chaos harness.
+
+The paper's claim — adaptive multi-hop routing keeps the join at the
+speed of the *fastest available* paths — only means something if the
+simulator can take paths away.  This package provides:
+
+* :class:`FaultPlan` / :class:`FaultEvent` — declarative, seeded fault
+  schedules (YAML/JSON-loadable, reproducible run-to-run),
+* :class:`FaultInjector` — applies a plan to a live shuffle simulation
+  (link degradation/blackout/failure, GPU stragglers and crashes),
+* :func:`run_chaos` — runs a join healthy and faulted, asserts result
+  correctness and reports throughput retention,
+* built-in presets (``nvlink-brownout``, ``gpu-straggler``,
+  ``link-flap``, ``nvlink-cut``, ``gpu-crash``).
+
+Recovery itself (retry/backoff/re-route/host fallback) lives in
+:mod:`repro.sim.recovery`; see ``docs/robustness.md`` for the full
+semantics.
+"""
+
+from repro.faults.chaos import ChaosError, ChaosReport, resolve_plan, run_chaos
+from repro.faults.injector import FAULT_TRACK, LINK_DOWN_PENALTY, FaultInjector
+from repro.faults.plan import (
+    PRESET_NAMES,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultPlanError,
+    build_preset,
+)
+
+__all__ = [
+    "ChaosError",
+    "ChaosReport",
+    "FAULT_TRACK",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlanError",
+    "LINK_DOWN_PENALTY",
+    "PRESET_NAMES",
+    "build_preset",
+    "resolve_plan",
+    "run_chaos",
+]

@@ -1,0 +1,137 @@
+"""The chaos harness: run a join under faults and grade the damage.
+
+:func:`run_chaos` executes the same workload twice — once healthy,
+once under a :class:`FaultPlan` — with the same policy and config, then
+checks that the faulted run still *completed with the correct join
+result* (no hang, no silent data loss) and reports the throughput it
+retained.  Presets are materialized against the healthy run's measured
+distribution time, so `nvlink-brownout` stresses a 10 ms toy shuffle
+and a 10 s production-sized one in the same proportions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.mgjoin import JoinResult, MGJoin
+from repro.faults.plan import FaultPlan, FaultPlanError, PRESET_NAMES, build_preset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import MGJoinConfig
+    from repro.core.relation import JoinWorkload
+    from repro.obs import Observer
+    from repro.routing.base import RoutingPolicy
+    from repro.topology.machine import MachineTopology
+
+
+class ChaosError(RuntimeError):
+    """The faulted run broke an invariant (wrong result, data loss)."""
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos scenario."""
+
+    plan: FaultPlan
+    healthy: JoinResult
+    faulted: JoinResult
+
+    @property
+    def correct(self) -> bool:
+        """Did the faulted join produce the exact healthy result?"""
+        return (
+            self.faulted.matches_logical == self.healthy.matches_logical
+            and self.faulted.per_gpu_matches == self.healthy.per_gpu_matches
+        )
+
+    @property
+    def throughput_retention(self) -> float:
+        """Faulted throughput as a fraction of healthy throughput."""
+        if self.healthy.throughput <= 0:
+            return 0.0
+        return self.faulted.throughput / self.healthy.throughput
+
+    @property
+    def fault_counters(self) -> dict[str, int]:
+        report = self.faulted.shuffle_report
+        if report is None:
+            return {}
+        return {
+            "faults_injected": report.faults_injected,
+            "packet_retries": report.packet_retries,
+            "packet_reroutes": report.packet_reroutes,
+            "packet_fallbacks": report.packet_fallbacks,
+            "packets_recovered": report.packets_recovered,
+        }
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"chaos scenario : {self.plan.name} "
+            f"({len(self.plan)} fault(s), seed {self.plan.seed})",
+            f"correctness    : "
+            f"{'OK' if self.correct else 'MISMATCH'} "
+            f"({self.faulted.matches_logical} matches)",
+            f"healthy        : {self.healthy.total_time * 1e3:.3f} ms "
+            f"({self.healthy.throughput / 1e9:.2f} Gtuples/s)",
+            f"faulted        : {self.faulted.total_time * 1e3:.3f} ms "
+            f"({self.faulted.throughput / 1e9:.2f} Gtuples/s)",
+            f"retention      : {self.throughput_retention * 100:.1f}% "
+            f"of healthy throughput",
+        ]
+        for name, value in self.fault_counters.items():
+            lines.append(f"{name:<15}: {value}")
+        return lines
+
+
+def resolve_plan(
+    scenario: "str | FaultPlan",
+    machine: "MachineTopology",
+    horizon: float,
+    seed: int = 0,
+    gpu_ids: "tuple[int, ...] | None" = None,
+) -> FaultPlan:
+    """Turn a preset name or a ready plan into a concrete plan."""
+    if isinstance(scenario, FaultPlan):
+        return scenario
+    if scenario in PRESET_NAMES:
+        return build_preset(scenario, machine, horizon, seed, gpu_ids)
+    known = ", ".join(PRESET_NAMES)
+    raise FaultPlanError(f"unknown preset {scenario!r}; choose one of: {known}")
+
+
+def run_chaos(
+    machine: "MachineTopology",
+    workload: "JoinWorkload",
+    scenario: "str | FaultPlan",
+    *,
+    config: "MGJoinConfig | None" = None,
+    policy: "RoutingPolicy | None" = None,
+    seed: int = 0,
+    observer: "Observer | None" = None,
+    strict: bool = True,
+) -> ChaosReport:
+    """Run one chaos scenario; the observer sees the *faulted* run.
+
+    With ``strict`` (the default) a wrong join result raises
+    :class:`ChaosError`; passing ``strict=False`` returns the report for
+    the caller to grade (used by tests that assert on the failure mode).
+    """
+    healthy = MGJoin(machine, config=config, policy=policy).run(workload)
+    if healthy.shuffle_report is None:
+        raise ChaosError(
+            "chaos needs a multi-GPU workload that actually shuffles data"
+        )
+    horizon = healthy.shuffle_report.elapsed
+    plan = resolve_plan(scenario, machine, horizon, seed, workload.gpu_ids)
+    faulted = MGJoin(
+        machine, config=config, policy=policy, observer=observer, faults=plan
+    ).run(workload)
+    report = ChaosReport(plan=plan, healthy=healthy, faulted=faulted)
+    if strict and not report.correct:
+        raise ChaosError(
+            f"chaos scenario {plan.name!r} corrupted the join: "
+            f"{report.faulted.matches_logical} matches vs "
+            f"{report.healthy.matches_logical} healthy"
+        )
+    return report

@@ -1,0 +1,218 @@
+"""Executes a :class:`FaultPlan` against a running shuffle simulation.
+
+The injector is bound to the live simulation objects by
+:class:`~repro.sim.shuffle.ShuffleSimulator` and schedules one callback
+per fault (plus one per recovery) on the engine clock.  Faults act by:
+
+* scaling :attr:`LinkChannel.bandwidth_scale` (degradation),
+* toggling :meth:`LinkChannel.take_down` / :meth:`bring_up` (blackouts
+  and permanent failures — in-flight transfers are lost),
+* invalidating routes via :meth:`RouteEnumerator.fail_link` (permanent
+  failures and GPU crashes),
+* slowing a GPU's injection/consumption rates (stragglers).
+
+Every health change is surfaced two ways, mirroring reality: the owning
+GPU sees its own port's :meth:`queue_delay` penalty immediately, while
+every other GPU learns of it through
+:meth:`LinkStateBoard.publish_fault` — the same propagation-delay
+broadcast path queue-delay changes ride.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, FaultPlanError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observer
+    from repro.sim.engine import Engine
+    from repro.sim.gpusim import GpuNode
+    from repro.sim.linksim import LinkChannel, LinkStateBoard
+    from repro.topology.machine import MachineTopology
+    from repro.topology.routes import RouteEnumerator
+
+#: Queue-delay penalty (seconds) advertised for a down link.  Finite —
+#: the ARM metric must still produce comparable numbers — but orders of
+#: magnitude above any real queueing delay, so every policy that looks
+#: at congestion steers clear of a dead link once the broadcast lands.
+LINK_DOWN_PENALTY = 0.1
+
+#: Span/instant track for fault-window visualization in Chrome traces.
+FAULT_TRACK = "faults"
+
+
+class FaultInjector:
+    """Schedules and applies one plan's faults on the engine clock."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.faults_injected = 0
+        self._engine: "Engine | None" = None
+        self._links: dict[int, "LinkChannel"] = {}
+        self._board: "LinkStateBoard | None" = None
+        self._nodes: dict[int, "GpuNode"] = {}
+        self._enumerator: "RouteEnumerator | None" = None
+        self._machine: "MachineTopology | None" = None
+        self._packet_size = 0
+        self._observer: "Observer | None" = None
+
+    def bind(
+        self,
+        *,
+        engine: "Engine",
+        links: dict[int, "LinkChannel"],
+        board: "LinkStateBoard",
+        nodes: dict[int, "GpuNode"],
+        enumerator: "RouteEnumerator",
+        machine: "MachineTopology",
+        packet_size: int,
+        observer: "Observer | None" = None,
+    ) -> None:
+        """Attach to one simulation run and schedule every fault."""
+        self._engine = engine
+        self._links = links
+        self._board = board
+        self._nodes = nodes
+        self._enumerator = enumerator
+        self._machine = machine
+        self._packet_size = packet_size
+        self._observer = observer
+        for event in self.plan.events:
+            self._validate(event)
+            engine.schedule(event.at, self._inject, event)
+
+    # ------------------------------------------------------------------
+    # Target resolution
+    # ------------------------------------------------------------------
+
+    def _validate(self, event: FaultEvent) -> None:
+        if event.kind in (FaultKind.GPU_STRAGGLER, FaultKind.GPU_CRASH):
+            if event.gpu not in self._nodes:
+                raise FaultPlanError(
+                    f"{event.kind.value} targets gpu{event.gpu}, which is "
+                    f"not participating in this shuffle"
+                )
+        else:
+            self._link_pair(event)  # raises if no NVLink exists
+
+    def _link_pair(self, event: FaultEvent) -> list["LinkChannel"]:
+        """Both directed channels of the event's GPU↔GPU NVLink."""
+        channels = []
+        for src, dst in ((event.src, event.dst), (event.dst, event.src)):
+            spec = self._machine.nvlink_between(src, dst)
+            if spec is not None:
+                channels.append(self._links[spec.link_id])
+        if not channels:
+            raise FaultPlanError(
+                f"{event.kind.value} targets gpu{event.src}<->gpu{event.dst}, "
+                f"but no NVLink connects them"
+            )
+        return channels
+
+    def _gpu_channels(self, gpu: int) -> list["LinkChannel"]:
+        """Every directed link touching ``gpu`` (NVLink and PCIe)."""
+        return [
+            channel
+            for channel in self._links.values()
+            if (channel.spec.src.is_gpu and channel.spec.src.index == gpu)
+            or (channel.spec.dst.is_gpu and channel.spec.dst.index == gpu)
+        ]
+
+    # ------------------------------------------------------------------
+    # Injection / restoration
+    # ------------------------------------------------------------------
+
+    def _inject(self, event: FaultEvent) -> None:
+        self.faults_injected += 1
+        kind = event.kind
+        if kind is FaultKind.LINK_DEGRADE:
+            for channel in self._link_pair(event):
+                channel.bandwidth_scale = event.magnitude
+                # Extra per-packet service time is the penalty the ARM
+                # metric should charge the sagging link.
+                penalty = self._packet_size / channel.spec.bandwidth * (
+                    1.0 / event.magnitude - 1.0
+                )
+                channel.fault_penalty = penalty
+                self._board.publish_fault(channel.spec.link_id, penalty)
+        elif kind is FaultKind.LINK_BLACKOUT:
+            for channel in self._link_pair(event):
+                channel.take_down()
+                channel.fault_penalty = LINK_DOWN_PENALTY
+                self._board.publish_fault(
+                    channel.spec.link_id, LINK_DOWN_PENALTY
+                )
+        elif kind is FaultKind.LINK_FAIL:
+            for channel in self._link_pair(event):
+                channel.take_down()
+                channel.fault_penalty = LINK_DOWN_PENALTY
+                self._board.publish_fault(
+                    channel.spec.link_id, LINK_DOWN_PENALTY
+                )
+                self._enumerator.fail_link(channel.spec.link_id)
+        elif kind is FaultKind.GPU_STRAGGLER:
+            self._nodes[event.gpu].apply_slowdown(event.magnitude)
+        elif kind is FaultKind.GPU_CRASH:
+            for channel in self._gpu_channels(event.gpu):
+                channel.take_down()
+                channel.fault_penalty = LINK_DOWN_PENALTY
+                self._board.publish_fault(
+                    channel.spec.link_id, LINK_DOWN_PENALTY
+                )
+                self._enumerator.fail_link(channel.spec.link_id)
+        self._emit("fault.inject", event)
+        if event.duration is not None:
+            self._engine.schedule(event.duration, self._restore, event)
+
+    def _restore(self, event: FaultEvent) -> None:
+        kind = event.kind
+        if kind is FaultKind.LINK_DEGRADE:
+            for channel in self._link_pair(event):
+                channel.bandwidth_scale = 1.0
+                channel.fault_penalty = 0.0
+                self._board.publish_fault(channel.spec.link_id, 0.0)
+        elif kind is FaultKind.LINK_BLACKOUT:
+            for channel in self._link_pair(event):
+                channel.bring_up()
+                channel.fault_penalty = 0.0
+                self._board.publish_fault(channel.spec.link_id, 0.0)
+        elif kind is FaultKind.GPU_STRAGGLER:
+            self._nodes[event.gpu].clear_slowdown()
+        self._emit("fault.restore", event)
+        if self._observer is not None:
+            self._observer.add_span(
+                f"fault:{kind.value}",
+                event.at,
+                self._engine.now,
+                track=FAULT_TRACK,
+                category="fault",
+                **self._attrs(event),
+            )
+
+    def _attrs(self, event: FaultEvent) -> dict:
+        attrs: dict = {"kind": event.kind.value}
+        if event.gpu is not None:
+            attrs["gpu"] = event.gpu
+        if event.src is not None:
+            attrs["src"] = event.src
+            attrs["dst"] = event.dst
+        if event.kind in (FaultKind.LINK_DEGRADE, FaultKind.GPU_STRAGGLER):
+            attrs["magnitude"] = event.magnitude
+        return attrs
+
+    def _emit(self, name: str, event: FaultEvent) -> None:
+        observer = self._observer
+        if observer is None:
+            return
+        if name == "fault.inject":
+            observer.metrics.counter(
+                "faults.injected", kind=event.kind.value
+            ).inc()
+        observer.instant(
+            name,
+            self._engine.now,
+            track=FAULT_TRACK,
+            category="fault",
+            **self._attrs(event),
+        )

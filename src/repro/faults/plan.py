@@ -1,0 +1,333 @@
+"""Declarative fault plans: what breaks, when, and for how long.
+
+A :class:`FaultPlan` is a named, seeded list of :class:`FaultEvent`
+entries scheduled on the simulation clock.  Plans are data — they can
+be written in YAML/JSON, round-tripped through :meth:`FaultPlan.to_dict`
+and built deterministically from a seed by :func:`build_preset`, so a
+chaos scenario is exactly reproducible run-to-run.
+
+Link faults target a GPU↔GPU NVLink *pair*: a physical NVLink failing
+takes out both directed links.  GPU faults target one GPU.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import zlib
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topology.machine import MachineTopology
+
+try:  # pragma: no cover - exercised implicitly by YAML plan tests
+    import yaml as _yaml
+except ImportError:  # pragma: no cover - the image bakes pyyaml in
+    _yaml = None
+
+
+class FaultPlanError(ValueError):
+    """A fault plan is malformed (unknown kind, missing target, ...)."""
+
+
+class FaultKind(str, Enum):
+    """The five fault models of the robustness subsystem."""
+
+    #: NVLink drops to a fraction of its rated bandwidth (e.g.
+    #: PCIe-class rates); ``magnitude`` is the bandwidth scale in (0, 1).
+    LINK_DEGRADE = "link-degrade"
+    #: Transient blackout: the link is down for ``duration`` seconds,
+    #: in-flight transfers are lost, then it comes back.
+    LINK_BLACKOUT = "link-blackout"
+    #: Permanent link failure: down forever, routes are invalidated.
+    LINK_FAIL = "link-fail"
+    #: GPU compute slowdown; ``magnitude`` > 1 is the slowdown factor.
+    GPU_STRAGGLER = "gpu-straggler"
+    #: GPU crash: every link touching the GPU fails permanently.
+    GPU_CRASH = "gpu-crash"
+
+
+LINK_KINDS = frozenset(
+    {FaultKind.LINK_DEGRADE, FaultKind.LINK_BLACKOUT, FaultKind.LINK_FAIL}
+)
+GPU_KINDS = frozenset({FaultKind.GPU_STRAGGLER, FaultKind.GPU_CRASH})
+#: Kinds that must not carry a duration (they never heal).
+PERMANENT_KINDS = frozenset({FaultKind.LINK_FAIL, FaultKind.GPU_CRASH})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``src``/``dst`` name the GPU pair of a link fault; ``gpu`` the
+    target of a GPU fault.  ``duration=None`` means permanent.
+    """
+
+    kind: FaultKind
+    at: float
+    src: int | None = None
+    dst: int | None = None
+    gpu: int | None = None
+    duration: float | None = None
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultPlanError(f"fault time must be >= 0, got {self.at}")
+        if self.kind in LINK_KINDS:
+            if self.src is None or self.dst is None or self.src == self.dst:
+                raise FaultPlanError(
+                    f"{self.kind.value} needs distinct src/dst GPUs, got "
+                    f"src={self.src} dst={self.dst}"
+                )
+        if self.kind in GPU_KINDS and self.gpu is None:
+            raise FaultPlanError(f"{self.kind.value} needs a target gpu")
+        if self.kind in PERMANENT_KINDS:
+            if self.duration is not None:
+                raise FaultPlanError(
+                    f"{self.kind.value} is permanent; duration not allowed"
+                )
+        elif self.duration is None or self.duration <= 0:
+            raise FaultPlanError(
+                f"{self.kind.value} needs a positive duration, got "
+                f"{self.duration}"
+            )
+        if self.kind is FaultKind.LINK_DEGRADE and not 0 < self.magnitude < 1:
+            raise FaultPlanError(
+                "link-degrade magnitude is the bandwidth scale and must be "
+                f"in (0, 1), got {self.magnitude}"
+            )
+        if self.kind is FaultKind.GPU_STRAGGLER and self.magnitude <= 1:
+            raise FaultPlanError(
+                "gpu-straggler magnitude is the slowdown factor and must "
+                f"be > 1, got {self.magnitude}"
+            )
+
+    @property
+    def ends_at(self) -> float | None:
+        return None if self.duration is None else self.at + self.duration
+
+    def to_dict(self) -> dict:
+        entry: dict = {"kind": self.kind.value, "at": self.at}
+        for key in ("src", "dst", "gpu", "duration"):
+            value = getattr(self, key)
+            if value is not None:
+                entry[key] = value
+        if self.kind in (FaultKind.LINK_DEGRADE, FaultKind.GPU_STRAGGLER):
+            entry["magnitude"] = self.magnitude
+        return entry
+
+    @staticmethod
+    def from_dict(entry: dict) -> "FaultEvent":
+        if not isinstance(entry, dict):
+            raise FaultPlanError(f"fault entry must be a mapping, got {entry!r}")
+        data = dict(entry)
+        try:
+            kind = FaultKind(data.pop("kind"))
+        except (KeyError, ValueError) as exc:
+            known = ", ".join(k.value for k in FaultKind)
+            raise FaultPlanError(
+                f"fault entry {entry!r} needs a 'kind' among: {known}"
+            ) from exc
+        try:
+            at = float(data.pop("at"))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultPlanError(
+                f"fault entry {entry!r} needs a numeric 'at' time"
+            ) from exc
+        allowed = {"src", "dst", "gpu", "duration", "magnitude"}
+        unknown = set(data) - allowed
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault fields {sorted(unknown)} in {entry!r}"
+            )
+        kwargs: dict = {}
+        for key in ("src", "dst", "gpu"):
+            if key in data:
+                kwargs[key] = int(data[key])
+        if "duration" in data and data["duration"] is not None:
+            kwargs["duration"] = float(data["duration"])
+        if "magnitude" in data:
+            kwargs["magnitude"] = float(data["magnitude"])
+        return FaultEvent(kind=kind, at=at, **kwargs)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, ordered schedule of faults."""
+
+    name: str
+    events: tuple[FaultEvent, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "events", tuple(sorted(self.events, key=lambda e: e.at))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault plan must be a mapping, got {data!r}")
+        events = data.get("events")
+        if not isinstance(events, list) or not events:
+            raise FaultPlanError("fault plan needs a non-empty 'events' list")
+        return FaultPlan(
+            name=str(data.get("name", "unnamed")),
+            seed=int(data.get("seed", 0)),
+            events=tuple(FaultEvent.from_dict(entry) for entry in events),
+        )
+
+    @staticmethod
+    def from_file(path: str | Path) -> "FaultPlan":
+        """Load a plan from a YAML or JSON file (by extension)."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix in (".yaml", ".yml"):
+            if _yaml is None:
+                raise FaultPlanError(
+                    "pyyaml is not installed; use a JSON fault plan instead"
+                )
+            data = _yaml.safe_load(text)
+        else:
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise FaultPlanError(f"{path} is not valid JSON: {exc}") from exc
+        return FaultPlan.from_dict(data)
+
+
+#: Built-in chaos scenarios (see :func:`build_preset`).
+PRESET_NAMES = (
+    "nvlink-brownout",
+    "gpu-straggler",
+    "link-flap",
+    "nvlink-cut",
+    "gpu-crash",
+)
+
+
+def _nvlink_pairs(
+    machine: "MachineTopology",
+    gpu_ids: "tuple[int, ...] | None" = None,
+) -> list[tuple[int, int]]:
+    pairs = sorted(
+        {
+            (min(g, n), max(g, n))
+            for g in machine.gpu_ids
+            for n in machine.nvlink_neighbors(g)
+        }
+    )
+    if gpu_ids is not None:
+        participants = set(gpu_ids)
+        scoped = [
+            pair
+            for pair in pairs
+            if pair[0] in participants and pair[1] in participants
+        ]
+        # A subset with no internal NVLink (e.g. a staged pair) falls
+        # back to machine-wide links so the preset still means something.
+        pairs = scoped or pairs
+    if not pairs:
+        raise FaultPlanError(
+            "machine has no GPU-GPU NVLinks; link presets need at least one"
+        )
+    return pairs
+
+
+def build_preset(
+    name: str,
+    machine: "MachineTopology",
+    horizon: float,
+    seed: int = 0,
+    gpu_ids: "tuple[int, ...] | None" = None,
+) -> FaultPlan:
+    """Materialize a built-in chaos scenario for one machine and run.
+
+    ``horizon`` is the expected healthy-run duration in seconds: preset
+    fault times are fractions of it, so the same scenario stresses a
+    10 ms toy shuffle and a 10 s production-sized one alike.  With
+    ``gpu_ids`` the targets are drawn from the participating GPUs only.
+    The same ``(name, machine, horizon, seed, gpu_ids)`` always yields
+    the same plan — the seed mix uses crc32, not ``hash()``, so plans
+    reproduce across interpreter runs regardless of PYTHONHASHSEED.
+    """
+    if horizon <= 0:
+        raise FaultPlanError(f"horizon must be positive, got {horizon}")
+    targets = tuple(sorted(gpu_ids)) if gpu_ids else machine.gpu_ids
+    unknown = set(targets) - set(machine.gpu_ids)
+    if unknown:
+        raise FaultPlanError(f"unknown GPUs for preset: {sorted(unknown)}")
+    rng = random.Random(zlib.crc32(name.encode("utf-8")) ^ seed)
+    events: list[FaultEvent] = []
+    if name == "nvlink-brownout":
+        # A third of the NVLinks sag to PCIe-class bandwidth for most
+        # of the run — the regime where ARM must re-route around them.
+        pairs = _nvlink_pairs(machine, targets)
+        count = max(1, len(pairs) // 3)
+        for src, dst in rng.sample(pairs, count):
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.LINK_DEGRADE,
+                    at=0.05 * horizon,
+                    src=src,
+                    dst=dst,
+                    duration=0.85 * horizon,
+                    magnitude=0.12,
+                )
+            )
+    elif name == "gpu-straggler":
+        gpu = rng.choice(targets)
+        events.append(
+            FaultEvent(
+                kind=FaultKind.GPU_STRAGGLER,
+                at=0.1 * horizon,
+                gpu=gpu,
+                duration=0.7 * horizon,
+                magnitude=4.0,
+            )
+        )
+    elif name == "link-flap":
+        src, dst = rng.choice(_nvlink_pairs(machine, targets))
+        at = 0.05 * horizon
+        for _ in range(4):
+            blackout = rng.uniform(0.03, 0.08) * horizon
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.LINK_BLACKOUT,
+                    at=at,
+                    src=src,
+                    dst=dst,
+                    duration=blackout,
+                )
+            )
+            at += blackout + rng.uniform(0.08, 0.15) * horizon
+    elif name == "nvlink-cut":
+        src, dst = rng.choice(_nvlink_pairs(machine, targets))
+        events.append(
+            FaultEvent(
+                kind=FaultKind.LINK_FAIL, at=0.25 * horizon, src=src, dst=dst
+            )
+        )
+    elif name == "gpu-crash":
+        gpu = rng.choice(targets)
+        events.append(
+            FaultEvent(kind=FaultKind.GPU_CRASH, at=0.4 * horizon, gpu=gpu)
+        )
+    else:
+        known = ", ".join(PRESET_NAMES)
+        raise FaultPlanError(f"unknown preset {name!r}; choose one of: {known}")
+    return FaultPlan(name=name, seed=seed, events=tuple(events))

@@ -275,6 +275,15 @@ def summary(observer: "Observer", top: int = 8) -> str:
     if decisions:
         lines.append(f"route decisions: {len(decisions)}")
     snapshot = observer.metrics.snapshot()
+    fault_counters = [
+        row for row in snapshot["counters"] if row["name"].startswith("faults.")
+    ]
+    if fault_counters:
+        lines.append("fault injection / recovery:")
+        for row in sorted(fault_counters, key=lambda r: r["name"]):
+            label = _label_text(row["labels"])
+            suffix = f" {{{label}}}" if label else ""
+            lines.append(f"  {row['name']}{suffix} = {row['value']:g}")
     counters = sorted(
         snapshot["counters"], key=lambda row: row["value"], reverse=True
     )

@@ -17,7 +17,7 @@ from repro.sim.engine import Engine
 from repro.sim.linksim import LinkChannel, LinkStateBoard
 from repro.topology.links import LinkSpec
 from repro.topology.machine import MachineTopology
-from repro.topology.routes import Route, RouteEnumerator
+from repro.topology.routes import Route, RouteEnumerator, UnroutableError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observer
@@ -112,7 +112,13 @@ class RoutingPolicy(abc.ABC):
             routes = [str(route) for _, route in scored]
             estimates = [score for score, _ in scored]
         else:
-            routes = [str(route) for route in context.enumerator.routes(src, dst)]
+            try:
+                candidates = context.enumerator.routes(src, dst)
+            except UnroutableError:
+                # DirectPolicy can still emit its (doomed) direct pick
+                # while the pair has no surviving enumerable route.
+                candidates = [chosen]
+            routes = [str(route) for route in candidates]
             estimates = None
         attrs = dict(
             src=src,

@@ -41,7 +41,15 @@ class _StaticPolicy(RoutingPolicy):
         batch_bytes: int,
         packet_bytes: int,
     ) -> Route:
-        chosen = self._best_route(context.enumerator, context.machine, src, dst)
+        # The enumerator version keys the cache so a link failure (which
+        # changes the candidate set) invalidates previously cached picks.
+        chosen = self._best_route(
+            context.enumerator,
+            context.machine,
+            src,
+            dst,
+            context.enumerator.version,
+        )
         if context.observer is not None:
             self.emit_decision(
                 context,
@@ -54,7 +62,9 @@ class _StaticPolicy(RoutingPolicy):
         return chosen
 
     @lru_cache(maxsize=None)
-    def _best_route(self, enumerator, machine, src: int, dst: int) -> Route:
+    def _best_route(
+        self, enumerator, machine, src: int, dst: int, version: int
+    ) -> Route:
         candidates = enumerator.routes(src, dst)
         return min(candidates, key=lambda route: self._rank(machine, route))
 

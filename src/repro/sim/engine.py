@@ -141,6 +141,26 @@ class Engine:
         """Start a process driving ``generator``."""
         return Process(self, generator, name=name)
 
+    def any_of(self, events: Iterable[SimEvent]) -> SimEvent:
+        """An event that triggers when the *first* of ``events`` does.
+
+        The triggering event itself is the value, so a waiter can tell
+        which of several raced outcomes (e.g. a transfer completion vs
+        a timeout) fired first.  Later completions are ignored.
+        """
+        events = list(events)
+        if not events:
+            raise SimulationError("any_of needs at least one event")
+        done = self.event()
+
+        def on_complete(event: SimEvent) -> None:
+            if not done.triggered:
+                done.succeed(event)
+
+        for event in events:
+            event.add_callback(on_complete)
+        return done
+
     def all_of(self, events: Iterable[SimEvent]) -> SimEvent:
         """An event that triggers once every event in ``events`` has."""
         events = list(events)

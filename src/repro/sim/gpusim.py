@@ -24,14 +24,15 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
-from repro.sim.engine import Engine, SimEvent
+from repro.sim.engine import Engine, SimEvent, SimulationError
 from repro.sim.linksim import LinkChannel
 from repro.sim.resources import RoutingBuffer
-from repro.topology.machine import MachineTopology
-from repro.topology.routes import Route
+from repro.topology.machine import MachineTopology, TopologyError
+from repro.topology.routes import Route, UnroutableError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.routing.base import RoutingContext, RoutingPolicy
+    from repro.sim.recovery import RecoveryManager
 
 
 @dataclass
@@ -52,6 +53,15 @@ class Packet:
     #: link service times with empty queues.  Realized latency minus
     #: this is the packet's congestion-queueing share.
     ideal_latency: float = 0.0
+    #: Transmission attempts that ended in a loss (0 = never lost).
+    attempts: int = 0
+    #: True once the packet was relayed through the host-staged
+    #: fallback path instead of the GPU fabric.
+    fallback: bool = False
+    #: Link ids committed for the current route but not yet submitted
+    #: to the wire; returned (uncommitted) if the packet is lost so the
+    #: adaptive metric stops charging a route the packet abandoned.
+    pending_links: list[int] = field(default_factory=list)
 
     @property
     def wire_bytes(self) -> int:
@@ -92,6 +102,7 @@ class GpuNode:
         injection_rate: float | None,
         consume_rate: float | None,
         on_delivery: Callable[[Packet], None],
+        recovery: "RecoveryManager | None" = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -111,6 +122,12 @@ class GpuNode:
         self.injection_rate = injection_rate
         self.consume_rate = consume_rate
         self.on_delivery = on_delivery
+        #: Retry/re-route/fallback machinery; ``None`` = packets are
+        #: never lost, so the legacy fast path runs unchanged.
+        self.recovery = recovery
+        #: Healthy rates, restored when a straggler fault clears.
+        self._base_injection_rate = injection_rate
+        self._base_consume_rate = consume_rate
         self.stats = GpuShuffleStats()
 
         #: Outgoing queues, one per next-hop GPU (created lazily).
@@ -192,9 +209,31 @@ class GpuNode:
                 if sync_cost > 0:
                     self.stats.sync_time += sync_cost
                     yield self.engine.timeout(sync_cost)
-                route = self.policy.choose_route(
-                    self.context, self.gpu_id, dst, batch_payload, self.packet_size
-                )
+                try:
+                    route = self.policy.choose_route(
+                        self.context, self.gpu_id, dst, batch_payload, self.packet_size
+                    )
+                except UnroutableError as exc:
+                    if self.recovery is None:
+                        raise SimulationError(
+                            f"flow gpu{self.gpu_id}->gpu{dst} became "
+                            f"unroutable and no recovery is configured: {exc}"
+                        ) from exc
+                    # Every fabric path to this destination is dead;
+                    # degrade the whole batch to the host relay.
+                    for packet in batch:
+                        packet.route = Route((self.gpu_id, dst))
+                        packet.created_at = self.engine.now
+                        self.stats.injected_packets += 1
+                        self.recovery.fallback(
+                            self, packet, reason="unroutable-at-source"
+                        )
+                    if self.injection_rate is not None:
+                        yield self.engine.timeout(
+                            batch_payload / self.injection_rate
+                        )
+                    continue
+                self._validate_route(route, dst)
                 observer = self.context.observer
                 if observer is not None:
                     metrics = observer.metrics
@@ -211,11 +250,39 @@ class GpuNode:
                 if self.injection_rate is not None:
                     yield self.engine.timeout(batch_payload / self.injection_rate)
 
+    def _validate_route(self, route: Route, dst: int) -> None:
+        """Reject a policy route that is not a connected src→dst path."""
+        if route.src != self.gpu_id or route.dst != dst:
+            raise SimulationError(
+                f"routing policy {self.policy.name!r} returned route "
+                f"{route} for flow gpu{self.gpu_id}->gpu{dst}: route "
+                f"endpoints do not match the flow"
+            )
+        for relay in route.intermediates:
+            if relay not in self.peers:
+                raise SimulationError(
+                    f"routing policy {self.policy.name!r} returned route "
+                    f"{route} for flow gpu{self.gpu_id}->gpu{dst}, but "
+                    f"relay gpu{relay} is not participating in this shuffle"
+                )
+        for hop_src, hop_dst in route.hops():
+            try:
+                self.machine.hop_path(hop_src, hop_dst)
+            except TopologyError as exc:
+                raise SimulationError(
+                    f"routing policy {self.policy.name!r} returned route "
+                    f"{route} for flow gpu{self.gpu_id}->gpu{dst}, but "
+                    f"hop gpu{hop_src}->gpu{hop_dst} is not connected: {exc}"
+                ) from exc
+
     def _commit_route(self, packet: Packet) -> None:
+        packet.ideal_latency = 0.0
+        packet.pending_links.clear()
         for src, dst in packet.route.hops():
             for spec in self.machine.hop_path(src, dst):
                 channel = self.links[spec.link_id]
                 channel.commit(packet.wire_bytes)
+                packet.pending_links.append(spec.link_id)
                 packet.ideal_latency += channel.service_time(packet.wire_bytes)
 
     # ------------------------------------------------------------------
@@ -275,14 +342,30 @@ class GpuNode:
             first_link = self.links[path[0].link_id]
             self._active_sends[next_gpu] = self._active_sends.get(next_gpu, 0) + 1
             for packet in batch:
-                yield from inbound.acquire()
+                if self.recovery is None:
+                    yield from inbound.acquire()
+                else:
+                    acquired = yield from inbound.acquire(
+                        timeout=self.recovery.policy.acquire_timeout
+                    )
+                    if not acquired:
+                        # The receiver's credits never freed (crashed
+                        # GPU?) — recover instead of deadlocking.
+                        self._recover(packet, reason="credit-timeout")
+                        continue
                 packet.held_buffer = inbound
-                first_link.fulfill(packet.wire_bytes)
+                self._fulfill_link(packet, first_link)
                 # The DMA engine is occupied while injecting the packet
                 # into the hop's first link; downstream links of a staged
                 # path are traversed by a detached process so the next
                 # packet of the batch pipelines behind this one.
-                yield first_link.transmit(packet.wire_bytes)
+                transfer = first_link.transmit(packet.wire_bytes)
+                yield transfer
+                if transfer.value is False and self.recovery is not None:
+                    packet.held_buffer.release()
+                    packet.held_buffer = None
+                    self._recover(packet, reason="link-down")
+                    continue
                 self.engine.process(
                     self._traverse(packet, path[1:], receiver),
                     name=f"gpu{self.gpu_id}-traverse",
@@ -292,9 +375,90 @@ class GpuNode:
     def _traverse(self, packet: Packet, remaining_path, receiver: "GpuNode"):
         for spec in remaining_path:
             link = self.links[spec.link_id]
-            link.fulfill(packet.wire_bytes)
-            yield link.transmit(packet.wire_bytes)
+            self._fulfill_link(packet, link)
+            transfer = link.transmit(packet.wire_bytes)
+            yield transfer
+            if transfer.value is False and self.recovery is not None:
+                # Lost mid-hop on a staged path: give back the reserved
+                # slot at the receiver and retransmit from this GPU.
+                if packet.held_buffer is not None:
+                    packet.held_buffer.release()
+                    packet.held_buffer = None
+                self._recover(packet, reason="link-down")
+                return
         receiver.on_arrival(packet)
+
+    def _fulfill_link(self, packet: Packet, channel: LinkChannel) -> None:
+        channel.fulfill(packet.wire_bytes)
+        try:
+            packet.pending_links.remove(channel.spec.link_id)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Recovery (lost packets)
+    # ------------------------------------------------------------------
+
+    def _recover(self, packet: Packet, reason: str) -> None:
+        """A transmission attempt failed; retry, re-route or fall back."""
+        recovery = self.recovery
+        # Return committed-but-untraversed load so the adaptive metric
+        # stops charging a route the packet has abandoned.
+        for link_id in list(packet.pending_links):
+            self.links[link_id].fulfill(packet.wire_bytes)
+        packet.pending_links.clear()
+        packet.attempts += 1
+        if packet.attempts >= recovery.policy.max_attempts:
+            recovery.fallback(self, packet, reason=f"{reason}:retries-exhausted")
+            return
+        self.engine.process(
+            self._retry(packet, reason), name=f"gpu{self.gpu_id}-retry"
+        )
+
+    def _retry(self, packet: Packet, reason: str):
+        recovery = self.recovery
+        yield self.engine.timeout(
+            recovery.policy.retry_delay(packet.attempts - 1)
+        )
+        old_route = packet.route
+        try:
+            # Re-ask the policy from the packet's *current* GPU so ARM
+            # routes the retry around whatever killed the last attempt.
+            route = self.policy.choose_route(
+                self.context,
+                self.gpu_id,
+                packet.flow_dst,
+                packet.payload_bytes,
+                self.packet_size,
+            )
+        except UnroutableError:
+            recovery.fallback(self, packet, reason="unroutable")
+            return
+        self._validate_route(route, packet.flow_dst)
+        packet.route = route
+        self._commit_route(packet)
+        recovery.record_retry(
+            self, packet, reason=reason, rerouted=route != old_route
+        )
+        self.enqueue(packet)
+
+    def receive_fallback(self, packet: Packet) -> None:
+        """Accept a host-relayed packet (no routing-buffer slot held)."""
+        packet.held_buffer = None
+        self._deliver(packet)
+
+    def apply_slowdown(self, factor: float) -> None:
+        """Model a straggler: compute-paced rates slow by ``factor``."""
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        if self._base_injection_rate is not None:
+            self.injection_rate = self._base_injection_rate / factor
+        if self._base_consume_rate is not None:
+            self.consume_rate = self._base_consume_rate / factor
+
+    def clear_slowdown(self) -> None:
+        self.injection_rate = self._base_injection_rate
+        self.consume_rate = self._base_consume_rate
 
     # ------------------------------------------------------------------
     # Receiver side
@@ -319,6 +483,8 @@ class GpuNode:
         self.stats.delivered_bytes += packet.payload_bytes
         self.stats.delivered_packets += 1
         self.stats.last_delivery_time = self.engine.now
+        if self.recovery is not None and (packet.attempts > 0 or packet.fallback):
+            self.recovery.record_recovered(packet)
         observer = self.context.observer
         if observer is not None:
             observer.metrics.counter(

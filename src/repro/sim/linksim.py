@@ -10,6 +10,14 @@ delays: a GPU always knows its own outgoing links precisely, while
 changes on other links are *broadcast* and become visible only after a
 propagation delay — and only when the change is significant, mirroring
 the paper's "broadcast the change in the queuing delay" design.
+
+Fault semantics (`repro.faults`): a channel can be *degraded* (its
+effective bandwidth scaled down), taken *down* (transfers in flight or
+newly submitted are lost and the completion event carries ``False``)
+and brought back up.  Health changes are visible immediately to the
+owning GPU through :meth:`LinkChannel.queue_delay` and to everybody
+else through :meth:`LinkStateBoard.publish_fault`, which rides the same
+propagation-delay broadcast path as queue-delay changes.
 """
 
 from __future__ import annotations
@@ -53,9 +61,22 @@ class LinkChannel:
     #: the label is rendered once, not per packet.
     _bytes_counter: "Counter | None" = None
     _transfer_counter: "Counter | None" = None
+    #: Fault state (driven by :class:`repro.faults.FaultInjector`).
+    #: ``bandwidth_scale`` < 1 models a degraded link; ``up=False`` a
+    #: blackout or permanent failure; ``fault_penalty`` is the extra
+    #: queue-delay seconds the owning GPU (and, after a broadcast, every
+    #: other GPU) perceives while the fault lasts.
+    bandwidth_scale: float = 1.0
+    up: bool = True
+    fault_penalty: float = 0.0
+    #: Incremented on every down transition; a transfer that started in
+    #: an earlier outage epoch than it completes in was lost mid-flight.
+    _outage_epoch: int = 0
+    #: Transfers lost to a down link (submitted or in flight).
+    transfers_lost: int = 0
 
     def service_time(self, nbytes: float) -> float:
-        return self.spec.latency + nbytes / self.spec.bandwidth
+        return self.spec.latency + nbytes / (self.spec.bandwidth * self.bandwidth_scale)
 
     def commit(self, nbytes: float) -> None:
         """Reserve load for a packet routed over this link."""
@@ -75,15 +96,40 @@ class LinkChannel:
         """Time a packet routed over this link *now* would wait.
 
         Combines the wire-level FIFO backlog with load already committed
-        by earlier routing decisions; this is the ``Q_i`` of Eq. 4.
+        by earlier routing decisions (the ``Q_i`` of Eq. 4), plus the
+        fault penalty of a degraded or down link — the owning GPU knows
+        its own ports' health immediately.
         """
-        return max(0.0, self._free_at - self.engine.now) + self.committed_load
+        backlog = max(0.0, self._free_at - self.engine.now) + self.committed_load
+        return backlog + self.fault_penalty
+
+    def take_down(self) -> None:
+        """Start an outage: lose in-flight transfers, refuse new ones."""
+        if self.up:
+            self.up = False
+            self._outage_epoch += 1
+
+    def bring_up(self) -> None:
+        """End an outage; whatever queued during it was lost, not saved."""
+        self.up = True
+        self._free_at = min(self._free_at, self.engine.now)
 
     def transmit(self, nbytes: int) -> SimEvent:
-        """Enqueue a transfer; the event triggers at completion."""
+        """Enqueue a transfer; the event triggers at completion.
+
+        The event's value is ``True`` when the bytes crossed the wire
+        and ``False`` when the link was down at submission or failed
+        before the transfer completed (the packet is lost).
+        """
         if nbytes <= 0:
             raise ValueError(f"transfer size must be positive, got {nbytes}")
         now = self.engine.now
+        event = SimEvent(self.engine)
+        if not self.up:
+            # Dead port: the DMA engine notices after the launch latency.
+            self.transfers_lost += 1
+            self.engine.schedule(self.spec.latency, event.succeed, False)
+            return event
         start = max(now, self._free_at)
         service = self.service_time(nbytes)
         completion = start + service
@@ -113,7 +159,16 @@ class LinkChannel:
                 )
             self._bytes_counter.inc(nbytes)
             self._transfer_counter.inc()
-        return self.engine.timeout(completion - now)
+        self.engine.schedule(
+            completion - now, self._finish_transfer, event, self._outage_epoch
+        )
+        return event
+
+    def _finish_transfer(self, event: SimEvent, epoch: int) -> None:
+        delivered = self.up and epoch == self._outage_epoch
+        if not delivered:
+            self.transfers_lost += 1
+        event.succeed(delivered)
 
 
 @dataclass
@@ -140,6 +195,17 @@ class LinkStateBoard:
     broadcast_count: int = 0
     #: Metrics sink (broadcast chatter, suppressed updates).
     observer: "Observer | None" = None
+    #: Latest broadcast value per link, applied at delivery time so a
+    #: change published while an earlier broadcast is still in flight is
+    #: coalesced into it rather than lost or later overwritten.
+    _pending: dict[int, float] = field(default_factory=dict)
+    _pending_seq: dict[int, int] = field(default_factory=dict)
+    _delivered_seq: dict[int, int] = field(default_factory=dict)
+    #: Fault penalties (seconds) as broadcast / as remotely visible.
+    _fault_pending: dict[int, float] = field(default_factory=dict)
+    _fault_seq: dict[int, int] = field(default_factory=dict)
+    _fault_delivered_seq: dict[int, int] = field(default_factory=dict)
+    _fault_published: dict[int, float] = field(default_factory=dict)
 
     def publish(self, link: LinkChannel) -> None:
         link_id = link.spec.link_id
@@ -157,11 +223,42 @@ class LinkStateBoard:
         self.broadcast_count += 1
         if self.observer is not None:
             self.observer.metrics.counter("board.broadcasts").inc()
-        self.engine.schedule(self.broadcast_latency, self._deliver, link_id, clear_at)
+        self._pending[link_id] = clear_at
+        seq = self._pending_seq.get(link_id, 0) + 1
+        self._pending_seq[link_id] = seq
+        self.engine.schedule(self.broadcast_latency, self._deliver, link_id, seq)
 
-    def _deliver(self, link_id: int, clear_at: float) -> None:
-        self._published[link_id] = clear_at
+    def _deliver(self, link_id: int, seq: int) -> None:
+        # Apply the *latest* broadcast value, not the one captured when
+        # this delivery was scheduled: overlapping broadcasts coalesce,
+        # and a stale in-flight delivery can never roll a newer one back.
+        if seq < self._delivered_seq.get(link_id, 0):
+            return
+        self._delivered_seq[link_id] = seq
+        self._published[link_id] = self._pending[link_id]
+
+    def publish_fault(self, link_id: int, penalty: float) -> None:
+        """Broadcast a link-health change to remote GPUs.
+
+        ``penalty`` is the extra queue-delay seconds remote route
+        metrics should charge this link (0.0 restores health).  It rides
+        the same propagation-delay path as queue-delay broadcasts.
+        """
+        self.broadcast_count += 1
+        if self.observer is not None:
+            self.observer.metrics.counter("board.broadcasts").inc()
+        self._fault_pending[link_id] = penalty
+        seq = self._fault_seq.get(link_id, 0) + 1
+        self._fault_seq[link_id] = seq
+        self.engine.schedule(self.broadcast_latency, self._deliver_fault, link_id, seq)
+
+    def _deliver_fault(self, link_id: int, seq: int) -> None:
+        if seq < self._fault_delivered_seq.get(link_id, 0):
+            return
+        self._fault_delivered_seq[link_id] = seq
+        self._fault_published[link_id] = self._fault_pending[link_id]
 
     def published_queue_delay(self, link_id: int) -> float:
         """Queue delay of ``link_id`` as currently visible to remote GPUs."""
-        return max(0.0, self._published.get(link_id, 0.0) - self.engine.now)
+        base = max(0.0, self._published.get(link_id, 0.0) - self.engine.now)
+        return base + self._fault_published.get(link_id, 0.0)

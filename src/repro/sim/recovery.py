@@ -1,0 +1,168 @@
+"""Packet-loss recovery: bounded retry, re-route, host-staged fallback.
+
+When faults are injected (:mod:`repro.faults`), packets can be lost —
+a link goes down mid-transfer, or a receiver's routing-buffer credits
+never free because the GPU behind them crashed.  The recovery layer
+keeps the shuffle *live* under those conditions:
+
+* a lost packet is retried after an exponential-backoff delay, bounded
+  by :attr:`RetryPolicy.max_attempts`;
+* each retry re-asks the :class:`~repro.routing.base.RoutingPolicy`
+  for a route from the packet's *current* GPU, so ARM naturally routes
+  around degraded or dead links;
+* when no route exists at all (``UnroutableError``) or the retry
+  budget is exhausted, the packet degrades gracefully to a
+  *host-staged fallback*: the CPU relays it over PCIe at a recorded
+  (much slower) rate instead of the join hanging or dropping data.
+
+All recovery events are emitted as ``repro.obs`` instants and counters
+so chaos runs can be audited in Chrome traces and ``repro analyze``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observer
+    from repro.sim.engine import Engine
+    from repro.sim.gpusim import GpuNode, Packet
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds on the retry/backoff/fallback behaviour.
+
+    The total extra delay a packet can accrue across its full retry
+    budget is bounded by :meth:`total_delay_bound`, which tests assert
+    stays finite and small relative to a shuffle.
+    """
+
+    #: Transmission attempts before falling back to host staging
+    #: (the first attempt counts, so 4 = 1 try + 3 retries).
+    max_attempts: int = 4
+    #: Backoff before the first retry, seconds.
+    base_delay: float = 100e-6
+    #: Multiplier between consecutive retry delays.
+    backoff: float = 2.0
+    #: Cap on any single retry delay, seconds.
+    max_delay: float = 5e-3
+    #: How long a sender waits on routing-buffer credits before treating
+    #: the receiver as unresponsive and re-routing (covers crashed GPUs
+    #: whose buffers will never drain).
+    acquire_timeout: float = 20e-3
+    #: Host-staged fallback relay bandwidth (CPU copy through sysmem,
+    #: pinned-buffer PCIe rate) and per-packet latency.
+    host_bandwidth: float = 5e9
+    host_latency: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1 (delays must not shrink)")
+
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return min(self.max_delay, self.base_delay * self.backoff**attempt)
+
+    def total_delay_bound(self) -> float:
+        """Upper bound on backoff delay summed over the retry budget."""
+        return sum(self.retry_delay(i) for i in range(self.max_attempts - 1))
+
+
+@dataclass
+class RecoveryManager:
+    """Shared recovery state and accounting for one shuffle run.
+
+    The per-packet recovery logic lives in :class:`GpuNode` (it needs
+    the node's queues and routing context); this object centralizes the
+    policy knobs, the serialized host-fallback path and the counters
+    that surface in :class:`~repro.sim.stats.ShuffleReport`.
+    """
+
+    engine: "Engine"
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    observer: "Observer | None" = None
+
+    #: Recovery counters (copied onto the shuffle report).
+    retries: int = 0
+    reroutes: int = 0
+    fallbacks: int = 0
+    packets_recovered: int = 0
+
+    #: The host relay is one staged pipe per destination GPU: fallback
+    #: transfers to the same GPU serialize FIFO instead of completing
+    #: in parallel at an unrealistic aggregate rate.
+    _host_free_at: dict[int, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Event accounting
+    # ------------------------------------------------------------------
+
+    def record_retry(self, node: "GpuNode", packet: "Packet", *, reason: str,
+                     rerouted: bool) -> None:
+        self.retries += 1
+        if rerouted:
+            self.reroutes += 1
+        if self.observer is not None:
+            self.observer.metrics.counter("faults.retries").inc()
+            if rerouted:
+                self.observer.metrics.counter("faults.reroutes").inc()
+            self.observer.instant(
+                "packet.retry",
+                self.engine.now,
+                track=f"gpu{node.gpu_id}",
+                category="fault",
+                src=packet.flow_src,
+                dst=packet.flow_dst,
+                attempt=packet.attempts,
+                reason=reason,
+                route=str(packet.route),
+                rerouted=rerouted,
+            )
+
+    def record_recovered(self, packet: "Packet") -> None:
+        self.packets_recovered += 1
+        if self.observer is not None:
+            self.observer.metrics.counter("faults.packets_recovered").inc()
+
+    # ------------------------------------------------------------------
+    # Host-staged fallback (graceful degradation)
+    # ------------------------------------------------------------------
+
+    def fallback(self, node: "GpuNode", packet: "Packet", *, reason: str) -> None:
+        """Relay ``packet`` to its destination through host memory.
+
+        The transfer is charged ``host_latency + bytes/host_bandwidth``
+        and serializes with other fallback traffic to the same
+        destination; delivery then follows the normal path so byte
+        accounting and correctness checks stay exact.
+        """
+        self.fallbacks += 1
+        now = self.engine.now
+        start = max(now, self._host_free_at.get(packet.flow_dst, 0.0))
+        service = self.policy.host_latency + (
+            packet.wire_bytes / self.policy.host_bandwidth
+        )
+        finish = start + service
+        self._host_free_at[packet.flow_dst] = finish
+        if self.observer is not None:
+            self.observer.metrics.counter("faults.fallbacks").inc()
+            self.observer.instant(
+                "packet.fallback",
+                now,
+                track=f"gpu{node.gpu_id}",
+                category="fault",
+                src=packet.flow_src,
+                dst=packet.flow_dst,
+                attempts=packet.attempts,
+                reason=reason,
+                penalty_seconds=finish - now,
+            )
+        packet.fallback = True
+        destination = node.peers[packet.flow_dst]
+        self.engine.schedule(finish - now, destination.receive_fallback, packet)

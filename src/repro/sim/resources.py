@@ -86,8 +86,16 @@ class RoutingBuffer:
     def free(self) -> int:
         return self._slots - self._occupied
 
-    def acquire(self) -> Generator[SimEvent, Any, None]:
-        """Claim one slot, synchronizing / blocking as needed."""
+    def acquire(self, timeout: float | None = None) -> Generator[SimEvent, Any, bool]:
+        """Claim one slot, synchronizing / blocking as needed.
+
+        Returns ``True`` once a slot is claimed.  With a ``timeout``
+        (seconds), gives up after waiting that long for a free slot and
+        returns ``False`` instead — letting a sender re-route around a
+        receiver that will never drain (e.g. a crashed GPU) rather than
+        deadlocking on its credits.
+        """
+        deadline = None if timeout is None else self._engine.now + timeout
         while self._credits <= 0:
             yield self._engine.timeout(self._sync_latency)
             self.sync_count += 1
@@ -95,12 +103,26 @@ class RoutingBuffer:
             if self._credits <= 0:
                 waiter = self._engine.event()
                 self._waiters.append(waiter)
-                yield waiter
+                if deadline is None:
+                    yield waiter
+                else:
+                    remaining = deadline - self._engine.now
+                    if remaining <= 0:
+                        self._waiters.remove(waiter)
+                        return False
+                    yield self._engine.any_of(
+                        [waiter, self._engine.timeout(remaining)]
+                    )
+                    if not waiter.triggered:
+                        # Timed out before any release reached us.
+                        self._waiters.remove(waiter)
+                        return False
                 # A release happened; refresh the credit view and retry
                 # (another DMA engine may have raced us to the slot).
                 self._credits = self.free
         self._credits -= 1
         self._occupied += 1
+        return True
 
     def release(self) -> None:
         """Free one slot (packet consumed or forwarded onward)."""

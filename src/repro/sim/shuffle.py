@@ -12,13 +12,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.routing.base import RoutingContext, RoutingPolicy
 from repro.sim.engine import Engine, SimulationError
 from repro.sim.gpusim import GpuNode, Packet
 from repro.sim.linksim import LinkChannel, LinkStateBoard
+from repro.sim.recovery import RecoveryManager, RetryPolicy
 from repro.sim.stats import LinkStats, ShuffleReport, bisection_cut
 from repro.topology.machine import MachineTopology
 from repro.topology.routes import RouteEnumerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 MB = 1024 * 1024
 
@@ -120,6 +126,8 @@ class ShuffleSimulator:
         tracer=None,
         observer=None,
         sampler=None,
+        faults: "FaultPlan | None" = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.machine = machine
         self.tracer = tracer
@@ -127,6 +135,10 @@ class ShuffleSimulator:
         self.observer = observer
         #: Link-timeline sampler (repro.obs.analyze); ``None`` = off.
         self.sampler = sampler
+        #: Fault plan injected into the run; ``None`` = healthy fabric.
+        self.faults = faults
+        #: Retry/backoff/fallback knobs (used only when faults are on).
+        self.retry = retry or RetryPolicy()
         self.gpu_ids = tuple(sorted(gpu_ids if gpu_ids is not None else machine.gpu_ids))
         if len(self.gpu_ids) < 2:
             raise ValueError("a shuffle needs at least two GPUs")
@@ -175,6 +187,11 @@ class ShuffleSimulator:
             observer=self.observer,
             sampler=self.sampler,
         )
+        recovery: RecoveryManager | None = None
+        if self.faults is not None:
+            recovery = RecoveryManager(
+                engine, policy=self.retry, observer=self.observer
+            )
         delivered: list[Packet] = []
         nodes: dict[int, GpuNode] = {}
         for gpu_id in relay_ids:
@@ -194,9 +211,25 @@ class ShuffleSimulator:
                 injection_rate=config.injection_rate,
                 consume_rate=config.consume_rate,
                 on_delivery=delivered.append,
+                recovery=recovery,
             )
         for node in nodes.values():
             node.peers = nodes
+        injector = None
+        if self.faults is not None:
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector(self.faults)
+            injector.bind(
+                engine=engine,
+                links=links,
+                board=board,
+                nodes=nodes,
+                enumerator=enumerator,
+                machine=self.machine,
+                packet_size=config.packet_size,
+                observer=self.observer,
+            )
         for gpu_id in self.gpu_ids:
             outgoing = flows.outgoing(gpu_id)
             if outgoing:
@@ -205,6 +238,13 @@ class ShuffleSimulator:
         report = self._build_report(
             engine, policy, flows, links, nodes, delivered, board
         )
+        if injector is not None:
+            report.faults_injected = injector.faults_injected
+        if recovery is not None:
+            report.packet_retries = recovery.retries
+            report.packet_reroutes = recovery.reroutes
+            report.packet_fallbacks = recovery.fallbacks
+            report.packets_recovered = recovery.packets_recovered
         if self.observer is not None:
             metrics = self.observer.metrics
             metrics.gauge("shuffle.elapsed_seconds").set(report.elapsed)

@@ -146,6 +146,12 @@ class ShuffleReport:
     sync_time_total: float = 0.0
     consume_finish_time: float = 0.0
     per_gpu_delivered: dict[int, int] = field(default_factory=dict)
+    #: Fault-injection / recovery accounting (zero on healthy runs).
+    faults_injected: int = 0
+    packet_retries: int = 0
+    packet_reroutes: int = 0
+    packet_fallbacks: int = 0
+    packets_recovered: int = 0
 
     @property
     def throughput(self) -> float:

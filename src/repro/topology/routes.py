@@ -17,6 +17,10 @@ from repro.topology.links import LinkSpec
 from repro.topology.machine import MachineTopology, TopologyError
 
 
+class UnroutableError(TopologyError):
+    """Every candidate route between two GPUs crosses a failed link."""
+
+
 @dataclass(frozen=True)
 class Route:
     """A GPU-level itinerary ``(src, *intermediates, dst)``."""
@@ -121,6 +125,15 @@ class RouteEnumerator:
         if unknown:
             raise TopologyError(f"unknown GPUs in allowed set: {sorted(unknown)}")
         self._max_intermediates = max_intermediates
+        #: Link ids declared permanently failed; routes crossing any of
+        #: them are excluded from enumeration.
+        self._failed: set[int] = set()
+        #: Bumped whenever the failed-link set changes, so callers that
+        #: cache per-(src, dst) winners (the static policies) can key
+        #: their caches on it and never serve a stale route.
+        self._version = 0
+        self._memo: dict[tuple[int, int], tuple[Route, ...]] = {}
+        self._raw_memo: dict[tuple[int, int], tuple[Route, ...]] = {}
 
     @property
     def machine(self) -> MachineTopology:
@@ -130,18 +143,70 @@ class RouteEnumerator:
     def allowed_gpus(self) -> tuple[int, ...]:
         return self._allowed
 
-    @lru_cache(maxsize=None)
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def failed_links(self) -> frozenset[int]:
+        return frozenset(self._failed)
+
+    def fail_link(self, link_id: int) -> None:
+        """Invalidate every route crossing ``link_id`` (dead edge)."""
+        if link_id not in self._failed:
+            self._failed.add(link_id)
+            self._version += 1
+            self._memo.clear()
+
+    def restore_link(self, link_id: int) -> None:
+        """Re-admit routes crossing a previously failed link."""
+        if link_id in self._failed:
+            self._failed.discard(link_id)
+            self._version += 1
+            self._memo.clear()
+
     def routes(self, src: int, dst: int) -> tuple[Route, ...]:
         """All candidate routes from ``src`` to ``dst``.
 
         The direct route comes first, followed by multi-hop all-NVLink
-        routes ordered by increasing hop count.
+        routes ordered by increasing hop count.  Routes crossing a link
+        marked failed via :meth:`fail_link` are excluded; when *every*
+        candidate does, :class:`UnroutableError` is raised so callers
+        can fall back (host staging) instead of hanging.
         """
+        key = (src, dst)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        candidates = self._enumerate(src, dst)
+        if self._failed:
+            usable = tuple(
+                route
+                for route in candidates
+                if not any(
+                    link.link_id in self._failed
+                    for link in physical_links(self._machine, route)
+                )
+            )
+        else:
+            usable = candidates
+        if not usable:
+            raise UnroutableError(
+                f"no route from gpu{src} to gpu{dst} avoids the failed "
+                f"links {sorted(self._failed)}"
+            )
+        self._memo[key] = usable
+        return usable
+
+    def _enumerate(self, src: int, dst: int) -> tuple[Route, ...]:
         if src == dst:
             raise ValueError("source and destination GPUs must differ")
         for gpu_id in (src, dst):
             if gpu_id not in self._allowed:
                 raise TopologyError(f"gpu{gpu_id} is not in the allowed set")
+        cached = self._raw_memo.get((src, dst))
+        if cached is not None:
+            return cached
         found: list[Route] = [Route((src, dst))]
         allowed = set(self._allowed)
         adjacency = {
@@ -165,7 +230,9 @@ class RouteEnumerator:
 
         extend([src])
         multi_hop = sorted(found[1:], key=lambda r: (r.num_hops, r.gpus))
-        return (found[0], *multi_hop)
+        result = (found[0], *multi_hop)
+        self._raw_memo[(src, dst)] = result
+        return result
 
     @lru_cache(maxsize=None)
     def direct_route(self, src: int, dst: int) -> Route:

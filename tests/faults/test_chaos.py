@@ -1,0 +1,169 @@
+"""Acceptance: chaos scenarios complete with correct joins, adaptive
+routing retains the most throughput, and every single NVLink cut on the
+DGX-1 is survivable with the recovery visible in the trace."""
+
+import pytest
+from helpers import make_workload
+
+from repro.faults import (
+    PRESET_NAMES,
+    ChaosError,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    build_preset,
+    run_chaos,
+)
+from repro.obs import Observer
+from repro.obs.export import to_chrome_trace, validate_chrome_trace
+from repro.routing import AdaptiveArmPolicy, DirectPolicy
+from repro.sim import FlowMatrix, ShuffleConfig, ShuffleSimulator
+
+MB = 1024 * 1024
+
+
+def small_config(**overrides):
+    defaults = dict(injection_rate=None, consume_rate=None)
+    defaults.update(overrides)
+    return ShuffleConfig(**defaults)
+
+
+def nvlink_pairs(machine):
+    return sorted(
+        {
+            (min(g, n), max(g, n))
+            for g in machine.gpu_ids
+            for n in machine.nvlink_neighbors(g)
+        }
+    )
+
+
+class TestPresetAcceptance:
+    """Every built-in scenario must complete with the exact healthy
+    join result — the subsystem's headline guarantee."""
+
+    @pytest.mark.parametrize("preset", PRESET_NAMES)
+    def test_preset_completes_with_correct_join(self, dgx1, preset):
+        workload = make_workload(num_gpus=8, real=2048)
+        report = run_chaos(dgx1, workload, preset, seed=1)  # strict
+        assert report.correct
+        assert report.fault_counters["faults_injected"] == len(report.plan)
+        assert report.throughput_retention > 0.0
+
+    def test_report_metrics_and_summary(self, dgx1):
+        workload = make_workload(num_gpus=8, real=2048)
+        report = run_chaos(dgx1, workload, "nvlink-cut", seed=1)
+        assert report.throughput_retention == pytest.approx(
+            report.faulted.throughput / report.healthy.throughput
+        )
+        text = "\n".join(report.summary_lines())
+        assert "nvlink-cut" in text
+        assert "retention" in text
+
+    def test_unknown_scenario_rejected(self, dgx1):
+        workload = make_workload(num_gpus=4, real=2048)
+        with pytest.raises(Exception):
+            run_chaos(dgx1, workload, "meteor-strike")
+
+    def test_chaos_trace_is_loadable_and_shows_faults(self, dgx1):
+        workload = make_workload(num_gpus=8, real=2048)
+        observer = Observer()
+        run_chaos(dgx1, workload, "link-flap", seed=1, observer=observer)
+        trace = to_chrome_trace(observer)
+        assert validate_chrome_trace(trace) == []
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert "fault.inject" in names
+        assert "fault.restore" in names
+        assert any(name.startswith("fault:") for name in names)
+
+
+class TestAdaptiveRetainsMoreThroughput:
+    def test_adaptive_beats_direct_under_brownout(self, dgx1):
+        """Under an NVLink brownout the adaptive policy must retain
+        strictly more shuffle throughput than static direct routing —
+        the paper's claim, under fire."""
+        gpus = tuple(range(8))
+        flows = FlowMatrix.all_to_all(gpus, 8 * MB)
+        healthy = ShuffleSimulator(dgx1, gpus, small_config()).run(
+            flows, AdaptiveArmPolicy()
+        )
+        plan = build_preset("nvlink-brownout", dgx1, healthy.elapsed, seed=0)
+        adaptive = ShuffleSimulator(
+            dgx1, gpus, small_config(), faults=plan
+        ).run(flows, AdaptiveArmPolicy())
+        direct = ShuffleSimulator(
+            dgx1, gpus, small_config(), faults=plan
+        ).run(flows, DirectPolicy())
+        assert adaptive.delivered_bytes == flows.total_bytes
+        assert direct.delivered_bytes == flows.total_bytes
+        assert adaptive.throughput > direct.throughput
+
+
+class TestSingleNvlinkCutSurvivability:
+    def test_every_single_nvlink_cut_is_survivable(self, dgx1):
+        """Acceptance: cut any one NVLink mid-shuffle; the run must
+        finish with every byte delivered, re-routing where traffic was
+        committed to the dead link."""
+        gpus = tuple(range(8))
+        flows = FlowMatrix.all_to_all(gpus, 4 * MB)
+        healthy = ShuffleSimulator(dgx1, gpus, small_config()).run(
+            flows, AdaptiveArmPolicy()
+        )
+        recovered_runs = []
+        for src, dst in nvlink_pairs(dgx1):
+            plan = FaultPlan(
+                name=f"cut-{src}-{dst}",
+                events=(
+                    FaultEvent(
+                        kind=FaultKind.LINK_FAIL,
+                        at=0.3 * healthy.elapsed,
+                        src=src,
+                        dst=dst,
+                    ),
+                ),
+            )
+            observer = Observer()
+            report = ShuffleSimulator(
+                dgx1, gpus, small_config(), faults=plan, observer=observer
+            ).run(flows, AdaptiveArmPolicy())
+            assert report.delivered_bytes == flows.total_bytes, (src, dst)
+            assert report.faults_injected == 1
+            if report.packet_retries:
+                recovered_runs.append((report, observer))
+        # Mid-run cuts on a loaded all-to-all must catch committed
+        # packets somewhere — and their recovery must be observable.
+        assert recovered_runs
+        report, observer = recovered_runs[0]
+        assert observer.spans.find_instants("packet.retry")
+        assert report.packets_recovered > 0
+        assert sum(r.packet_reroutes for r, _ in recovered_runs) > 0
+
+    def test_cut_with_direct_policy_survives_via_reroute(self, dgx1):
+        """Even the static direct policy must survive a cut: retries
+        re-ask the policy, and a failed direct route falls back."""
+        flows = FlowMatrix.all_to_all((0, 1, 2, 3), 8 * MB)
+        healthy = ShuffleSimulator(dgx1, (0, 1, 2, 3), small_config()).run(
+            flows, DirectPolicy()
+        )
+        plan = FaultPlan(
+            name="cut-0-1",
+            events=(
+                FaultEvent(
+                    kind=FaultKind.LINK_FAIL,
+                    at=0.3 * healthy.elapsed,
+                    src=0,
+                    dst=1,
+                ),
+            ),
+        )
+        report = ShuffleSimulator(
+            dgx1, (0, 1, 2, 3), small_config(), faults=plan
+        ).run(flows, DirectPolicy())
+        assert report.delivered_bytes == flows.total_bytes
+        assert (
+            report.packet_reroutes + report.packet_fallbacks
+        ) > 0
+
+
+def test_chaos_error_type():
+    assert issubclass(ChaosError, RuntimeError)

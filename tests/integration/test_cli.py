@@ -170,3 +170,78 @@ def test_tpch_command(capsys):
     ])
     assert code == 0
     assert "q14" in capsys.readouterr().out
+
+
+def test_chaos_command_requires_scenario():
+    with pytest.raises(SystemExit):
+        main(["chaos"])
+
+
+def test_chaos_command_preset(capsys, tmp_path):
+    import json
+
+    code = main([
+        "chaos", "--preset", "gpu-straggler", "--gpus", "4",
+        "--tuples-per-gpu", "1M", "--real-tuples", "4K",
+        "--out-dir", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "chaos scenario : gpu-straggler" in out
+    assert "retention" in out
+    report = json.loads((tmp_path / "chaos_report.json").read_text())
+    assert report["correct"] is True
+    assert report["counters"]["faults_injected"] == 1
+    trace = json.loads((tmp_path / "chaos_trace.json").read_text())
+    names = {event["name"] for event in trace["traceEvents"]}
+    assert "fault.inject" in names
+
+
+def test_chaos_command_plan_file(capsys, tmp_path):
+    import json
+
+    plan = {
+        "name": "cut-0-1",
+        "events": [{"kind": "link-fail", "at": 1e-4, "src": 0, "dst": 1}],
+    }
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(plan))
+    code = main([
+        "chaos", "--plan", str(path), "--gpus", "4",
+        "--tuples-per-gpu", "1M", "--real-tuples", "4K",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cut-0-1" in out
+
+
+def test_chaos_command_min_retention_gate(capsys, tmp_path):
+    code = main([
+        "chaos", "--preset", "nvlink-cut", "--gpus", "4",
+        "--tuples-per-gpu", "1M", "--real-tuples", "4K",
+        "--min-retention", "2.0",  # impossible floor: must gate
+    ])
+    assert code == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_analyze_join_with_chaos(capsys):
+    code = main([
+        "analyze", "--mode", "join", "--gpus", "4",
+        "--tuples-per-gpu", "1M", "--real-tuples", "4K",
+        "--chaos", "nvlink-cut",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fault / recovery events" in out
+    assert "fault.inject" in out
+
+
+def test_analyze_shuffle_with_chaos(capsys):
+    code = main([
+        "analyze", "--mode", "shuffle", "--gpus", "4",
+        "--bytes-per-flow", "4M", "--chaos", "link-flap",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fault / recovery events" in out

@@ -158,3 +158,43 @@ def test_processes_interleave():
     assert order == [
         ("a", 1.0), ("b", 1.5), ("a", 2.0), ("b", 3.0), ("a", 3.0), ("b", 4.5)
     ]
+
+
+def test_any_of_returns_the_first_event():
+    engine = Engine()
+    slow = engine.timeout(3.0, "slow")
+    fast = engine.timeout(1.0, "fast")
+    winners = []
+
+    def waiter():
+        winner = yield engine.any_of([slow, fast])
+        winners.append((engine.now, winner))
+
+    engine.process(waiter())
+    engine.run()
+    assert winners == [(1.0, fast)]
+    assert winners[0][1].value == "fast"
+
+
+def test_any_of_ignores_later_completions():
+    engine = Engine()
+    first = engine.timeout(1.0)
+    second = engine.timeout(2.0)
+    done = engine.any_of([first, second])
+    engine.run()
+    assert done.value is first
+    assert second.triggered  # raced event still completes on its own
+
+
+def test_any_of_with_already_triggered_event():
+    engine = Engine()
+    ready = engine.event()
+    ready.succeed("now")
+    done = engine.any_of([ready, engine.timeout(5.0)])
+    engine.run(until=0.1)
+    assert done.triggered and done.value is ready
+
+
+def test_any_of_empty_is_an_error():
+    with pytest.raises(SimulationError):
+        Engine().any_of([])

@@ -121,3 +121,37 @@ class TestLinkStateBoard:
         for _ in range(5):
             link.transmit(25_000_000)
         assert board.broadcast_count == 5
+
+    def test_inflight_broadcast_coalesces_to_latest_value(self):
+        """Regression: a queue change published while an earlier
+        broadcast is still propagating must not be lost.  The delivery
+        applies the *latest* value, so after the first broadcast lands
+        remote GPUs see the full two-transfer backlog — not a stale
+        snapshot that the second (still in-flight) broadcast would only
+        correct half a millisecond later."""
+        engine = Engine()
+        board = LinkStateBoard(engine, broadcast_latency=1e-3, quantum=1e-9)
+        link = make_link(engine, board)
+        link.transmit(25_000_000)  # ~1 ms of service
+        engine.run(until=0.5e-3)
+        link.transmit(25_000_000)  # second broadcast while first in flight
+        engine.run(until=1.1e-3)  # only the first delivery has landed
+        published = board.published_queue_delay(link.spec.link_id)
+        assert published == pytest.approx(link.queue_delay())
+        assert published > 0.5 * link.service_time(25_000_000)
+
+    def test_stale_delivery_cannot_roll_back_newer_value(self):
+        """A slow first broadcast must not overwrite the state written
+        by a newer broadcast that was delivered at the same instant."""
+        engine = Engine()
+        board = LinkStateBoard(engine, broadcast_latency=1e-3, quantum=1e-9)
+        link = make_link(engine, board)
+        link.transmit(25_000_000)
+        engine.run(until=0.9e-3)
+        link.transmit(250_000_000)  # much larger backlog, lands at 1.9 ms
+        engine.run(until=2.5e-3)
+        # Whatever order deliveries ran in, the surviving published
+        # value reflects the latest local truth.
+        assert board.published_queue_delay(
+            link.spec.link_id
+        ) == pytest.approx(link.queue_delay())

@@ -176,3 +176,49 @@ class TestShuffleSimulator:
             flows, DirectPolicy()
         )
         assert report.buffer_sync_count > 0
+
+
+class TestRogueRoutePolicies:
+    """A policy bug must surface as a clear SimulationError naming the
+    flow and the offending route — never a hang or a KeyError."""
+
+    def _run(self, dgx1, policy):
+        from repro.sim import SimulationError
+
+        flows = FlowMatrix()
+        flows.add(0, 5, 4 * MB)
+        with pytest.raises(SimulationError) as excinfo:
+            ShuffleSimulator(dgx1, (0, 1, 5), small_config()).run(
+                flows, policy
+            )
+        return str(excinfo.value)
+
+    def test_disconnected_route_rejected(self, dgx1):
+        from repro.routing.base import RoutingPolicy
+        from repro.topology import Route
+
+        class Teleporter(RoutingPolicy):
+            name = "teleporter"
+
+            def choose_route(self, context, src, dst, batch_bytes,
+                             packet_bytes):
+                return Route((src, 6, dst))  # 6 not NVLink-adjacent to 5
+
+        message = self._run(dgx1, Teleporter())
+        assert "gpu0->gpu5" in message
+        assert "gpu6" in message
+
+    def test_route_with_wrong_endpoints_rejected(self, dgx1):
+        from repro.routing.base import RoutingPolicy
+        from repro.topology import Route
+
+        class WrongWay(RoutingPolicy):
+            name = "wrong-way"
+
+            def choose_route(self, context, src, dst, batch_bytes,
+                             packet_bytes):
+                return Route((src, 1))  # never reaches dst
+
+        message = self._run(dgx1, WrongWay())
+        assert "gpu0->gpu5" in message
+        assert "endpoints" in message

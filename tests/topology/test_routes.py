@@ -98,3 +98,61 @@ def test_paper_route_counts_ballpark(dgx1):
     for src, dst in ((0, 7), (0, 5), (2, 4)):
         count = len(enumerator.routes(src, dst))
         assert 10 <= count <= 80
+
+
+class TestFailedLinks:
+    """Route invalidation when physical links die (repro.faults)."""
+
+    def _nvlink_ids(self, dgx1, src, dst):
+        ids = []
+        for a, b in ((src, dst), (dst, src)):
+            spec = dgx1.nvlink_between(a, b)
+            if spec is not None:
+                ids.append(spec.link_id)
+        return ids
+
+    def test_fail_link_filters_candidates(self, dgx1):
+        enumerator = RouteEnumerator(dgx1)
+        before = enumerator.routes(0, 1)
+        for link_id in self._nvlink_ids(dgx1, 0, 1):
+            enumerator.fail_link(link_id)
+        after = enumerator.routes(0, 1)
+        assert len(after) < len(before)
+        direct = Route((0, 1))
+        assert direct in before and direct not in after
+
+    def test_restore_link_brings_routes_back(self, dgx1):
+        enumerator = RouteEnumerator(dgx1)
+        before = enumerator.routes(0, 1)
+        ids = self._nvlink_ids(dgx1, 0, 1)
+        for link_id in ids:
+            enumerator.fail_link(link_id)
+        for link_id in ids:
+            enumerator.restore_link(link_id)
+        assert enumerator.routes(0, 1) == before
+        assert not enumerator.failed_links
+
+    def test_version_bumps_on_every_change(self, dgx1):
+        enumerator = RouteEnumerator(dgx1)
+        v0 = enumerator.version
+        enumerator.fail_link(0)
+        v1 = enumerator.version
+        enumerator.restore_link(0)
+        v2 = enumerator.version
+        assert v0 < v1 < v2
+
+    def test_all_paths_dead_raises_unroutable(self, dgx1):
+        from repro.topology.routes import UnroutableError, physical_links
+
+        enumerator = RouteEnumerator(dgx1, allowed_gpus=(0, 1))
+        for route in enumerator.routes(0, 1):
+            for spec in physical_links(dgx1, route):
+                enumerator.fail_link(spec.link_id)
+        with pytest.raises(UnroutableError):
+            enumerator.routes(0, 1)
+
+    def test_unroutable_is_a_topology_error(self):
+        from repro.topology.machine import TopologyError
+        from repro.topology.routes import UnroutableError
+
+        assert issubclass(UnroutableError, TopologyError)
