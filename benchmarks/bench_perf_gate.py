@@ -5,6 +5,12 @@ MG-Join, all deterministic simulation) and compares them against the
 committed ``BENCH_dgx1-8gpu.json``.  Any gated metric moving more than
 10% in its bad direction fails the build; refresh the baseline with
 ``python -m repro perf --update`` when a change is intentional.
+
+One metric is wall-clock rather than simulation output:
+``perf.self_time_seconds``, the collection's own runtime.  It gates
+hot-path performance with the generous 50% band from
+``regression.METRIC_TOLERANCES`` so shared-CI noise can't flake the
+build while a real slowdown of the simulator still fails it.
 """
 
 from repro.bench import regression

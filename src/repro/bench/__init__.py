@@ -19,9 +19,12 @@ from repro.bench.regression import (
     write_baseline,
 )
 from repro.bench.reporting import format_markdown_table, save_figure_result
+from repro.bench.runner import BenchRun, FigureRun, run_benchmarks
 
 __all__ = [
+    "BenchRun",
     "FigureResult",
+    "FigureRun",
     "GateResult",
     "MetricComparison",
     "bench_workload",
@@ -30,6 +33,7 @@ __all__ = [
     "figures",
     "format_markdown_table",
     "load_baseline",
+    "run_benchmarks",
     "run_gate",
     "save_figure_result",
     "write_baseline",

@@ -2,12 +2,23 @@
 
 from __future__ import annotations
 
+import os
+import pathlib
+import pickle
+import tempfile
 from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.core.relation import JoinWorkload
 from repro.obs import Observer
+from repro.obs.meta import config_hash
 from repro.workloads import WorkloadSpec, generate_workload
+
+#: Environment variable naming a directory for the on-disk workload
+#: cache.  When set, generated workloads are pickled there keyed by a
+#: hash of their spec, so every parallel bench worker (and every later
+#: run) loads a sweep's inputs instead of regenerating them.
+WORKLOAD_CACHE_ENV = "REPRO_WORKLOAD_CACHE"
 
 #: The paper's per-GPU input: 512M tuples per relation (§5.1).
 PAPER_TUPLES_PER_GPU = 512 * 1024 * 1024
@@ -27,6 +38,10 @@ class FigureResult:
     #: Optional per-run metric snapshots (label -> registry snapshot),
     #: persisted next to the rows by ``save_figure_result``.
     metric_snapshots: dict[str, dict] = field(default_factory=dict)
+    #: Wall-clock seconds this figure took to regenerate (*self-time*,
+    #: as opposed to the simulated seconds inside the rows).  Stamped
+    #: by the parallel runner; ``None`` when nobody timed the run.
+    self_time_seconds: float | None = None
 
     def add(self, **row) -> None:
         self.rows.append(row)
@@ -92,7 +107,14 @@ def bench_workload(
     key_zipf: float = 0.0,
     seed: int = 42,
 ) -> JoinWorkload:
-    """Cached workload generation so figures sharing inputs reuse them."""
+    """Cached workload generation so figures sharing inputs reuse them.
+
+    Two layers: an in-process ``lru_cache`` (keyed on these primitive
+    arguments — machine objects never key this cache, so nothing leaks
+    across sweeps) and, when :data:`WORKLOAD_CACHE_ENV` names a
+    directory, an on-disk pickle cache keyed by the spec's config hash
+    that parallel bench workers share.
+    """
     spec = WorkloadSpec(
         gpu_ids=gpu_ids,
         logical_tuples_per_gpu=logical_tuples_per_gpu,
@@ -101,4 +123,33 @@ def bench_workload(
         key_zipf=key_zipf,
         seed=seed,
     )
-    return generate_workload(spec)
+    cache_dir = os.environ.get(WORKLOAD_CACHE_ENV)
+    if not cache_dir:
+        return generate_workload(spec)
+    return _disk_cached_workload(spec, pathlib.Path(cache_dir))
+
+
+def _disk_cached_workload(
+    spec: WorkloadSpec, cache_dir: pathlib.Path
+) -> JoinWorkload:
+    path = cache_dir / f"workload-{config_hash(spec)}.pkl"
+    if path.exists():
+        try:
+            return pickle.loads(path.read_bytes())
+        except Exception:
+            pass  # corrupt / truncated entry: regenerate below
+    workload = generate_workload(spec)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    # Write-then-rename so concurrent workers racing on one entry never
+    # read a half-written pickle.
+    fd, tmp_name = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(workload, handle)
+        os.replace(tmp_name, path)
+    except OSError:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+    return workload

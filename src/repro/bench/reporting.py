@@ -60,6 +60,8 @@ def save_figure_result(
         "rows": result.rows,
         "notes": result.notes,
     }
+    if result.self_time_seconds is not None:
+        payload["perf"] = {"self_time_seconds": result.self_time_seconds}
     if result.metric_snapshots:
         payload["metrics"] = result.metric_snapshots
     json_path = out_dir / f"{stem}.json"

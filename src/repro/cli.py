@@ -17,6 +17,9 @@ Commands:
   report the throughput retained (see ``docs/robustness.md``).
 * ``perf`` — collect the canonical perf metrics and gate them against
   a committed ``BENCH_*.json`` baseline (10% tolerance).
+* ``bench`` — regenerate many figures in parallel over a process pool,
+  with per-figure wall-clock self-times and a ``bench_run.json``
+  manifest; ``--gate`` chains the perf-regression gate afterwards.
 * ``figure`` — regenerate a paper figure (fig01 .. fig14).
 * ``tpch`` — run TPC-H queries on a chosen engine.
 
@@ -256,6 +259,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline from the current collection and exit",
     )
 
+    bench = commands.add_parser(
+        "bench", help="regenerate figures in parallel with self-time records"
+    )
+    bench.add_argument(
+        "--figures", nargs="*", metavar="NAME", default=None,
+        help="figure keys to run (default: the whole suite)",
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: min(figures, CPU count))",
+    )
+    bench.add_argument(
+        "--out-dir", metavar="DIR", default="bench_results",
+        help="artifact directory (per-figure JSON/markdown + bench_run.json)",
+    )
+    bench.add_argument(
+        "--workload-cache", metavar="DIR", default=None,
+        help="directory for the shared on-disk workload cache",
+    )
+    bench.add_argument(
+        "--gate", action="store_true",
+        help="after the run, gate perf metrics against the BENCH baseline",
+    )
+    bench.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="BENCH_*.json baseline for --gate (default: repo baseline)",
+    )
+
     figure = commands.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", help="fig01, fig04, ..., fig14")
     figure.add_argument("--out", default=None, help="directory for results")
@@ -282,6 +313,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "chaos": _cmd_chaos,
         "perf": _cmd_perf,
+        "bench": _cmd_bench,
         "figure": _cmd_figure,
         "tpch": _cmd_tpch,
     }[args.command]
@@ -720,6 +752,32 @@ def _cmd_perf(args) -> int:
     result = regression.run_gate(path, tolerance=tolerance, current=current)
     print(result.render(), end="")
     return 0 if result.ok else 1
+
+
+def _cmd_bench(args) -> int:
+    """Fan the figure suite out over a process pool; optionally gate."""
+    from repro.bench import regression
+    from repro.bench.runner import run_benchmarks
+
+    try:
+        bench = run_benchmarks(
+            figures=args.figures,
+            jobs=args.jobs,
+            out_dir=args.out_dir,
+            workload_cache=args.workload_cache,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(bench.render(), end="")
+    print(f"manifest: {args.out_dir}/bench_run.json")
+    ok = bench.ok
+    if args.gate:
+        path = args.baseline or regression.baseline_path()
+        result = regression.run_gate(path)
+        print()
+        print(result.render(), end="")
+        ok = ok and result.ok
+    return 0 if ok else 1
 
 
 def _cmd_figure(args) -> int:

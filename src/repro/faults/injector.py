@@ -125,6 +125,10 @@ class FaultInjector:
 
     def _inject(self, event: FaultEvent) -> None:
         self.faults_injected += 1
+        # Static route quantities (link lists, latency sums, T_R) are
+        # recomputed from scratch after any fault broadcast, so a
+        # faulted run can never evaluate routes against a stale cache.
+        self._enumerator.cache.invalidate()
         kind = event.kind
         if kind is FaultKind.LINK_DEGRADE:
             for channel in self._link_pair(event):
@@ -166,6 +170,7 @@ class FaultInjector:
             self._engine.schedule(event.duration, self._restore, event)
 
     def _restore(self, event: FaultEvent) -> None:
+        self._enumerator.cache.invalidate()
         kind = event.kind
         if kind is FaultKind.LINK_DEGRADE:
             for channel in self._link_pair(event):

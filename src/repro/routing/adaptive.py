@@ -16,18 +16,8 @@ circular routes can occur.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.routing.base import RoutingContext, RoutingPolicy
-from repro.topology.links import bottleneck_bandwidth
-from repro.topology.routes import Route, physical_links
-
-
-@lru_cache(maxsize=None)
-def _transmission_time(machine, route: Route, packet_bytes: int) -> float:
-    """Static ``T_R`` of Eq. 3, cached per (route, packet size)."""
-    links = physical_links(machine, route)
-    return packet_bytes / bottleneck_bandwidth(list(links), packet_bytes)
+from repro.topology.routes import Route
 
 
 def arm_value(
@@ -41,9 +31,16 @@ def arm_value(
 
     With ``exact=True`` the ground-truth queue delays are used instead
     of the broadcast view (the centralized baseline's privilege).
+
+    The static parts — the link list and ``T_R`` — come from the
+    machine's :class:`repro.topology.routes.RouteCache`; only the
+    dynamic queue terms are walked per decision.  The accumulation
+    order over links is unchanged, so values stay bit-identical to the
+    uncached evaluation.
     """
-    links = physical_links(context.machine, route)
-    transmission = _transmission_time(context.machine, route, packet_bytes)
+    cache = context.enumerator.cache
+    links = cache.links(route)
+    transmission = cache.transmission_time(route, packet_bytes)
     dynamic_delay = 0.0
     for spec in links:
         if exact:
@@ -126,7 +123,9 @@ class AdaptiveArmPolicy(RoutingPolicy):
         """Emit one ARM decision: the generic auditable instant (all
         candidate routes + estimates) plus the Eq. 2 terms of the
         chosen route."""
-        transmission = _transmission_time(context.machine, chosen, packet_bytes)
+        transmission = context.enumerator.cache.transmission_time(
+            chosen, packet_bytes
+        )
         arm = next(score for score, route in scored if route is chosen)
         self.emit_decision(
             context,

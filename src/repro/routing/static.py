@@ -15,7 +15,7 @@ degenerate single-hop policy used by existing systems (DPRJ, NCCL).
 
 from __future__ import annotations
 
-from functools import lru_cache
+from weakref import WeakKeyDictionary
 
 from repro.routing.base import RoutingContext, RoutingPolicy
 from repro.topology.routes import (
@@ -61,12 +61,27 @@ class _StaticPolicy(RoutingPolicy):
             )
         return chosen
 
-    @lru_cache(maxsize=None)
     def _best_route(
         self, enumerator, machine, src: int, dst: int, version: int
     ) -> Route:
-        candidates = enumerator.routes(src, dst)
-        return min(candidates, key=lambda route: self._rank(machine, route))
+        # Memoized per enumerator via a weak key: a sweep that builds a
+        # machine (and enumerator) per configuration must not have its
+        # dead topologies pinned by a long-lived policy object — the
+        # trap a module-level ``lru_cache`` on this method used to be.
+        memo: WeakKeyDictionary | None = self.__dict__.get("_route_picks")
+        if memo is None:
+            memo = self.__dict__["_route_picks"] = WeakKeyDictionary()
+        picks = memo.get(enumerator)
+        if picks is None:
+            picks = memo[enumerator] = {}
+        key = (src, dst, version)
+        chosen = picks.get(key)
+        if chosen is None:
+            candidates = enumerator.routes(src, dst)
+            chosen = picks[key] = min(
+                candidates, key=lambda route: self._rank(machine, route)
+            )
+        return chosen
 
     def _rank(self, machine, route: Route):
         raise NotImplementedError

@@ -16,12 +16,32 @@ Example::
     process = engine.process(worker())
     engine.run()
     assert engine.now == 2.0 and process.value == "done"
+
+Fast path
+---------
+
+By default the engine runs with ``fast=True``: work scheduled for the
+*current* instant (triggered-event callbacks and zero-delay schedules)
+goes onto a FIFO ready deque instead of round-tripping through the time
+heap.  Ready entries and heap entries share one global sequence
+counter, and the run loop always dispatches the lowest sequence number
+among the work runnable *now* — so the execution order is provably
+identical to the reference mode (``fast=False``), where everything goes
+through the heap.  ``tests/sim/test_fastpath_equivalence.py`` holds the
+engine to that bit-for-bit.
+
+:meth:`Engine.sleep` additionally recycles timeout events through a
+pool.  It is opt-in precisely because a pooled event is reset the
+moment the waiting process resumes: use it only for fire-and-forget
+pacing waits where the event object is never retained (see
+``docs/performance.md``).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable
 
 ProcessGenerator = Generator["SimEvent", Any, Any]
@@ -38,12 +58,13 @@ class SimEvent:
     value and schedules its callbacks at the current simulation time.
     """
 
-    __slots__ = ("_engine", "_callbacks", "_triggered", "value")
+    __slots__ = ("_engine", "_callbacks", "_triggered", "_poolable", "value")
 
     def __init__(self, engine: "Engine") -> None:
         self._engine = engine
         self._callbacks: list[Callable[[SimEvent], None]] = []
         self._triggered = False
+        self._poolable = False
         self.value: Any = None
 
     @property
@@ -56,13 +77,18 @@ class SimEvent:
         self._triggered = True
         self.value = value
         callbacks, self._callbacks = self._callbacks, []
+        defer = self._engine._defer
         for callback in callbacks:
-            self._engine.schedule(0.0, callback, self)
+            defer(callback, self)
         return self
 
     def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        if self._poolable and (self._triggered or self._callbacks):
+            # A second consumer means the event's identity outlives the
+            # first resume, so it must never be reset into the pool.
+            self._poolable = False
         if self._triggered:
-            self._engine.schedule(0.0, callback, self)
+            self._engine._defer(callback, self)
         else:
             self._callbacks.append(callback)
 
@@ -78,7 +104,7 @@ class Process(SimEvent):
         super().__init__(engine)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
-        engine.schedule(0.0, self._resume, None)
+        engine._defer(self._resume, None)
 
     def _resume(self, completed: SimEvent | None) -> None:
         try:
@@ -86,27 +112,50 @@ class Process(SimEvent):
             target = self._generator.send(value)
         except StopIteration as stop:
             self.succeed(stop.value)
+            if completed is not None and completed._poolable:
+                self._engine._release(completed)
             return
         if not isinstance(target, SimEvent):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}, expected a SimEvent"
             )
         target.add_callback(self._resume)
+        if completed is not None and completed._poolable:
+            self._engine._release(completed)
 
 
 class Engine:
-    """The event loop: a time-ordered heap of pending callbacks."""
+    """The event loop: a time-ordered heap plus a same-instant deque.
 
-    def __init__(self) -> None:
+    Args:
+        fast: When True (the default) same-instant work is dispatched
+            from a FIFO deque instead of the heap.  ``fast=False`` is
+            the reference mode every fast-path change is checked
+            against; both modes execute callbacks in exactly the same
+            order.
+    """
+
+    def __init__(self, fast: bool = True) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable, Any]] = []
+        self._ready: deque[tuple[int, Callable, Any]] = deque()
         self._sequence = itertools.count()
         self._running = False
+        self._fast = fast
+        self._event_pool: list[SimEvent] = []
+        self._events_scheduled = 0
+        self._ready_dispatches = 0
+        self._heap_dispatches = 0
+        self._timeout_pool_hits = 0
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    @property
+    def fast(self) -> bool:
+        return self._fast
 
     @property
     def pending(self) -> int:
@@ -117,15 +166,58 @@ class Engine:
         on the heap, so sampling never keeps a finished simulation
         alive.
         """
-        return len(self._heap)
+        return len(self._heap) + len(self._ready)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Kernel self-time counters (how hard the event loop worked).
+
+        ``ready_dispatches`` / ``heap_dispatches`` split executed
+        callbacks by path; ``events_scheduled`` counts every schedule
+        call; ``timeout_pool_hits`` counts :meth:`sleep` events served
+        from the recycle pool instead of freshly allocated.
+        """
+        return {
+            "events_scheduled": self._events_scheduled,
+            "ready_dispatches": self._ready_dispatches,
+            "heap_dispatches": self._heap_dispatches,
+            "timeout_pool_hits": self._timeout_pool_hits,
+        }
 
     def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(
-            self._heap, (self._now + delay, next(self._sequence), callback, args)
-        )
+        self._events_scheduled += 1
+        if delay == 0.0 and self._fast:
+            self._ready.append((next(self._sequence), callback, args))
+        else:
+            heapq.heappush(
+                self._heap, (self._now + delay, next(self._sequence), callback, args)
+            )
+
+    def _defer(self, callback: Callable, event: SimEvent | None) -> None:
+        """Run ``callback(event)`` at the current instant.
+
+        This is the triggered-event path of :meth:`SimEvent.succeed` /
+        :meth:`SimEvent.add_callback`: semantically a zero-delay
+        schedule, ordered FIFO (by the shared sequence counter) with
+        everything else runnable now.
+        """
+        self._events_scheduled += 1
+        if self._fast:
+            self._ready.append((next(self._sequence), callback, (event,)))
+        else:
+            heapq.heappush(
+                self._heap, (self._now, next(self._sequence), callback, (event,))
+            )
+
+    def _release(self, event: SimEvent) -> None:
+        """Reset a poolable, consumed :meth:`sleep` event for reuse."""
+        if event._triggered and not event._callbacks:
+            event._triggered = False
+            event.value = None
+            self._event_pool.append(event)
 
     def event(self) -> SimEvent:
         """Create an untriggered event."""
@@ -134,6 +226,27 @@ class Engine:
     def timeout(self, delay: float, value: Any = None) -> SimEvent:
         """An event that triggers after ``delay`` seconds."""
         event = SimEvent(self)
+        self.schedule(delay, event.succeed, value)
+        return event
+
+    def sleep(self, delay: float, value: Any = None) -> SimEvent:
+        """A recyclable timeout for fire-and-forget pacing waits.
+
+        Behaves like :meth:`timeout`, but the event object is returned
+        to a pool (and reset) as soon as the single process waiting on
+        it resumes.  Callers must not retain the event past the yield —
+        in particular, never hand a sleep event to :meth:`any_of` /
+        :meth:`all_of` result inspection.  Adding a second callback
+        demotes the event to a normal one-shot, so misuse degrades to
+        correct-but-unpooled behaviour.
+        """
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            self._timeout_pool_hits += 1
+        else:
+            event = SimEvent(self)
+            event._poolable = True
         self.schedule(delay, event.succeed, value)
         return event
 
@@ -183,23 +296,44 @@ class Engine:
         return done
 
     def run(self, until: float | None = None) -> float:
-        """Process events until the heap drains (or ``until`` is hit).
+        """Process events until both queues drain (or ``until`` is hit).
 
         Returns the simulation time at which the run stopped.
+
+        Dispatch order: among everything runnable at the current
+        instant — the ready deque plus heap entries whose time equals
+        ``now`` — the lowest sequence number runs first.  Time only
+        advances once the ready deque is empty, so the order matches
+        the all-heap reference mode exactly.
         """
         if self._running:
             raise SimulationError("engine is already running")
         self._running = True
+        ready = self._ready
+        heap = self._heap
         try:
-            while self._heap:
-                time, _, callback, args = self._heap[0]
+            while True:
+                if ready:
+                    if heap and heap[0][0] <= self._now and heap[0][1] < ready[0][0]:
+                        time, _, callback, args = heapq.heappop(heap)
+                        self._now = time
+                        self._heap_dispatches += 1
+                    else:
+                        _, callback, args = ready.popleft()
+                        self._ready_dispatches += 1
+                    callback(*args)
+                    continue
+                if not heap:
+                    break
+                time = heap[0][0]
                 if until is not None and time > until:
                     self._now = until
                     return self._now
-                heapq.heappop(self._heap)
+                _, _, callback, args = heapq.heappop(heap)
                 if time < self._now - 1e-12:
                     raise SimulationError("event heap went backwards in time")
                 self._now = time
+                self._heap_dispatches += 1
                 callback(*args)
             if until is not None:
                 self._now = max(self._now, until)

@@ -141,6 +141,10 @@ class GpuNode:
         #: DMA engines currently transmitting toward each next hop.
         self._active_sends: dict[int, int] = {}
         self._consumer_free_at = 0.0
+        #: (route, dst) pairs that already passed _validate_route; a
+        #: route object is immutable, so one successful validation
+        #: holds for every later batch on the same flow.
+        self._validated_routes: set[tuple[Route, int]] = set()
         self.peers: dict[int, "GpuNode"] = {}
         for _ in range(dma_engines):
             engine.process(self._sender(), name=f"gpu{gpu_id}-sender")
@@ -208,7 +212,7 @@ class GpuNode:
                 sync_cost = self.policy.batch_overhead(self.context)
                 if sync_cost > 0:
                     self.stats.sync_time += sync_cost
-                    yield self.engine.timeout(sync_cost)
+                    yield self.engine.sleep(sync_cost)
                 try:
                     route = self.policy.choose_route(
                         self.context, self.gpu_id, dst, batch_payload, self.packet_size
@@ -229,7 +233,7 @@ class GpuNode:
                             self, packet, reason="unroutable-at-source"
                         )
                     if self.injection_rate is not None:
-                        yield self.engine.timeout(
+                        yield self.engine.sleep(
                             batch_payload / self.injection_rate
                         )
                     continue
@@ -248,10 +252,17 @@ class GpuNode:
                     self.enqueue(packet)
                     self.stats.injected_packets += 1
                 if self.injection_rate is not None:
-                    yield self.engine.timeout(batch_payload / self.injection_rate)
+                    yield self.engine.sleep(batch_payload / self.injection_rate)
 
     def _validate_route(self, route: Route, dst: int) -> None:
-        """Reject a policy route that is not a connected src→dst path."""
+        """Reject a policy route that is not a connected src→dst path.
+
+        Successful validations are memoized per (route, dst): routes
+        are immutable and policies re-serve the same few candidates for
+        every batch of a flow, so the structural walk runs once.
+        """
+        if (route, dst) in self._validated_routes:
+            return
         if route.src != self.gpu_id or route.dst != dst:
             raise SimulationError(
                 f"routing policy {self.policy.name!r} returned route "
@@ -274,16 +285,18 @@ class GpuNode:
                     f"{route} for flow gpu{self.gpu_id}->gpu{dst}, but "
                     f"hop gpu{hop_src}->gpu{hop_dst} is not connected: {exc}"
                 ) from exc
+        self._validated_routes.add((route, dst))
 
     def _commit_route(self, packet: Packet) -> None:
         packet.ideal_latency = 0.0
         packet.pending_links.clear()
-        for src, dst in packet.route.hops():
-            for spec in self.machine.hop_path(src, dst):
-                channel = self.links[spec.link_id]
-                channel.commit(packet.wire_bytes)
-                packet.pending_links.append(spec.link_id)
-                packet.ideal_latency += channel.service_time(packet.wire_bytes)
+        # The cached expansion walks hops in route order, so commits and
+        # the ideal-latency accumulation order are unchanged.
+        for spec in self.context.enumerator.cache.links(packet.route):
+            channel = self.links[spec.link_id]
+            channel.commit(packet.wire_bytes)
+            packet.pending_links.append(spec.link_id)
+            packet.ideal_latency += channel.service_time(packet.wire_bytes)
 
     # ------------------------------------------------------------------
     # Outgoing queues + senders
@@ -343,11 +356,16 @@ class GpuNode:
             self._active_sends[next_gpu] = self._active_sends.get(next_gpu, 0) + 1
             for packet in batch:
                 if self.recovery is None:
-                    yield from inbound.acquire()
+                    # Fast path: with positive local credits acquire()
+                    # yields nothing, so skip the generator round-trip.
+                    if not inbound.try_acquire():
+                        yield from inbound.acquire()
                 else:
-                    acquired = yield from inbound.acquire(
-                        timeout=self.recovery.policy.acquire_timeout
-                    )
+                    acquired = inbound.try_acquire()
+                    if not acquired:
+                        acquired = yield from inbound.acquire(
+                            timeout=self.recovery.policy.acquire_timeout
+                        )
                     if not acquired:
                         # The receiver's credits never freed (crashed
                         # GPU?) — recover instead of deadlocking.
@@ -366,10 +384,18 @@ class GpuNode:
                     packet.held_buffer = None
                     self._recover(packet, reason="link-down")
                     continue
-                self.engine.process(
-                    self._traverse(packet, path[1:], receiver),
-                    name=f"gpu{self.gpu_id}-traverse",
-                )
+                if len(path) == 1:
+                    # Single-link hop (the common NVLink case): there is
+                    # nothing left to traverse, so hand the packet to
+                    # the receiver directly instead of spinning up a
+                    # whole generator process.  Both paths consume one
+                    # schedule slot, so event order is unchanged.
+                    self.engine.schedule(0.0, receiver.on_arrival, packet)
+                else:
+                    self.engine.process(
+                        self._traverse(packet, path[1:], receiver),
+                        name=f"gpu{self.gpu_id}-traverse",
+                    )
             self._active_sends[next_gpu] -= 1
 
     def _traverse(self, packet: Packet, remaining_path, receiver: "GpuNode"):
@@ -417,7 +443,7 @@ class GpuNode:
 
     def _retry(self, packet: Packet, reason: str):
         recovery = self.recovery
-        yield self.engine.timeout(
+        yield self.engine.sleep(
             recovery.policy.retry_delay(packet.attempts - 1)
         )
         old_route = packet.route

@@ -86,6 +86,20 @@ class RoutingBuffer:
     def free(self) -> int:
         return self._slots - self._occupied
 
+    def try_acquire(self) -> bool:
+        """Claim one slot if local credits allow it, without blocking.
+
+        This is the sender's fast path: while its (possibly stale)
+        credit view is positive, :meth:`acquire` would yield nothing
+        anyway, so the whole generator round-trip can be skipped.  The
+        credit/occupancy bookkeeping is identical to :meth:`acquire`.
+        """
+        if self._credits <= 0:
+            return False
+        self._credits -= 1
+        self._occupied += 1
+        return True
+
     def acquire(self, timeout: float | None = None) -> Generator[SimEvent, Any, bool]:
         """Claim one slot, synchronizing / blocking as needed.
 
@@ -97,7 +111,7 @@ class RoutingBuffer:
         """
         deadline = None if timeout is None else self._engine.now + timeout
         while self._credits <= 0:
-            yield self._engine.timeout(self._sync_latency)
+            yield self._engine.sleep(self._sync_latency)
             self.sync_count += 1
             self._credits = self.free
             if self._credits <= 0:

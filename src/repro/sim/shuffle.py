@@ -128,8 +128,14 @@ class ShuffleSimulator:
         sampler=None,
         faults: "FaultPlan | None" = None,
         retry: RetryPolicy | None = None,
+        engine_factory=Engine,
     ) -> None:
         self.machine = machine
+        #: Builds the event kernel for each run.  The default is the
+        #: fast-path :class:`Engine`; pass e.g.
+        #: ``lambda: Engine(fast=False)`` to drive the all-heap
+        #: reference kernel (the equivalence tests do exactly that).
+        self.engine_factory = engine_factory
         self.tracer = tracer
         #: Observability sink (spans/metrics); ``None`` = off.
         self.observer = observer
@@ -153,7 +159,7 @@ class ShuffleSimulator:
         foreign = set(flows.gpus) - set(self.gpu_ids)
         if foreign:
             raise ValueError(f"flows reference non-participating GPUs: {foreign}")
-        engine = Engine()
+        engine = self.engine_factory()
         board = LinkStateBoard(
             engine,
             broadcast_latency=config.broadcast_latency,
@@ -254,6 +260,8 @@ class ShuffleSimulator:
             metrics.gauge("shuffle.board_broadcasts").set(
                 report.board_broadcast_count
             )
+            for name, value in engine.stats.items():
+                metrics.gauge(f"engine.{name}").set(value)
         return report
 
     def _build_report(

@@ -17,7 +17,6 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.topology.links import LinkSpec, LinkType
 from repro.topology.maxflow import FlowNetwork
@@ -51,6 +50,18 @@ class MachineTopology:
         for link in self.links:
             if link.src not in node_set or link.dst not in node_set:
                 raise TopologyError(f"link {link} references unknown node")
+        # Structural queries and routing layers look things up keyed on
+        # the (immutable) topology millions of times per simulated
+        # shuffle, so the hash is computed once and every derived index
+        # lives on the instance — dying with it — instead of in
+        # module-level ``lru_cache`` slots that would both rehash the
+        # whole graph per lookup and keep dead machines alive across
+        # benchmark sweeps.
+        object.__setattr__(self, "_hash", hash((self.name, self.nodes, self.links)))
+        object.__setattr__(self, "_link_index_cache", None)
+        object.__setattr__(self, "_outgoing_index_cache", None)
+        object.__setattr__(self, "_nvlink_adjacency_cache", None)
+        object.__setattr__(self, "_direct_paths", {})
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -110,11 +121,12 @@ class MachineTopology:
         return self.direct_path(src_gpu, dst_gpu)
 
     def _direct_path_cached(self, src_gpu: int, dst_gpu: int):
-        cache = self._path_cache()
+        cache = self._direct_paths
         key = (src_gpu, dst_gpu)
-        if key not in cache:
-            cache[key] = self._compute_direct_path(src_gpu, dst_gpu)
-        return cache[key]
+        path = cache.get(key)
+        if path is None:
+            path = cache[key] = self._compute_direct_path(src_gpu, dst_gpu)
+        return path
 
     def _compute_direct_path(
         self, src_gpu: int, dst_gpu: int
@@ -230,38 +242,60 @@ class MachineTopology:
         return network.max_flow(source, sink)
 
     # ------------------------------------------------------------------
-    # Internal caches (frozen dataclass, so caches live outside fields)
+    # Internal caches (per instance: a machine's indexes die with it)
     # ------------------------------------------------------------------
 
-    @lru_cache(maxsize=None)
     def _link_index(self) -> dict[tuple[Node, Node], tuple[LinkSpec, ...]]:
-        index: dict[tuple[Node, Node], list[LinkSpec]] = {}
-        for link in self.links:
-            index.setdefault((link.src, link.dst), []).append(link)
-        return {key: tuple(value) for key, value in index.items()}
+        cached = self._link_index_cache
+        if cached is None:
+            index: dict[tuple[Node, Node], list[LinkSpec]] = {}
+            for link in self.links:
+                index.setdefault((link.src, link.dst), []).append(link)
+            cached = {key: tuple(value) for key, value in index.items()}
+            object.__setattr__(self, "_link_index_cache", cached)
+        return cached
 
-    @lru_cache(maxsize=None)
     def _outgoing_index(self) -> dict[Node, tuple[LinkSpec, ...]]:
-        index: dict[Node, list[LinkSpec]] = {}
-        for link in self.links:
-            index.setdefault(link.src, []).append(link)
-        return {key: tuple(value) for key, value in index.items()}
+        cached = self._outgoing_index_cache
+        if cached is None:
+            index: dict[Node, list[LinkSpec]] = {}
+            for link in self.links:
+                index.setdefault(link.src, []).append(link)
+            cached = {key: tuple(value) for key, value in index.items()}
+            object.__setattr__(self, "_outgoing_index_cache", cached)
+        return cached
 
-    @lru_cache(maxsize=None)
     def _nvlink_adjacency(self) -> dict[int, tuple[int, ...]]:
-        adjacency: dict[int, list[int]] = {g: [] for g in self.gpu_ids}
-        for link in self.links:
-            if (
-                link.link_type is LinkType.NVLINK
-                and link.src.is_gpu
-                and link.dst.is_gpu
-            ):
-                adjacency[link.src.index].append(link.dst.index)
-        return {key: tuple(sorted(value)) for key, value in adjacency.items()}
+        cached = self._nvlink_adjacency_cache
+        if cached is None:
+            adjacency: dict[int, list[int]] = {g: [] for g in self.gpu_ids}
+            for link in self.links:
+                if (
+                    link.link_type is LinkType.NVLINK
+                    and link.src.is_gpu
+                    and link.dst.is_gpu
+                ):
+                    adjacency[link.src.index].append(link.dst.index)
+            cached = {
+                key: tuple(sorted(value)) for key, value in adjacency.items()
+            }
+            object.__setattr__(self, "_nvlink_adjacency_cache", cached)
+        return cached
 
-    @lru_cache(maxsize=None)
-    def _path_cache(self) -> dict:
-        return {}
+    def __hash__(self) -> int:
+        return self._hash
 
-    def __hash__(self) -> int:  # needed because lru_cache hashes self
-        return hash((self.name, self.nodes, self.links))
+    def __getstate__(self) -> dict:
+        # Derived caches are cheap to rebuild and ``_hash`` is only
+        # valid within one interpreter (string hashing is salted), so
+        # pickles carry the structural fields alone.
+        return {
+            "name": self.name,
+            "nodes": self.nodes,
+            "links": self.links,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        self.__post_init__()

@@ -11,9 +11,8 @@ available, staged otherwise) is always a candidate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
-from repro.topology.links import LinkSpec
+from repro.topology.links import LinkSpec, bottleneck_bandwidth
 from repro.topology.machine import MachineTopology, TopologyError
 
 
@@ -69,13 +68,86 @@ class Route:
         return "->".join(str(g) for g in self.gpus)
 
 
-@lru_cache(maxsize=None)
+class RouteCache:
+    """Per-machine cache of the static quantities of every route seen.
+
+    Route evaluation (the ARM metric, Eq. 2) splits into a static part —
+    the physical link list, the summed link latencies and the
+    transmission time ``T_R`` per packet size — and a dynamic part (the
+    per-link queue delays).  The static part depends only on the
+    immutable topology, so it is computed once per (route[, packet
+    size]) and looked up afterwards.
+
+    One cache hangs off each :class:`MachineTopology` instance (see
+    :func:`route_cache`), so it dies with the machine instead of leaking
+    across benchmark sweeps the way a module-level ``lru_cache`` keyed
+    on the machine object would.  :meth:`invalidate` drops everything;
+    it is wired to :meth:`RouteEnumerator.fail_link` and the fault
+    broadcasts so that chaos runs can never serve a stale static view
+    even if link specs ever become mutable.
+    """
+
+    __slots__ = ("_machine", "_links", "_static_latency", "_transmission")
+
+    def __init__(self, machine: MachineTopology) -> None:
+        self._machine = machine
+        self._links: dict[Route, tuple[LinkSpec, ...]] = {}
+        self._static_latency: dict[Route, float] = {}
+        self._transmission: dict[tuple[Route, int], float] = {}
+
+    @property
+    def machine(self) -> MachineTopology:
+        return self._machine
+
+    def links(self, route: Route) -> tuple[LinkSpec, ...]:
+        """Physical links traversed by ``route``, in traversal order."""
+        cached = self._links.get(route)
+        if cached is None:
+            expanded: list[LinkSpec] = []
+            for src, dst in route.hops():
+                expanded.extend(self._machine.hop_path(src, dst))
+            cached = self._links[route] = tuple(expanded)
+        return cached
+
+    def static_latency(self, route: Route) -> float:
+        """Sum of static link latencies along ``route``, seconds."""
+        cached = self._static_latency.get(route)
+        if cached is None:
+            cached = self._static_latency[route] = sum(
+                link.latency for link in self.links(route)
+            )
+        return cached
+
+    def transmission_time(self, route: Route, packet_bytes: int) -> float:
+        """Static ``T_R`` of Eq. 3 for one packet size over ``route``."""
+        key = (route, packet_bytes)
+        cached = self._transmission.get(key)
+        if cached is None:
+            links = self.links(route)
+            cached = self._transmission[key] = packet_bytes / (
+                bottleneck_bandwidth(list(links), packet_bytes)
+            )
+        return cached
+
+    def invalidate(self) -> None:
+        """Drop every cached quantity (link failure / fault broadcast)."""
+        self._links.clear()
+        self._static_latency.clear()
+        self._transmission.clear()
+
+
+def route_cache(machine: MachineTopology) -> RouteCache:
+    """The :class:`RouteCache` owned by ``machine`` (created on demand)."""
+    cache = machine.__dict__.get("_route_cache")
+    if cache is None:
+        cache = RouteCache(machine)
+        object.__setattr__(machine, "_route_cache", cache)
+    return cache
+
+
 def physical_links(machine: MachineTopology, route: Route) -> tuple[LinkSpec, ...]:
     """Expand a GPU-level route into the physical links it traverses."""
-    links: list[LinkSpec] = []
-    for src, dst in route.hops():
-        links.extend(machine.hop_path(src, dst))
-    return tuple(links)
+    return route_cache(machine).links(route)
 
 
 def route_min_bandwidth(machine: MachineTopology, route: Route) -> float:
@@ -95,7 +167,7 @@ def route_link_count(machine: MachineTopology, route: Route) -> int:
 
 def route_static_latency(machine: MachineTopology, route: Route) -> float:
     """Sum of static link latencies along the route, seconds."""
-    return sum(link.latency for link in physical_links(machine, route))
+    return route_cache(machine).static_latency(route)
 
 
 class RouteEnumerator:
@@ -125,6 +197,9 @@ class RouteEnumerator:
         if unknown:
             raise TopologyError(f"unknown GPUs in allowed set: {sorted(unknown)}")
         self._max_intermediates = max_intermediates
+        #: Static-quantity cache shared with every other enumerator on
+        #: the same machine instance (see :func:`route_cache`).
+        self._cache = route_cache(machine)
         #: Link ids declared permanently failed; routes crossing any of
         #: them are excluded from enumeration.
         self._failed: set[int] = set()
@@ -134,10 +209,16 @@ class RouteEnumerator:
         self._version = 0
         self._memo: dict[tuple[int, int], tuple[Route, ...]] = {}
         self._raw_memo: dict[tuple[int, int], tuple[Route, ...]] = {}
+        self._direct: dict[tuple[int, int], Route] = {}
 
     @property
     def machine(self) -> MachineTopology:
         return self._machine
+
+    @property
+    def cache(self) -> RouteCache:
+        """Static route-quantity cache for this enumerator's machine."""
+        return self._cache
 
     @property
     def allowed_gpus(self) -> tuple[int, ...]:
@@ -157,6 +238,7 @@ class RouteEnumerator:
             self._failed.add(link_id)
             self._version += 1
             self._memo.clear()
+            self._cache.invalidate()
 
     def restore_link(self, link_id: int) -> None:
         """Re-admit routes crossing a previously failed link."""
@@ -164,6 +246,7 @@ class RouteEnumerator:
             self._failed.discard(link_id)
             self._version += 1
             self._memo.clear()
+            self._cache.invalidate()
 
     def routes(self, src: int, dst: int) -> tuple[Route, ...]:
         """All candidate routes from ``src`` to ``dst``.
@@ -234,6 +317,9 @@ class RouteEnumerator:
         self._raw_memo[(src, dst)] = result
         return result
 
-    @lru_cache(maxsize=None)
     def direct_route(self, src: int, dst: int) -> Route:
-        return Route((src, dst))
+        key = (src, dst)
+        cached = self._direct.get(key)
+        if cached is None:
+            cached = self._direct[key] = Route(key)
+        return cached

@@ -137,3 +137,33 @@ class TestCentralized:
         # centralized policy must avoid the congested direct route.
         chosen = policy.choose_route(context, 1, 5, PACKET, PACKET)
         assert chosen != route
+
+
+def test_sweeps_do_not_retain_dead_machines():
+    """Regression: route evaluation caches live on the machine object.
+
+    The transmission-time cache used to be a module-level
+    ``lru_cache`` keyed on the machine, so a parameter sweep creating a
+    topology per configuration pinned every one of them in memory
+    forever.  Two back-to-back sweeps must leave their machines
+    collectable."""
+    import gc
+    import weakref
+
+    from repro.routing import DirectPolicy
+    from repro.sim import FlowMatrix, ShuffleConfig, ShuffleSimulator
+    from repro.topology import dgx1_topology
+
+    graveyard = []
+    for _ in range(2):  # two sweeps: caches from sweep 1 must not pin
+        # Bypass the factory's own deliberate maxsize=1 memo so every
+        # sweep really owns a distinct machine object.
+        machine = dgx1_topology.__wrapped__()
+        flows = FlowMatrix.all_to_all((0, 1, 2, 3), 4 * 1024 * 1024)
+        config = ShuffleConfig(injection_rate=None, consume_rate=None)
+        for policy in (AdaptiveArmPolicy(), DirectPolicy()):
+            ShuffleSimulator(machine, (0, 1, 2, 3), config).run(flows, policy)
+        graveyard.append(weakref.ref(machine))
+        del machine
+    gc.collect()
+    assert [ref() for ref in graveyard] == [None, None]

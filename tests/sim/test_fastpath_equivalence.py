@@ -1,0 +1,122 @@
+"""Fast-path vs reference kernel: bit-identical shuffle outcomes.
+
+The fast engine dispatches same-instant work from a FIFO deque instead
+of the time heap.  Ready entries and heap entries share one sequence
+counter and time never advances while the deque is non-empty, so the
+callback order — and therefore every simulated number — must match the
+all-heap reference mode (``Engine(fast=False)``) exactly, float bit
+for float bit.  These tests hold the kernel to that across the policy
+spectrum and under an active fault plan.
+"""
+
+import dataclasses
+
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+from repro.obs import Observer
+from repro.routing import AdaptiveArmPolicy, CentralizedPolicy, DirectPolicy
+from repro.sim import Engine, FlowMatrix, ShuffleConfig, ShuffleSimulator
+
+MB = 1024 * 1024
+
+
+def small_config(**overrides):
+    defaults = dict(injection_rate=None, consume_rate=None)
+    defaults.update(overrides)
+    return ShuffleConfig(**defaults)
+
+
+def run_both(machine, gpus, flows, make_policy, **sim_kwargs):
+    """Run the same shuffle on the fast and the reference kernel."""
+    fast = ShuffleSimulator(machine, gpus, small_config(), **sim_kwargs).run(
+        flows, make_policy()
+    )
+    reference = ShuffleSimulator(
+        machine,
+        gpus,
+        small_config(),
+        engine_factory=lambda: Engine(fast=False),
+        **sim_kwargs,
+    ).run(flows, make_policy())
+    return fast, reference
+
+
+def assert_identical(fast, reference):
+    """Field-by-field exact equality — no approx, floats must be ==."""
+    assert dataclasses.asdict(fast) == dataclasses.asdict(reference)
+
+
+def skewed_flows(gpus):
+    flows = FlowMatrix()
+    for src in gpus:
+        for dst in gpus:
+            if src != dst:
+                flows.add(src, dst, (12 if dst == gpus[0] else 4) * MB)
+    return flows
+
+
+def test_direct_policy_identical(dgx1):
+    gpus = (0, 1, 2, 3)
+    fast, reference = run_both(
+        dgx1, gpus, FlowMatrix.all_to_all(gpus, 8 * MB), DirectPolicy
+    )
+    assert_identical(fast, reference)
+
+
+def test_adaptive_policy_identical_under_skew(dgx1):
+    gpus = tuple(range(8))
+    fast, reference = run_both(
+        dgx1, gpus, skewed_flows(gpus), AdaptiveArmPolicy
+    )
+    assert_identical(fast, reference)
+
+
+def test_centralized_policy_identical(dgx1):
+    gpus = (0, 1, 2, 3)
+    fast, reference = run_both(
+        dgx1, gpus, FlowMatrix.all_to_all(gpus, 8 * MB), CentralizedPolicy
+    )
+    assert_identical(fast, reference)
+
+
+def test_identical_under_chaos_fault_plan(dgx1):
+    """Equivalence must survive faults: reroutes, retries, restores."""
+    gpus = tuple(range(8))
+    plan = FaultPlan(
+        name="equivalence-mix",
+        events=(
+            FaultEvent(FaultKind.LINK_DEGRADE, at=0.002, src=0, dst=1,
+                       magnitude=0.25, duration=0.01),
+            FaultEvent(FaultKind.LINK_FAIL, at=0.004, src=2, dst=3),
+            FaultEvent(FaultKind.GPU_STRAGGLER, at=0.003, gpu=4,
+                       magnitude=2.0, duration=0.01),
+        ),
+    )
+    fast, reference = run_both(
+        dgx1, gpus, skewed_flows(gpus), AdaptiveArmPolicy, faults=plan
+    )
+    assert_identical(fast, reference)
+
+
+def test_both_kernels_consume_identical_schedule_sequence(dgx1):
+    """Both modes must burn sequence numbers identically: the fast
+    path's ordering proof rests on the shared counter, so a drift in
+    ``events_scheduled`` would break FIFO equivalence silently."""
+    gpus = (0, 1, 2, 3)
+    snapshots = []
+    for factory in (Engine, lambda: Engine(fast=False)):
+        observer = Observer()
+        ShuffleSimulator(
+            dgx1, gpus, small_config(), observer=observer,
+            engine_factory=factory,
+        ).run(FlowMatrix.all_to_all(gpus, 8 * MB), AdaptiveArmPolicy())
+        snapshots.append(
+            observer.metrics.gauge("engine.events_scheduled").value
+        )
+    assert snapshots[0] == snapshots[1] > 0
+    # The fast kernel must actually be exercising its deque here, or
+    # this whole file is vacuously comparing the reference to itself.
+    fast_observer = Observer()
+    ShuffleSimulator(dgx1, gpus, small_config(), observer=fast_observer).run(
+        FlowMatrix.all_to_all(gpus, 8 * MB), AdaptiveArmPolicy()
+    )
+    assert fast_observer.metrics.gauge("engine.ready_dispatches").value > 0
