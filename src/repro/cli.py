@@ -235,6 +235,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail (exit 1) when faulted/healthy throughput drops below this",
     )
     chaos.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="transmission attempts before host fallback (retry policy;"
+        " overrides the plan's baked-in retry section)",
+    )
+    chaos.add_argument(
+        "--acquire-timeout", type=float, default=None, metavar="SECONDS",
+        help="wait on remote buffer credits before treating the receiver"
+        " as unresponsive (retry policy)",
+    )
+    chaos.add_argument(
+        "--host-bandwidth", type=parse_size, default=None, metavar="BYTES/S",
+        help="host-staged fallback relay bandwidth, e.g. 5G (retry policy)",
+    )
+    chaos.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="SECONDS",
+        help="checkpoint per-GPU receive state this often so crash"
+        " recovery can restore instead of re-shuffling (default: off)",
+    )
+    chaos.add_argument(
+        "--expect-loss", action="store_true",
+        help="require that the scenario actually killed at least one GPU"
+        " and that join-level recovery engaged (fail otherwise)",
+    )
+    chaos.add_argument(
         "--trace", metavar="PATH", default=None,
         help="write the faulted run's Chrome trace (fault windows visible)",
     )
@@ -630,6 +654,27 @@ def _cmd_analyze(args) -> int:
         shown = 2 * args.top
         if len(fault_events) > shown:
             print(f"  ... {len(fault_events) - shown} more")
+    if report.recovery is not None:
+        rec = report.recovery
+        dead = ", ".join(f"gpu{g}" for g in rec.crashed_gpus)
+        print()
+        print("join-level recovery:")
+        print(f"  dead GPUs          : {dead}")
+        print(
+            f"  detection latency  : {rec.max_detection_latency * 1e3:.3f} ms"
+            f" (max over {len(rec.crashed_gpus)} crash(es))"
+        )
+        print(f"  re-shuffled        : {rec.reshuffled_bytes / 1e6:.2f} MB")
+        print(f"  host re-sent       : {rec.host_resent_bytes / 1e6:.2f} MB")
+        print(
+            f"  checkpoint restored: "
+            f"{rec.checkpoint_restored_bytes / 1e6:.2f} MB"
+        )
+        print(
+            f"  recovery elapsed   : {rec.recovery_elapsed * 1e3:.3f} ms"
+            f" ({rec.recovery_share(report.elapsed) * 100:.1f}% of the"
+            f" shuffle)"
+        )
     if args.out_dir:
         metadata = run_metadata(
             topology=args.machine,
@@ -653,8 +698,13 @@ def _cmd_analyze(args) -> int:
 
 def _cmd_chaos(args) -> int:
     """Run one chaos scenario and grade completion + correctness."""
-    from repro.faults import FaultPlan, run_chaos
+    from dataclasses import asdict
+
+    from repro.core.recovery import RecoveryError
+    from repro.faults import FaultPlan, FaultPlanError, run_chaos
     from repro.obs import Observer, run_metadata
+    from repro.sim import SimulationError
+    from repro.sim.recovery import RecoveryConfig, RetryPolicy
 
     if args.plan is None and args.preset is None:
         raise SystemExit("chaos needs --preset NAME or --plan PATH")
@@ -670,24 +720,62 @@ def _cmd_chaos(args) -> int:
             seed=args.seed,
         )
     )
-    scenario = (
-        FaultPlan.from_file(args.plan) if args.plan is not None else args.preset
+    # Retry knobs: CLI flags win over the plan's baked-in retry section,
+    # which wins over RetryPolicy defaults.
+    cli_retry = {
+        key: value
+        for key, value in (
+            ("max_attempts", args.max_attempts),
+            ("acquire_timeout", args.acquire_timeout),
+            ("host_bandwidth", args.host_bandwidth),
+        )
+        if value is not None
+    }
+    recovery = (
+        RecoveryConfig(checkpoint_interval=args.checkpoint_interval)
+        if args.checkpoint_interval is not None
+        else None
     )
-    observer = Observer()
-    report = run_chaos(
-        machine,
-        workload,
-        scenario,
-        policy=POLICIES[args.policy](),
-        seed=args.seed,
-        observer=observer,
-        strict=False,
-    )
+    try:
+        scenario = (
+            FaultPlan.from_file(args.plan).validate(machine, gpu_ids)
+            if args.plan is not None
+            else args.preset
+        )
+        retry = None
+        if cli_retry:
+            base = (
+                scenario.retry_kwargs
+                if isinstance(scenario, FaultPlan)
+                else {}
+            )
+            retry = RetryPolicy(**{**base, **cli_retry})
+        observer = Observer()
+        report = run_chaos(
+            machine,
+            workload,
+            scenario,
+            policy=POLICIES[args.policy](),
+            seed=args.seed,
+            observer=observer,
+            strict=False,
+            retry=retry,
+            recovery=recovery,
+        )
+    except (FaultPlanError, RecoveryError, SimulationError) as exc:
+        print(f"chaos cannot run this scenario: {exc}", file=sys.stderr)
+        return 2
     for line in report.summary_lines():
         print(line)
     ok = report.correct
     if not ok:
         print("FAIL: faulted run corrupted the join result")
+    if args.expect_loss and report.faulted.recovery is None:
+        print(
+            "FAIL: --expect-loss was given but no GPU died; join-level "
+            "recovery never engaged"
+        )
+        ok = False
     if (
         args.min_retention is not None
         and report.throughput_retention < args.min_retention
@@ -697,12 +785,20 @@ def _cmd_chaos(args) -> int:
             f"--min-retention floor {args.min_retention:.3f}"
         )
         ok = False
+    # The effective knobs (post-precedence) ride in the metadata so a
+    # chaos run is reproducible from its JSON artifacts alone.
+    effective_retry = retry
+    if effective_retry is None:
+        effective_retry = RetryPolicy(**report.plan.retry_kwargs)
+    effective_recovery = recovery or RecoveryConfig()
     metadata = run_metadata(
         topology=args.machine,
         num_gpus=len(gpu_ids),
         seed=args.seed,
         policy=args.policy,
         scenario=report.plan.name,
+        retry=asdict(effective_retry),
+        recovery=asdict(effective_recovery),
     )
     trace_path = args.trace
     if args.out_dir is not None:
@@ -713,13 +809,44 @@ def _cmd_chaos(args) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
         if trace_path is None:
             trace_path = str(out_dir / "chaos_trace.json")
+        recovery_report = report.faulted.recovery
         payload = {
             "plan": report.plan.to_dict(),
             "correct": report.correct,
             "throughput_retention": report.throughput_retention,
             "healthy_seconds": report.healthy.total_time,
             "faulted_seconds": report.faulted.total_time,
+            "healthy_digest": report.healthy.match_digest,
+            "faulted_digest": report.faulted.match_digest,
             "counters": report.fault_counters,
+            "retry": asdict(effective_retry),
+            "recovery": asdict(effective_recovery),
+            "recovery_telemetry": (
+                {
+                    "dead_gpus": list(recovery_report.dead_gpus),
+                    "survivors": list(recovery_report.survivors),
+                    "detection_latency_seconds": (
+                        recovery_report.max_detection_latency
+                    ),
+                    "partitions_reassigned": (
+                        recovery_report.partitions_reassigned
+                    ),
+                    "reshuffled_bytes": recovery_report.reshuffled_bytes,
+                    "host_resent_bytes": recovery_report.host_resent_bytes,
+                    "checkpoint_restored_bytes": (
+                        recovery_report.checkpoint_restored_bytes
+                    ),
+                    "bytes_discarded": recovery_report.bytes_discarded,
+                    "recovery_elapsed_seconds": (
+                        recovery_report.recovery_elapsed
+                    ),
+                    "recovery_time_share": (
+                        recovery_report.recovery_time_share
+                    ),
+                }
+                if recovery_report is not None
+                else None
+            ),
             "run": dict(metadata),
         }
         report_path = out_dir / "chaos_report.json"

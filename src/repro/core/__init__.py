@@ -21,20 +21,32 @@ from repro.core.histogram import HistogramSet, build_histograms, max_partitions
 from repro.core.assignment import PartitionAssignment, assign_partitions
 from repro.core.compression import CompressionModel, compress_ids, decompress_ids
 from repro.core.mgjoin import JoinResult, MGJoin, PhaseBreakdown
+from repro.core.recovery import (
+    JoinRecoveryCoordinator,
+    RecoveryError,
+    RecoveryReport,
+    canonical_match_digest,
+    ensure_recoverable,
+)
 
 __all__ = [
     "CompressionModel",
     "DistributedRelation",
     "HistogramSet",
+    "JoinRecoveryCoordinator",
     "JoinResult",
     "JoinWorkload",
     "MGJoin",
     "MGJoinConfig",
     "PartitionAssignment",
     "PhaseBreakdown",
+    "RecoveryError",
+    "RecoveryReport",
     "assign_partitions",
     "build_histograms",
+    "canonical_match_digest",
     "compress_ids",
     "decompress_ids",
+    "ensure_recoverable",
     "max_partitions",
 ]

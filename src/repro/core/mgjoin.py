@@ -41,10 +41,17 @@ from repro.core.histogram import (
 )
 from repro.core.local_partition import plan_local_passes, refine
 from repro.core.probe import probe_partitions
+from repro.core.recovery import (
+    JoinRecoveryCoordinator,
+    RecoveryReport,
+    canonical_match_digest,
+    ensure_recoverable,
+)
 from repro.core.relation import GpuShard, JoinWorkload
 from repro.obs import NULL_OBSERVER, Observer
 from repro.routing.adaptive import AdaptiveArmPolicy
 from repro.routing.base import RoutingPolicy
+from repro.sim.recovery import RecoveryConfig, RetryPolicy
 from repro.sim.shuffle import FlowMatrix, ShuffleSimulator
 from repro.sim.stats import ShuffleReport
 from repro.topology.machine import MachineTopology
@@ -118,6 +125,12 @@ class JoinResult:
     gpu_clock_hz: float = 1.53e9
     gpu_sms: int = 80
     per_gpu_matches: dict[int, int] = field(default_factory=dict)
+    #: Order-independent sha256 of the materialized (r_id, s_id) match
+    #: set; ``None`` unless ``config.materialize`` is on.  Healthy and
+    #: crash-recovered runs of the same workload produce the same digest.
+    match_digest: str | None = None
+    #: Join-level crash-recovery summary; ``None`` on healthy runs.
+    recovery: RecoveryReport | None = None
 
     @property
     def total_time(self) -> float:
@@ -172,6 +185,8 @@ class MGJoin:
         observer: Observer | None = None,
         sampler=None,
         faults=None,
+        retry: RetryPolicy | None = None,
+        recovery: RecoveryConfig | None = None,
     ) -> None:
         self.machine = machine
         self.config = config or MGJoinConfig()
@@ -184,6 +199,15 @@ class MGJoin:
         #: Fault plan (:class:`repro.faults.FaultPlan`) injected into the
         #: data-distribution step; ``None`` = healthy fabric.
         self.faults = faults
+        #: Retry/backoff/host-fallback knobs for faulted shuffles;
+        #: ``None`` = :class:`~repro.sim.recovery.RetryPolicy` defaults.
+        self.retry = retry
+        #: Heartbeat/checkpoint knobs for join-level crash recovery;
+        #: ``None`` = :class:`~repro.sim.recovery.RecoveryConfig` defaults.
+        self.recovery = recovery
+        #: The per-run join recovery coordinator (set by :meth:`run`
+        #: when the fault plan contains a GPU crash).
+        self._recovery_bridge: JoinRecoveryCoordinator | None = None
 
     # ------------------------------------------------------------------
 
@@ -230,6 +254,13 @@ class MGJoin:
             # Selective broadcast is the skew handler: count activations.
             obs.counter("assign.broadcast_partitions").inc(assignment.num_broadcast)
 
+            # Join-level crash recovery: armed only when the fault plan
+            # can kill a GPU.  The replicated histograms let the bridge
+            # recompute survivor-only ownership mid-shuffle.
+            self._recovery_bridge = self._make_recovery_bridge(
+                histograms, assignment, compression, gpu_ids, scale
+            )
+
             # Phase 2b: global partitioning pass + simulated distribution.
             with obs.span("global_partition"):
                 global_pass_time = max(
@@ -246,23 +277,37 @@ class MGJoin:
                         flows, gpu_ids, global_pass_time, compression
                     )
                 distribution_time = shuffle_report.elapsed if shuffle_report else 0.0
+                bridge = self._recovery_bridge
+                dead = set(bridge.dead_gpus) if bridge is not None else set()
+                if dead:
+                    # GPUs died during the shuffle: the functional pass
+                    # re-reads the original (host-resident) relations
+                    # against the survivor-only assignment, so the
+                    # result stays exact without a full restart.
+                    assignment = bridge.final_assignment
                 data = execute_distribution(
                     workload.r, workload.s, histograms, assignment
                 )
 
+            # Crashed GPUs contribute zero compute after their crash:
+            # the local partition and probe phases run on survivors only.
+            live_ids = tuple(g for g in gpu_ids if g not in dead)
+
             # Phase 3: local partitioning (overlapped with arrival).
             with obs.span("local_partition"):
                 local_passes, local_pass_time, local_total_time = self._plan_local(
-                    data, gpu_ids, num_partitions, scale
+                    data, live_ids, num_partitions, scale
                 )
             if local_passes > 1:
                 obs.counter("local.extra_passes").inc(local_passes - 1)
 
             # Phase 4: probe (real join, exact result).
             with obs.span("probe"):
-                matches, per_gpu_matches, probe_time = self._probe(
-                    data, gpu_ids, num_partitions, local_passes, scale
+                matches, per_gpu_matches, probe_time, match_digest = self._probe(
+                    data, live_ids, num_partitions, local_passes, scale
                 )
+            for gpu_id in sorted(dead):
+                per_gpu_matches[gpu_id] = 0
 
         # Compose the pipeline.  The partitioning passes of one GPU are
         # all HBM-bandwidth bound, so they serialize with each other.
@@ -284,9 +329,26 @@ class MGJoin:
             distribution_exposed=exposed,
             probe=probe_time,
         )
+        recovery_report = None
+        if dead:
+            recovery_report = bridge.build_report(
+                shuffle_report.recovery if shuffle_report is not None else None,
+                distribution_time,
+            )
         if self.observer is not None:
             self._emit_simulated_timeline(
-                self.observer, breakdown, global_pass_time, distribution_time
+                self.observer,
+                breakdown,
+                global_pass_time,
+                distribution_time,
+                gpu_ids=gpu_ids,
+                crashed_at=(
+                    dict(shuffle_report.recovery.crashed_at)
+                    if dead
+                    and shuffle_report is not None
+                    and shuffle_report.recovery is not None
+                    else None
+                ),
             )
         return JoinResult(
             algorithm=self.algorithm,
@@ -303,6 +365,8 @@ class MGJoin:
             gpu_clock_hz=compute.spec.clock_hz,
             gpu_sms=compute.spec.num_sms,
             per_gpu_matches=per_gpu_matches,
+            match_digest=match_digest,
+            recovery=recovery_report,
         )
 
     def _emit_simulated_timeline(
@@ -311,6 +375,8 @@ class MGJoin:
         breakdown: PhaseBreakdown,
         global_pass_time: float,
         distribution_time: float,
+        gpu_ids: tuple[int, ...] = (),
+        crashed_at: dict[int, float] | None = None,
     ) -> None:
         """Append the modelled phase schedule as simulated-clock spans.
 
@@ -365,6 +431,64 @@ class MGJoin:
             track=track,
             category="phase",
         )
+        if crashed_at:
+            self._emit_crash_timeline(
+                observer,
+                gpu_ids,
+                crashed_at,
+                distribution_start,
+                local_start,
+                local_start + local_total,
+                probe_start,
+                probe_start + breakdown.probe,
+            )
+
+    @staticmethod
+    def _emit_crash_timeline(
+        observer: Observer,
+        gpu_ids: tuple[int, ...],
+        crashed_at: dict[int, float],
+        distribution_start: float,
+        local_start: float,
+        local_end: float,
+        probe_start: float,
+        probe_end: float,
+    ) -> None:
+        """Per-GPU phase spans for a crash-recovered run.
+
+        Crash times live on the shuffle engine clock, which starts at
+        ``distribution_start`` of the pipeline timeline.  Spans of a
+        crashed GPU are clamped to end at its crash instant — the trace
+        shows, per GPU, that no compute happened after the crash.
+        """
+        for gpu_id in gpu_ids:
+            track = f"gpu{gpu_id} (sim)"
+            cutoff = None
+            if gpu_id in crashed_at:
+                cutoff = distribution_start + crashed_at[gpu_id]
+                observer.instant(
+                    "gpu.crashed",
+                    cutoff,
+                    track=track,
+                    category="fault",
+                    gpu=gpu_id,
+                )
+            for name, start, end in (
+                ("local_partition", local_start, local_end),
+                ("probe", probe_start, probe_end),
+            ):
+                if cutoff is not None:
+                    if start >= cutoff:
+                        continue
+                    end = min(end, cutoff)
+                observer.add_span(
+                    name,
+                    start,
+                    end,
+                    track=track,
+                    category="phase",
+                    crashed=cutoff is not None,
+                )
 
     # ------------------------------------------------------------------
     # Pieces (template hooks overridden by the baselines)
@@ -373,6 +497,35 @@ class MGJoin:
     def _make_assignment(self, histograms: HistogramSet) -> PartitionAssignment:
         return assign_partitions(
             histograms, self.machine, tuple_bytes=self.config.tuple_bytes
+        )
+
+    def _make_recovery_bridge(
+        self,
+        histograms: HistogramSet,
+        assignment: PartitionAssignment,
+        compression: CompressionModel,
+        gpu_ids: tuple[int, ...],
+        scale: int,
+    ) -> JoinRecoveryCoordinator | None:
+        """Arm join-level crash recovery when the plan can kill a GPU."""
+        if self.faults is None or len(gpu_ids) < 2:
+            return None
+        # Lazy import: repro.faults pulls in the chaos harness, which
+        # imports this module.
+        from repro.faults.plan import FaultKind
+
+        if not any(
+            event.kind is FaultKind.GPU_CRASH for event in self.faults.events
+        ):
+            return None
+        ensure_recoverable(self.faults, gpu_ids)
+        return JoinRecoveryCoordinator(
+            histograms,
+            assignment,
+            self.machine,
+            compression,
+            scale,
+            tuple_bytes=self.config.tuple_bytes,
         )
 
     def _compression_model(
@@ -432,6 +585,8 @@ class MGJoin:
         simulator = ShuffleSimulator(
             self.machine, gpu_ids, shuffle_config, tracer=tracer,
             observer=self.observer, sampler=self.sampler, faults=self.faults,
+            retry=self.retry, recovery_bridge=self._recovery_bridge,
+            recovery_config=self.recovery,
         )
         return simulator.run(flows, self.policy)
 
@@ -499,13 +654,15 @@ class MGJoin:
         num_partitions: int,
         local_passes: int,
         scale: int,
-    ) -> tuple[int, dict[int, int], float]:
+    ) -> tuple[int, dict[int, int], float, str | None]:
         config = self.config
         compute = config.compute
         global_bits = int(np.log2(num_partitions))
         matches = 0
         per_gpu: dict[int, int] = {}
         probe_time = 0.0
+        r_id_chunks: list[np.ndarray] = []
+        s_id_chunks: list[np.ndarray] = []
         for gpu_id in gpu_ids:
             r_shard, s_shard = data.r[gpu_id], data.s[gpu_id]
             r_parts = refine(r_shard, global_bits, local_passes, config.local_fanout)
@@ -523,6 +680,9 @@ class MGJoin:
                 metrics.counter("probe.copartitions", gpu=gpu_id).inc(
                     result.buckets_probed
                 )
+            if config.materialize and result.r_ids is not None:
+                r_id_chunks.append(result.r_ids)
+                s_id_chunks.append(result.s_ids)
             per_gpu[gpu_id] = result.matches
             matches += result.matches
             probe_time = max(
@@ -534,7 +694,14 @@ class MGJoin:
                     config.tuple_bytes,
                 ),
             )
-        return matches, per_gpu, probe_time
+        match_digest = None
+        if config.materialize:
+            empty = np.empty(0, dtype=np.uint32)
+            match_digest = canonical_match_digest(
+                np.concatenate(r_id_chunks) if r_id_chunks else empty,
+                np.concatenate(s_id_chunks) if s_id_chunks else empty,
+            )
+        return matches, per_gpu, probe_time, match_digest
 
 
 def _single_gpu_assignment(histograms: HistogramSet) -> PartitionAssignment:

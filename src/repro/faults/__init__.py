@@ -11,10 +11,12 @@ simulator can take paths away.  This package provides:
 * :func:`run_chaos` — runs a join healthy and faulted, asserts result
   correctness and reports throughput retention,
 * built-in presets (``nvlink-brownout``, ``gpu-straggler``,
-  ``link-flap``, ``nvlink-cut``, ``gpu-crash``).
+  ``link-flap``, ``nvlink-cut``, ``gpu-crash``, ``gpu-crash-x2``).
 
-Recovery itself (retry/backoff/re-route/host fallback) lives in
-:mod:`repro.sim.recovery`; see ``docs/robustness.md`` for the full
+Packet-level recovery (retry/backoff/re-route/host fallback) lives in
+:mod:`repro.sim.recovery`; join-level crash recovery (heartbeat
+detection, partition reassignment, exact resumption) in
+:mod:`repro.core.recovery`; see ``docs/robustness.md`` for the full
 semantics.
 """
 
@@ -22,6 +24,7 @@ from repro.faults.chaos import ChaosError, ChaosReport, resolve_plan, run_chaos
 from repro.faults.injector import FAULT_TRACK, LINK_DOWN_PENALTY, FaultInjector
 from repro.faults.plan import (
     PRESET_NAMES,
+    RETRY_FIELDS,
     FaultEvent,
     FaultKind,
     FaultPlan,
@@ -40,6 +43,7 @@ __all__ = [
     "FaultPlanError",
     "LINK_DOWN_PENALTY",
     "PRESET_NAMES",
+    "RETRY_FIELDS",
     "build_preset",
     "resolve_plan",
     "run_chaos",

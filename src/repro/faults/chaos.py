@@ -7,18 +7,25 @@ result* (no hang, no silent data loss) and reports the throughput it
 retained.  Presets are materialized against the healthy run's measured
 distribution time, so `nvlink-brownout` stresses a 10 ms toy shuffle
 and a 10 s production-sized one in the same proportions.
+
+Both runs are forced to materialize their match sets so correctness is
+graded on the order-independent sha256 digest of the (r_id, s_id)
+pairs — the headline guarantee for GPU-crash scenarios is that the
+faulted digest equals the healthy one byte-for-byte even after losing
+up to N−1 GPUs mid-join.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
+from repro.core.config import MGJoinConfig
 from repro.core.mgjoin import JoinResult, MGJoin
 from repro.faults.plan import FaultPlan, FaultPlanError, PRESET_NAMES, build_preset
+from repro.sim.recovery import RecoveryConfig, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.config import MGJoinConfig
     from repro.core.relation import JoinWorkload
     from repro.obs import Observer
     from repro.routing.base import RoutingPolicy
@@ -39,11 +46,25 @@ class ChaosReport:
 
     @property
     def correct(self) -> bool:
-        """Did the faulted join produce the exact healthy result?"""
-        return (
-            self.faulted.matches_logical == self.healthy.matches_logical
-            and self.faulted.per_gpu_matches == self.healthy.per_gpu_matches
-        )
+        """Did the faulted join produce the exact healthy result?
+
+        Graded on total matches and, when materialized, on the
+        canonical match-set digest.  The per-GPU distribution must also
+        match — except when join-level recovery reassigned partitions,
+        where survivors legitimately absorb the dead GPUs' shares and
+        only the *set* of matches has to be identical.
+        """
+        if self.faulted.matches_logical != self.healthy.matches_logical:
+            return False
+        if (
+            self.faulted.match_digest is not None
+            and self.healthy.match_digest is not None
+            and self.faulted.match_digest != self.healthy.match_digest
+        ):
+            return False
+        if self.faulted.recovery is None:
+            return self.faulted.per_gpu_matches == self.healthy.per_gpu_matches
+        return True
 
     @property
     def throughput_retention(self) -> float:
@@ -81,6 +102,11 @@ class ChaosReport:
         ]
         for name, value in self.fault_counters.items():
             lines.append(f"{name:<15}: {value}")
+        if self.faulted.recovery is not None:
+            lines.append("degraded mode  : join-level crash recovery engaged")
+            lines.extend(
+                f"  {line}" for line in self.faulted.recovery.summary_lines()
+            )
         return lines
 
 
@@ -91,9 +117,14 @@ def resolve_plan(
     seed: int = 0,
     gpu_ids: "tuple[int, ...] | None" = None,
 ) -> FaultPlan:
-    """Turn a preset name or a ready plan into a concrete plan."""
+    """Turn a preset name or a ready plan into a concrete, valid plan.
+
+    Explicit plans are validated against the machine and GPU cut here,
+    so a plan naming a nonexistent GPU or link fails fast with a
+    :class:`FaultPlanError` instead of a mid-run ``KeyError``.
+    """
     if isinstance(scenario, FaultPlan):
-        return scenario
+        return scenario.validate(machine, gpu_ids)
     if scenario in PRESET_NAMES:
         return build_preset(scenario, machine, horizon, seed, gpu_ids)
     known = ", ".join(PRESET_NAMES)
@@ -110,13 +141,22 @@ def run_chaos(
     seed: int = 0,
     observer: "Observer | None" = None,
     strict: bool = True,
+    retry: RetryPolicy | None = None,
+    recovery: RecoveryConfig | None = None,
 ) -> ChaosReport:
     """Run one chaos scenario; the observer sees the *faulted* run.
 
     With ``strict`` (the default) a wrong join result raises
     :class:`ChaosError`; passing ``strict=False`` returns the report for
     the caller to grade (used by tests that assert on the failure mode).
+
+    ``retry`` overrides the faulted run's retry/backoff/fallback knobs;
+    when ``None``, overrides baked into the plan's ``retry`` section
+    apply, and otherwise :class:`RetryPolicy` defaults.  ``recovery``
+    sets the heartbeat/checkpoint knobs for join-level crash recovery.
     """
+    # Materialize the match sets so correctness is digest-graded.
+    config = replace(config or MGJoinConfig(), materialize=True)
     healthy = MGJoin(machine, config=config, policy=policy).run(workload)
     if healthy.shuffle_report is None:
         raise ChaosError(
@@ -124,8 +164,16 @@ def run_chaos(
         )
     horizon = healthy.shuffle_report.elapsed
     plan = resolve_plan(scenario, machine, horizon, seed, workload.gpu_ids)
+    if retry is None and plan.retry is not None:
+        retry = RetryPolicy(**plan.retry_kwargs)
     faulted = MGJoin(
-        machine, config=config, policy=policy, observer=observer, faults=plan
+        machine,
+        config=config,
+        policy=policy,
+        observer=observer,
+        faults=plan,
+        retry=retry,
+        recovery=recovery,
     ).run(workload)
     report = ChaosReport(plan=plan, healthy=healthy, faulted=faulted)
     if strict and not report.correct:

@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine
     from repro.sim.gpusim import GpuNode
     from repro.sim.linksim import LinkChannel, LinkStateBoard
+    from repro.sim.recovery import CrashCoordinator
     from repro.topology.machine import MachineTopology
     from repro.topology.routes import RouteEnumerator
 
@@ -56,6 +57,7 @@ class FaultInjector:
         self._machine: "MachineTopology | None" = None
         self._packet_size = 0
         self._observer: "Observer | None" = None
+        self._coordinator: "CrashCoordinator | None" = None
 
     def bind(
         self,
@@ -68,6 +70,7 @@ class FaultInjector:
         machine: "MachineTopology",
         packet_size: int,
         observer: "Observer | None" = None,
+        coordinator: "CrashCoordinator | None" = None,
     ) -> None:
         """Attach to one simulation run and schedule every fault."""
         self._engine = engine
@@ -78,6 +81,7 @@ class FaultInjector:
         self._machine = machine
         self._packet_size = packet_size
         self._observer = observer
+        self._coordinator = coordinator
         for event in self.plan.events:
             self._validate(event)
             engine.schedule(event.at, self._inject, event)
@@ -165,6 +169,12 @@ class FaultInjector:
                     channel.spec.link_id, LINK_DOWN_PENALTY
                 )
                 self._enumerator.fail_link(channel.spec.link_id)
+            if self._coordinator is not None:
+                # Join-level recovery: the crash is a real compute loss
+                # (queues drained, received data discarded, detection
+                # scheduled) — not just dead links.  Without a
+                # coordinator the legacy link-only semantics apply.
+                self._coordinator.notice_crash(event.gpu)
         self._emit("fault.inject", event)
         if event.duration is not None:
             self._engine.schedule(event.duration, self._restore, event)

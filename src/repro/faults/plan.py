@@ -46,7 +46,8 @@ class FaultKind(str, Enum):
     LINK_FAIL = "link-fail"
     #: GPU compute slowdown; ``magnitude`` > 1 is the slowdown factor.
     GPU_STRAGGLER = "gpu-straggler"
-    #: GPU crash: every link touching the GPU fails permanently.
+    #: GPU crash: every link touching the GPU fails permanently and,
+    #: with join-level recovery armed, its compute state is lost too.
     GPU_CRASH = "gpu-crash"
 
 
@@ -155,28 +156,130 @@ class FaultEvent:
         return FaultEvent(kind=kind, at=at, **kwargs)
 
 
+#: Retry-policy knobs a plan may bake in (field names of
+#: :class:`~repro.sim.recovery.RetryPolicy`).  Everything but
+#: ``max_attempts`` is a float.
+RETRY_FIELDS = (
+    "max_attempts",
+    "base_delay",
+    "backoff",
+    "max_delay",
+    "acquire_timeout",
+    "host_bandwidth",
+    "host_latency",
+)
+
+
+def _normalize_retry(retry) -> tuple[tuple[str, float], ...]:
+    """Coerce a retry override mapping into a hashable sorted tuple."""
+    items = dict(retry)
+    unknown = set(items) - set(RETRY_FIELDS)
+    if unknown:
+        known = ", ".join(RETRY_FIELDS)
+        raise FaultPlanError(
+            f"unknown retry fields {sorted(unknown)}; choose among: {known}"
+        )
+    normalized = []
+    for key in sorted(items):
+        try:
+            value = int(items[key]) if key == "max_attempts" else float(items[key])
+        except (TypeError, ValueError) as exc:
+            raise FaultPlanError(
+                f"retry field {key!r} must be numeric, got {items[key]!r}"
+            ) from exc
+        normalized.append((key, value))
+    return tuple(normalized)
+
+
 @dataclass(frozen=True)
 class FaultPlan:
-    """A named, ordered schedule of faults."""
+    """A named, ordered schedule of faults.
+
+    ``retry`` optionally bakes retry-policy overrides into the plan
+    (see :data:`RETRY_FIELDS`), so a chaos scenario file fully
+    describes the run; CLI flags take precedence over plan values.
+    """
 
     name: str
     events: tuple[FaultEvent, ...]
     seed: int = 0
+    retry: "tuple[tuple[str, float], ...] | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "events", tuple(sorted(self.events, key=lambda e: e.at))
         )
+        if self.retry is not None:
+            object.__setattr__(self, "retry", _normalize_retry(self.retry))
 
     def __len__(self) -> int:
         return len(self.events)
 
+    @property
+    def retry_kwargs(self) -> dict:
+        """The retry overrides as keyword arguments (empty if unset)."""
+        return dict(self.retry) if self.retry is not None else {}
+
+    def validate(
+        self,
+        machine: "MachineTopology",
+        gpu_ids: "tuple[int, ...] | None" = None,
+    ) -> "FaultPlan":
+        """Check every event against the actual machine at load time.
+
+        A plan naming a GPU or link that does not exist on the selected
+        machine (or outside the ``gpu_ids`` cut) raises
+        :class:`FaultPlanError` naming the offending target here, not a
+        ``KeyError`` in the middle of a simulated run.  Returns the
+        plan, so loaders can chain ``FaultPlan.from_file(p).validate(m)``.
+        """
+        participants = tuple(sorted(gpu_ids)) if gpu_ids else machine.gpu_ids
+        unknown = set(participants) - set(machine.gpu_ids)
+        if unknown:
+            raise FaultPlanError(
+                f"plan {self.name!r}: GPUs {sorted(unknown)} are not on "
+                f"this machine (has {list(machine.gpu_ids)})"
+            )
+        member = set(participants)
+        for event in self.events:
+            if event.kind in GPU_KINDS:
+                if event.gpu not in member:
+                    raise FaultPlanError(
+                        f"plan {self.name!r}: {event.kind.value} at "
+                        f"t={event.at} targets gpu{event.gpu}, which is not "
+                        f"among the participating GPUs {list(participants)}"
+                    )
+            else:
+                bad = [g for g in (event.src, event.dst) if g not in member]
+                if bad:
+                    raise FaultPlanError(
+                        f"plan {self.name!r}: {event.kind.value} at "
+                        f"t={event.at} targets "
+                        f"gpu{event.src}<->gpu{event.dst}, but "
+                        f"{', '.join(f'gpu{g}' for g in bad)} is not among "
+                        f"the participating GPUs {list(participants)}"
+                    )
+                if (
+                    machine.nvlink_between(event.src, event.dst) is None
+                    and machine.nvlink_between(event.dst, event.src) is None
+                ):
+                    raise FaultPlanError(
+                        f"plan {self.name!r}: {event.kind.value} at "
+                        f"t={event.at} targets "
+                        f"gpu{event.src}<->gpu{event.dst}, but no NVLink "
+                        f"connects them on this machine"
+                    )
+        return self
+
     def to_dict(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "seed": self.seed,
             "events": [event.to_dict() for event in self.events],
         }
+        if self.retry is not None:
+            data["retry"] = dict(self.retry)
+        return data
 
     @staticmethod
     def from_dict(data: dict) -> "FaultPlan":
@@ -185,10 +288,16 @@ class FaultPlan:
         events = data.get("events")
         if not isinstance(events, list) or not events:
             raise FaultPlanError("fault plan needs a non-empty 'events' list")
+        retry = data.get("retry")
+        if retry is not None and not isinstance(retry, dict):
+            raise FaultPlanError(
+                f"fault plan 'retry' must be a mapping, got {retry!r}"
+            )
         return FaultPlan(
             name=str(data.get("name", "unnamed")),
             seed=int(data.get("seed", 0)),
             events=tuple(FaultEvent.from_dict(entry) for entry in events),
+            retry=tuple(sorted(retry.items())) if retry else None,
         )
 
     @staticmethod
@@ -217,6 +326,7 @@ PRESET_NAMES = (
     "link-flap",
     "nvlink-cut",
     "gpu-crash",
+    "gpu-crash-x2",
 )
 
 
@@ -326,6 +436,22 @@ def build_preset(
         gpu = rng.choice(targets)
         events.append(
             FaultEvent(kind=FaultKind.GPU_CRASH, at=0.4 * horizon, gpu=gpu)
+        )
+    elif name == "gpu-crash-x2":
+        # Two GPUs die within one heartbeat epoch of each other: the
+        # second crash lands while the first recovery is in flight, so
+        # reassignment must survive targeting a soon-to-be-dead GPU.
+        if len(targets) < 3:
+            raise FaultPlanError(
+                "gpu-crash-x2 needs at least three participating GPUs "
+                "(two crash, at least one must survive)"
+            )
+        first, second = rng.sample(list(targets), 2)
+        events.append(
+            FaultEvent(kind=FaultKind.GPU_CRASH, at=0.35 * horizon, gpu=first)
+        )
+        events.append(
+            FaultEvent(kind=FaultKind.GPU_CRASH, at=0.4 * horizon, gpu=second)
         )
     else:
         known = ", ".join(PRESET_NAMES)

@@ -13,11 +13,13 @@ from repro.sim.engine import Engine, Process, SimEvent, SimulationError
 from repro.sim.resources import RoutingBuffer, Store
 from repro.sim.linksim import LinkChannel, LinkStateBoard
 from repro.sim.compute import GpuComputeModel, GpuSpec, V100
+from repro.sim.recovery import CrashCoordinator, RecoveryConfig, RetryPolicy
 from repro.sim.shuffle import FlowMatrix, ShuffleConfig, ShuffleSimulator
-from repro.sim.stats import LinkStats, ShuffleReport, bisection_cut
+from repro.sim.stats import LinkStats, RecoveryStats, ShuffleReport, bisection_cut
 from repro.sim.trace import TraceEvent, Tracer
 
 __all__ = [
+    "CrashCoordinator",
     "Engine",
     "FlowMatrix",
     "GpuComputeModel",
@@ -26,6 +28,9 @@ __all__ = [
     "LinkStateBoard",
     "LinkStats",
     "Process",
+    "RecoveryConfig",
+    "RecoveryStats",
+    "RetryPolicy",
     "RoutingBuffer",
     "ShuffleConfig",
     "ShuffleReport",

@@ -32,7 +32,7 @@ from repro.topology.routes import Route, UnroutableError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.routing.base import RoutingContext, RoutingPolicy
-    from repro.sim.recovery import RecoveryManager
+    from repro.sim.recovery import CrashCoordinator, RecoveryManager
 
 
 @dataclass
@@ -103,6 +103,7 @@ class GpuNode:
         consume_rate: float | None,
         on_delivery: Callable[[Packet], None],
         recovery: "RecoveryManager | None" = None,
+        coordinator: "CrashCoordinator | None" = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -125,6 +126,15 @@ class GpuNode:
         #: Retry/re-route/fallback machinery; ``None`` = packets are
         #: never lost, so the legacy fast path runs unchanged.
         self.recovery = recovery
+        #: Crash-recovery bookkeeping; ``None`` = GPUs cannot die, so
+        #: no crash check ever runs on the hot path.
+        self.coordinator = coordinator
+        #: Set by :meth:`crash`: this GPU does no further work.
+        self.crashed = False
+        self.crash_time: float | None = None
+        #: ``remaining`` dicts of the live injector processes, so flows
+        #: toward a dead destination can be cancelled at the source.
+        self._active_remaining: list[dict[int, int]] = []
         #: Healthy rates, restored when a straggler fault clears.
         self._base_injection_rate = injection_rate
         self._base_consume_rate = consume_rate
@@ -182,12 +192,22 @@ class GpuNode:
             for dst, nbytes in sorted(flows.items())
             if dst != self.gpu_id and nbytes > 0
         }
+        coordinator = self.coordinator
+        if coordinator is not None:
+            self._active_remaining.append(remaining)
         sequence = 0
         while remaining:
             # Round-robin across destination flows, one batch at a time,
             # so every flow makes progress and congestion information
             # from earlier batches can influence later route choices.
             for dst in list(remaining):
+                if self.crashed:
+                    # Un-injected bytes stay in the planned-minus-
+                    # injected books; the coordinator re-sends them
+                    # host-side once this GPU is declared dead.
+                    return
+                if dst not in remaining:
+                    continue  # cancelled while an earlier flow slept
                 batch_payload = 0
                 batch: list[Packet] = []
                 while remaining[dst] > 0 and len(batch) < self.batch_size:
@@ -213,6 +233,15 @@ class GpuNode:
                 if sync_cost > 0:
                     self.stats.sync_time += sync_cost
                     yield self.engine.sleep(sync_cost)
+                    if self.crashed:
+                        return
+                if coordinator is not None and coordinator.is_dead(dst):
+                    # Declared dead while this batch was being built:
+                    # the partitions were reassigned, drop the bytes.
+                    for packet in batch:
+                        packet.created_at = self.engine.now
+                        coordinator.orphaned(packet)
+                    continue
                 try:
                     route = self.policy.choose_route(
                         self.context, self.gpu_id, dst, batch_payload, self.packet_size
@@ -229,6 +258,10 @@ class GpuNode:
                         packet.route = Route((self.gpu_id, dst))
                         packet.created_at = self.engine.now
                         self.stats.injected_packets += 1
+                        if coordinator is not None:
+                            coordinator.note_injected(
+                                self.gpu_id, dst, packet.payload_bytes
+                            )
                         self.recovery.fallback(
                             self, packet, reason="unroutable-at-source"
                         )
@@ -251,8 +284,14 @@ class GpuNode:
                     self._commit_route(packet)
                     self.enqueue(packet)
                     self.stats.injected_packets += 1
+                    if coordinator is not None:
+                        coordinator.note_injected(
+                            self.gpu_id, dst, packet.payload_bytes
+                        )
                 if self.injection_rate is not None:
                     yield self.engine.sleep(batch_payload / self.injection_rate)
+        if coordinator is not None:
+            self._active_remaining.remove(remaining)
 
     def _validate_route(self, route: Route, dst: int) -> None:
         """Reject a policy route that is not a connected src→dst path.
@@ -355,6 +394,14 @@ class GpuNode:
             first_link = self.links[path[0].link_id]
             self._active_sends[next_gpu] = self._active_sends.get(next_gpu, 0) + 1
             for packet in batch:
+                if self.coordinator is not None and (
+                    self.crashed or self.coordinator.is_dead(packet.flow_dst)
+                ):
+                    # This GPU died, or the destination was declared
+                    # dead and its partitions reassigned — either way
+                    # the packet is handed to the crash books.
+                    self._orphan(packet)
+                    continue
                 if self.recovery is None:
                     # Fast path: with positive local credits acquire()
                     # yields nothing, so skip the generator round-trip.
@@ -379,6 +426,9 @@ class GpuNode:
                 # packet of the batch pipelines behind this one.
                 transfer = first_link.transmit(packet.wire_bytes)
                 yield transfer
+                if self.crashed:
+                    self._orphan(packet)
+                    continue
                 if transfer.value is False and self.recovery is not None:
                     packet.held_buffer.release()
                     packet.held_buffer = None
@@ -404,6 +454,9 @@ class GpuNode:
             self._fulfill_link(packet, link)
             transfer = link.transmit(packet.wire_bytes)
             yield transfer
+            if self.crashed:
+                self._orphan(packet)
+                return
             if transfer.value is False and self.recovery is not None:
                 # Lost mid-hop on a staged path: give back the reserved
                 # slot at the receiver and retransmit from this GPU.
@@ -421,6 +474,100 @@ class GpuNode:
         except ValueError:
             pass
 
+    def _return_commits(self, packet: Packet) -> None:
+        """Return committed-but-untraversed link load for a lost packet."""
+        for link_id in list(packet.pending_links):
+            self.links[link_id].fulfill(packet.wire_bytes)
+        packet.pending_links.clear()
+
+    # ------------------------------------------------------------------
+    # Crash semantics (driven by the CrashCoordinator)
+    # ------------------------------------------------------------------
+
+    def _orphan(self, packet: Packet) -> None:
+        """Hand a packet this GPU can no longer move to the crash books."""
+        if packet.held_buffer is not None:
+            packet.held_buffer.release()
+            packet.held_buffer = None
+        self._return_commits(packet)
+        self.coordinator.orphaned(packet)
+
+    def crash(self) -> int:
+        """Kill this GPU: stop all send/receive/compute, drop its state.
+
+        Everything the GPU was holding is lost at crash time: queued
+        packets are orphaned to the coordinator, and the partition data
+        it had already received (``delivered_bytes``) is discarded —
+        the returned byte count is what recovery must reproduce
+        elsewhere.  The sender/injector processes observe ``crashed``
+        at their next resumption and park.
+        """
+        self.crashed = True
+        self.crash_time = self.engine.now
+        discarded = self.stats.delivered_bytes
+        for queue in self._queues.values():
+            while queue:
+                self._orphan(queue.popleft())
+        return discarded
+
+    def fail_buffers(self) -> None:
+        """Fail this (dead) GPU's inbound buffers so senders unblock."""
+        for buffer in self._buffers.values():
+            buffer.mark_dead()
+
+    def cancel_flows_to(self, dead_gpu: int) -> int:
+        """Cancel un-injected flow bytes toward a declared-dead GPU."""
+        cancelled = 0
+        for remaining in self._active_remaining:
+            cancelled += remaining.pop(dead_gpu, 0)
+        return cancelled
+
+    def purge_dead_flows(self, is_dead: Callable[[int], bool]) -> None:
+        """Drop or re-route queued packets involving dead GPUs.
+
+        Packets *destined* to a dead GPU are orphaned (their partitions
+        were reassigned); packets merely routed *through* a dead next
+        hop toward a live destination are re-routed from here.
+        """
+        rerouted: list[Packet] = []
+        for next_gpu in list(self._queues):
+            queue = self._queues[next_gpu]
+            if not queue:
+                continue
+            next_dead = is_dead(next_gpu)
+            if not next_dead and not any(is_dead(p.flow_dst) for p in queue):
+                continue
+            keep: deque[Packet] = deque()
+            for packet in queue:
+                if is_dead(packet.flow_dst):
+                    self._orphan(packet)
+                elif next_dead:
+                    self._return_commits(packet)
+                    rerouted.append(packet)
+                else:
+                    keep.append(packet)
+            self._queues[next_gpu] = keep
+        for packet in rerouted:
+            self._reroute_packet(packet)
+
+    def _reroute_packet(self, packet: Packet) -> None:
+        """Re-route a queued packet whose next hop died under it."""
+        try:
+            route = self.policy.choose_route(
+                self.context,
+                self.gpu_id,
+                packet.flow_dst,
+                packet.payload_bytes,
+                self.packet_size,
+            )
+        except UnroutableError:
+            self.recovery.fallback(self, packet, reason="next-hop-dead")
+            return
+        self._validate_route(route, packet.flow_dst)
+        packet.route = route
+        self._commit_route(packet)
+        self.enqueue(packet)
+
     # ------------------------------------------------------------------
     # Recovery (lost packets)
     # ------------------------------------------------------------------
@@ -430,9 +577,12 @@ class GpuNode:
         recovery = self.recovery
         # Return committed-but-untraversed load so the adaptive metric
         # stops charging a route the packet has abandoned.
-        for link_id in list(packet.pending_links):
-            self.links[link_id].fulfill(packet.wire_bytes)
-        packet.pending_links.clear()
+        self._return_commits(packet)
+        if self.coordinator is not None and (
+            self.crashed or self.coordinator.is_dead(packet.flow_dst)
+        ):
+            self.coordinator.orphaned(packet)
+            return
         packet.attempts += 1
         if packet.attempts >= recovery.policy.max_attempts:
             recovery.fallback(self, packet, reason=f"{reason}:retries-exhausted")
@@ -446,6 +596,11 @@ class GpuNode:
         yield self.engine.sleep(
             recovery.policy.retry_delay(packet.attempts - 1)
         )
+        if self.coordinator is not None and (
+            self.crashed or self.coordinator.is_dead(packet.flow_dst)
+        ):
+            self.coordinator.orphaned(packet)
+            return
         old_route = packet.route
         try:
             # Re-ask the policy from the packet's *current* GPU so ARM
@@ -471,6 +626,10 @@ class GpuNode:
     def receive_fallback(self, packet: Packet) -> None:
         """Accept a host-relayed packet (no routing-buffer slot held)."""
         packet.held_buffer = None
+        if self.crashed:
+            # The host relay targeted a GPU that died in the meantime.
+            self.coordinator.orphaned(packet)
+            return
         self._deliver(packet)
 
     def apply_slowdown(self, factor: float) -> None:
@@ -491,6 +650,11 @@ class GpuNode:
     # ------------------------------------------------------------------
 
     def on_arrival(self, packet: Packet) -> None:
+        if self.crashed:
+            # The wire delivered into a dead GPU; the data is lost with
+            # it (abandoned or re-sent depending on the flow endpoint).
+            self._orphan(packet)
+            return
         if packet.flow_dst == self.gpu_id:
             self._deliver(packet)
         else:
@@ -509,6 +673,8 @@ class GpuNode:
         self.stats.delivered_bytes += packet.payload_bytes
         self.stats.delivered_packets += 1
         self.stats.last_delivery_time = self.engine.now
+        if self.coordinator is not None and self.coordinator.checkpointing:
+            self.coordinator.note_delivery(self.gpu_id, packet.payload_bytes)
         if self.recovery is not None and (packet.attempts > 0 or packet.fallback):
             self.recovery.record_recovered(packet)
         observer = self.context.observer

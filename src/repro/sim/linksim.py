@@ -206,6 +206,9 @@ class LinkStateBoard:
     _fault_seq: dict[int, int] = field(default_factory=dict)
     _fault_delivered_seq: dict[int, int] = field(default_factory=dict)
     _fault_published: dict[int, float] = field(default_factory=dict)
+    #: Heartbeat epochs piggybacked on the broadcast channel: each GPU's
+    #: last announced liveness timestamp (crash-recovery detection).
+    _heartbeats: dict[int, float] = field(default_factory=dict)
 
     def publish(self, link: LinkChannel) -> None:
         link_id = link.spec.link_id
@@ -257,6 +260,23 @@ class LinkStateBoard:
             return
         self._fault_delivered_seq[link_id] = seq
         self._fault_published[link_id] = self._fault_pending[link_id]
+
+    def record_heartbeat(self, gpu_id: int, beat_time: float) -> None:
+        """Note a GPU's liveness announcement (piggybacked broadcast).
+
+        Heartbeats ride the same change-triggered broadcast channel as
+        queue-delay updates: a live GPU's epoch counter is stamped onto
+        every board message it emits, so "last heard from" needs no
+        dedicated traffic.  The crash-recovery monitor reads this
+        registry to tell a crashed GPU (heartbeats stop) from a
+        straggler (heartbeats continue, just slower work).
+        """
+        if beat_time > self._heartbeats.get(gpu_id, -1.0):
+            self._heartbeats[gpu_id] = beat_time
+
+    def last_heartbeat(self, gpu_id: int) -> float:
+        """Last liveness timestamp heard from ``gpu_id`` (-1 = never)."""
+        return self._heartbeats.get(gpu_id, -1.0)
 
     def published_queue_delay(self, link_id: int) -> float:
         """Queue delay of ``link_id`` as currently visible to remote GPUs."""

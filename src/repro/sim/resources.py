@@ -73,6 +73,10 @@ class RoutingBuffer:
         self._waiters: deque[SimEvent] = deque()
         #: Number of sender/receiver credit synchronizations performed.
         self.sync_count = 0
+        #: Set when the owning GPU is declared dead: acquisition fails
+        #: immediately and every blocked sender is woken so it can
+        #: re-route instead of waiting out the full acquire timeout.
+        self.dead = False
 
     @property
     def slots(self) -> int:
@@ -86,6 +90,12 @@ class RoutingBuffer:
     def free(self) -> int:
         return self._slots - self._occupied
 
+    def mark_dead(self) -> None:
+        """Declare the owning GPU dead; fail waiters and future acquires."""
+        self.dead = True
+        while self._waiters:
+            self._waiters.popleft().succeed()
+
     def try_acquire(self) -> bool:
         """Claim one slot if local credits allow it, without blocking.
 
@@ -94,7 +104,7 @@ class RoutingBuffer:
         anyway, so the whole generator round-trip can be skipped.  The
         credit/occupancy bookkeeping is identical to :meth:`acquire`.
         """
-        if self._credits <= 0:
+        if self.dead or self._credits <= 0:
             return False
         self._credits -= 1
         self._occupied += 1
@@ -109,10 +119,14 @@ class RoutingBuffer:
         receiver that will never drain (e.g. a crashed GPU) rather than
         deadlocking on its credits.
         """
+        if self.dead:
+            return False
         deadline = None if timeout is None else self._engine.now + timeout
         while self._credits <= 0:
             yield self._engine.sleep(self._sync_latency)
             self.sync_count += 1
+            if self.dead:
+                return False
             self._credits = self.free
             if self._credits <= 0:
                 waiter = self._engine.event()
@@ -131,6 +145,9 @@ class RoutingBuffer:
                         # Timed out before any release reached us.
                         self._waiters.remove(waiter)
                         return False
+                if self.dead:
+                    # Woken by mark_dead(), not a real slot release.
+                    return False
                 # A release happened; refresh the credit view and retry
                 # (another DMA engine may have raced us to the slot).
                 self._credits = self.free

@@ -18,7 +18,12 @@ from repro.routing.base import RoutingContext, RoutingPolicy
 from repro.sim.engine import Engine, SimulationError
 from repro.sim.gpusim import GpuNode, Packet
 from repro.sim.linksim import LinkChannel, LinkStateBoard
-from repro.sim.recovery import RecoveryManager, RetryPolicy
+from repro.sim.recovery import (
+    CrashCoordinator,
+    RecoveryConfig,
+    RecoveryManager,
+    RetryPolicy,
+)
 from repro.sim.stats import LinkStats, ShuffleReport, bisection_cut
 from repro.topology.machine import MachineTopology
 from repro.topology.routes import RouteEnumerator
@@ -128,6 +133,8 @@ class ShuffleSimulator:
         sampler=None,
         faults: "FaultPlan | None" = None,
         retry: RetryPolicy | None = None,
+        recovery_bridge=None,
+        recovery_config: RecoveryConfig | None = None,
         engine_factory=Engine,
     ) -> None:
         self.machine = machine
@@ -145,6 +152,15 @@ class ShuffleSimulator:
         self.faults = faults
         #: Retry/backoff/fallback knobs (used only when faults are on).
         self.retry = retry or RetryPolicy()
+        #: Join-level crash-recovery bridge (duck-typed: must expose
+        #: ``on_gpu_dead(dead_gpu, survivors) -> FlowMatrix``).  When
+        #: present *and* faults are injected, GPU crashes become real
+        #: compute losses handled by a :class:`CrashCoordinator`;
+        #: without it, crashes keep the legacy link-only semantics.
+        self.recovery_bridge = recovery_bridge
+        self.recovery_config = recovery_config or RecoveryConfig()
+        #: The coordinator of the most recent run (telemetry access).
+        self.coordinator: CrashCoordinator | None = None
         self.gpu_ids = tuple(sorted(gpu_ids if gpu_ids is not None else machine.gpu_ids))
         if len(self.gpu_ids) < 2:
             raise ValueError("a shuffle needs at least two GPUs")
@@ -198,6 +214,20 @@ class ShuffleSimulator:
             recovery = RecoveryManager(
                 engine, policy=self.retry, observer=self.observer
             )
+        coordinator: CrashCoordinator | None = None
+        if recovery is not None and self.recovery_bridge is not None:
+            coordinator = CrashCoordinator(
+                engine,
+                self.recovery_config,
+                board,
+                enumerator,
+                recovery,
+                packet_size=config.packet_size,
+                header_bytes=config.header_bytes,
+                bridge=self.recovery_bridge,
+                observer=self.observer,
+            )
+        self.coordinator = coordinator
         delivered: list[Packet] = []
         nodes: dict[int, GpuNode] = {}
         for gpu_id in relay_ids:
@@ -218,9 +248,13 @@ class ShuffleSimulator:
                 consume_rate=config.consume_rate,
                 on_delivery=delivered.append,
                 recovery=recovery,
+                coordinator=coordinator,
             )
         for node in nodes.values():
             node.peers = nodes
+        if coordinator is not None:
+            coordinator.nodes = nodes
+            coordinator.plan(self.gpu_ids, flows)
         injector = None
         if self.faults is not None:
             from repro.faults.injector import FaultInjector
@@ -235,6 +269,7 @@ class ShuffleSimulator:
                 machine=self.machine,
                 packet_size=config.packet_size,
                 observer=self.observer,
+                coordinator=coordinator,
             )
         for gpu_id in self.gpu_ids:
             outgoing = flows.outgoing(gpu_id)
@@ -242,7 +277,7 @@ class ShuffleSimulator:
                 nodes[gpu_id].start_flows(outgoing)
         engine.run()
         report = self._build_report(
-            engine, policy, flows, links, nodes, delivered, board
+            engine, policy, flows, links, nodes, delivered, board, coordinator
         )
         if injector is not None:
             report.faults_injected = injector.faults_injected
@@ -262,6 +297,30 @@ class ShuffleSimulator:
             )
             for name, value in engine.stats.items():
                 metrics.gauge(f"engine.{name}").set(value)
+            if report.recovery is not None:
+                rec = report.recovery
+                metrics.gauge("recovery.crashed_gpus").set(len(rec.crashed_gpus))
+                metrics.gauge("recovery.detection_latency_seconds").set(
+                    rec.max_detection_latency
+                )
+                metrics.gauge("recovery.reshuffled_bytes").set(
+                    rec.reshuffled_bytes
+                )
+                metrics.gauge("recovery.host_resent_bytes").set(
+                    rec.host_resent_bytes
+                )
+                metrics.gauge("recovery.checkpoint_restored_bytes").set(
+                    rec.checkpoint_restored_bytes
+                )
+                metrics.gauge("recovery.bytes_discarded").set(
+                    rec.bytes_discarded
+                )
+                metrics.gauge("recovery.elapsed_seconds").set(
+                    rec.recovery_elapsed
+                )
+                metrics.gauge("recovery.time_share").set(
+                    rec.recovery_share(report.elapsed)
+                )
         return report
 
     def _build_report(
@@ -273,9 +332,26 @@ class ShuffleSimulator:
         nodes: dict[int, GpuNode],
         delivered: list[Packet],
         board: LinkStateBoard,
+        coordinator: CrashCoordinator | None = None,
     ) -> ShuffleReport:
         delivered_bytes = sum(node.stats.delivered_bytes for node in nodes.values())
-        if delivered_bytes != flows.total_bytes:
+        crashed = coordinator.crashed_gpus if coordinator is not None else frozenset()
+        if crashed:
+            # Conservation under crash recovery: every *surviving*
+            # destination must have received exactly the bytes it was
+            # owed — original flows plus re-shuffled partitions.
+            live_delivered = sum(
+                node.stats.delivered_bytes
+                for gpu_id, node in nodes.items()
+                if gpu_id not in crashed
+            )
+            expected = coordinator.expected_live_bytes()
+            if live_delivered != expected:
+                raise SimulationError(
+                    f"crash recovery lost data: survivors received "
+                    f"{live_delivered} of {expected} expected bytes"
+                )
+        elif delivered_bytes != flows.total_bytes:
             raise SimulationError(
                 f"shuffle stalled: delivered {delivered_bytes} of "
                 f"{flows.total_bytes} bytes (possible buffer deadlock)"
@@ -283,8 +359,14 @@ class ShuffleSimulator:
         # The data-distribution step ends when the last packet lands on
         # its destination GPU; draining the consumer (local
         # partitioning) continues overlapped and is reported separately.
+        # Crashed GPUs stop counting: the join resumes on survivors.
         elapsed = max(
-            (node.stats.last_delivery_time for node in nodes.values()), default=0.0
+            (
+                node.stats.last_delivery_time
+                for gpu_id, node in nodes.items()
+                if gpu_id not in crashed
+            ),
+            default=0.0,
         )
         consume_finish = max(
             (node.stats.last_consume_time for node in nodes.values()), default=0.0
@@ -321,4 +403,7 @@ class ShuffleSimulator:
                 gpu_id: nodes[gpu_id].stats.delivered_bytes
                 for gpu_id in self.gpu_ids
             },
+            recovery=(
+                coordinator.build_stats(elapsed) if crashed else None
+            ),
         )

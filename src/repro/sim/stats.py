@@ -123,6 +123,50 @@ def _assign_node_sides(
 
 
 @dataclass
+class RecoveryStats:
+    """Crash-recovery accounting for one shuffle run.
+
+    Produced by :class:`~repro.sim.recovery.CrashCoordinator` when at
+    least one GPU crashed with join-level recovery enabled; absent
+    (``None`` on the report) otherwise, including on every healthy run.
+    """
+
+    #: GPUs that crashed, and the engine times they crashed / were
+    #: declared dead by the heartbeat monitor.
+    crashed_gpus: tuple[int, ...]
+    crashed_at: dict[int, float]
+    declared_at: dict[int, float]
+    #: Declaration minus crash time per dead GPU, seconds.
+    detection_latency: dict[int, float]
+    #: Bytes re-shuffled to the new owners of lost partitions.
+    reshuffled_bytes: int = 0
+    #: Bytes re-sent through the host pipe (dead-source remainders and
+    #: in-flight losses whose source died before re-injection).
+    host_resent_bytes: int = 0
+    #: Re-shuffle bytes served from the dead GPU's host checkpoint
+    #: instead of the original sources.
+    checkpoint_restored_bytes: int = 0
+    #: Received partition data discarded on crashed GPUs.
+    bytes_discarded: int = 0
+    #: Un-injected flow bytes to dead GPUs cancelled at their sources.
+    bytes_cancelled: int = 0
+    #: In-flight/queued bytes to dead GPUs dropped (reassigned instead).
+    bytes_abandoned: int = 0
+    #: Wall-clock from the first crash to the end of the shuffle.
+    recovery_elapsed: float = 0.0
+
+    @property
+    def max_detection_latency(self) -> float:
+        return max(self.detection_latency.values(), default=0.0)
+
+    def recovery_share(self, elapsed: float) -> float:
+        """Fraction of the shuffle spent in degraded (recovery) mode."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.recovery_elapsed / elapsed)
+
+
+@dataclass
 class ShuffleReport:
     """Everything a shuffle run measured.
 
@@ -152,6 +196,9 @@ class ShuffleReport:
     packet_reroutes: int = 0
     packet_fallbacks: int = 0
     packets_recovered: int = 0
+    #: Crash-recovery accounting; ``None`` unless a GPU crashed with
+    #: join-level recovery enabled.
+    recovery: RecoveryStats | None = None
 
     @property
     def throughput(self) -> float:

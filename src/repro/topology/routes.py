@@ -203,6 +203,9 @@ class RouteEnumerator:
         #: Link ids declared permanently failed; routes crossing any of
         #: them are excluded from enumeration.
         self._failed: set[int] = set()
+        #: GPUs declared dead; they may not source, relay or terminate
+        #: any route (survivor-only enumeration during crash recovery).
+        self._dead_gpus: set[int] = set()
         #: Bumped whenever the failed-link set changes, so callers that
         #: cache per-(src, dst) winners (the static policies) can key
         #: their caches on it and never serve a stale route.
@@ -248,6 +251,27 @@ class RouteEnumerator:
             self._memo.clear()
             self._cache.invalidate()
 
+    @property
+    def dead_gpus(self) -> frozenset[int]:
+        return frozenset(self._dead_gpus)
+
+    def fail_gpu(self, gpu_id: int) -> None:
+        """Remove a dead GPU from the allowed set entirely.
+
+        Unlike :meth:`fail_link` — which only excludes routes crossing
+        specific edges — a failed GPU may not appear on any route at
+        all: not as a relay, not as an endpoint.  The raw enumeration
+        memo is cleared too because the adjacency graph itself changed.
+        """
+        if gpu_id in self._dead_gpus:
+            return
+        self._dead_gpus.add(gpu_id)
+        self._allowed = tuple(g for g in self._allowed if g != gpu_id)
+        self._version += 1
+        self._memo.clear()
+        self._raw_memo.clear()
+        self._cache.invalidate()
+
     def routes(self, src: int, dst: int) -> tuple[Route, ...]:
         """All candidate routes from ``src`` to ``dst``.
 
@@ -285,6 +309,8 @@ class RouteEnumerator:
         if src == dst:
             raise ValueError("source and destination GPUs must differ")
         for gpu_id in (src, dst):
+            if gpu_id in self._dead_gpus:
+                raise UnroutableError(f"gpu{gpu_id} was declared dead")
             if gpu_id not in self._allowed:
                 raise TopologyError(f"gpu{gpu_id} is not in the allowed set")
         cached = self._raw_memo.get((src, dst))
