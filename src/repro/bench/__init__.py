@@ -16,6 +16,7 @@ from repro.bench.regression import (
     compare,
     load_baseline,
     run_gate,
+    run_gate_from_store,
     write_baseline,
 )
 from repro.bench.reporting import format_markdown_table, save_figure_result
@@ -35,6 +36,7 @@ __all__ = [
     "load_baseline",
     "run_benchmarks",
     "run_gate",
+    "run_gate_from_store",
     "save_figure_result",
     "write_baseline",
 ]

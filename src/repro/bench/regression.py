@@ -303,3 +303,40 @@ def run_gate(
     return compare(
         payload["metrics"], current, tolerance=tolerance, directions=directions
     )
+
+
+def run_gate_from_store(
+    store,
+    run_id: str | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    current: dict[str, float] | None = None,
+) -> tuple[GateResult, str]:
+    """Gate fresh metrics against a baseline read *through the store*.
+
+    ``store`` is a :class:`repro.experiments.ResultsStore`; the
+    baseline is ``run_id`` (prefixes allowed) or the latest ``perf``
+    record in the ledger.  The committed ``BENCH_*.json`` file joins
+    the ledger via ``repro experiments ingest``, making the file one
+    view over the store rather than the gate's private input.  Returns
+    ``(result, baseline_run_id)``.
+    """
+    from repro.experiments.store import StoreError
+
+    if run_id is not None:
+        record = store.get(run_id)
+    else:
+        record = store.latest(kind="perf")
+        if record is None:
+            raise StoreError(
+                f"no 'perf' baseline record in store {store.root}; run"
+                " 'repro experiments ingest BENCH_*.json' or"
+                " 'repro perf --update --store ...' first"
+            )
+    if current is None:
+        current = collect_perf_metrics()
+    directions = dict(METRIC_DIRECTIONS)
+    directions.update(record.directions)
+    result = compare(
+        record.metrics, current, tolerance=tolerance, directions=directions
+    )
+    return result, record.run_id

@@ -6,6 +6,7 @@ import json
 import pathlib
 
 from repro.bench.harness import FigureResult
+from repro.obs.meta import run_metadata
 
 
 def _format_value(value) -> str:
@@ -57,6 +58,9 @@ def save_figure_result(
     payload = {
         "figure": result.figure,
         "title": result.title,
+        # Self-describing artifact: version/python and — when a sweep
+        # or bench run is in scope — the inherited run_id stamp.
+        "run": run_metadata(),
         "rows": result.rows,
         "notes": result.notes,
     }

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from repro.bench.figures import ALL_FIGURES
 from repro.bench.harness import WORKLOAD_CACHE_ENV
 from repro.bench.reporting import save_figure_result
-from repro.obs.meta import run_metadata
+from repro.obs.meta import RUN_ID_ENV, current_run_id, run_metadata
 
 #: Manifest file written next to the per-figure artifacts.
 RUN_MANIFEST = "bench_run.json"
@@ -112,11 +112,21 @@ class BenchRun:
         return "\n".join(lines) + "\n"
 
 
-def _run_one(name: str, out_dir: str, workload_cache: str | None) -> dict:
+def _run_one(
+    name: str,
+    out_dir: str,
+    workload_cache: str | None,
+    run_id: str | None = None,
+) -> dict:
     """Worker entry point: regenerate one figure, timed. Top-level so
     it pickles under every multiprocessing start method."""
     if workload_cache:
         os.environ[WORKLOAD_CACHE_ENV] = workload_cache
+    if run_id:
+        # Re-assert the parent's run ID: fork inherits it through the
+        # environment, but spawn workers start from a fresh interpreter
+        # whose environment may have been scrubbed by the pool setup.
+        os.environ[RUN_ID_ENV] = run_id
     started = time.perf_counter()
     try:
         result = ALL_FIGURES[name]()
@@ -165,7 +175,8 @@ def run_benchmarks(
     out_dir = pathlib.Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     cache = str(workload_cache) if workload_cache is not None else None
-    work = [(name, str(out_dir), cache) for name in names]
+    run_id = current_run_id()
+    work = [(name, str(out_dir), cache, run_id) for name in names]
     started = time.perf_counter()
     if jobs == 1 or len(names) == 1:
         records = [_run_one(*item) for item in work]

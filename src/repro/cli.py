@@ -16,7 +16,16 @@ Commands:
   preset or YAML/JSON plan), assert the result stayed correct and
   report the throughput retained (see ``docs/robustness.md``).
 * ``perf`` — collect the canonical perf metrics and gate them against
-  a committed ``BENCH_*.json`` baseline (10% tolerance).
+  a committed ``BENCH_*.json`` baseline (10% tolerance), or against
+  the latest ``perf`` record of a results store (``--store``).
+* ``experiments`` — the experiment farm (see ``docs/observability.md``):
+  ``run`` executes a parameterized sweep (topology x policy x fault
+  plan x scale) into the results-store ledger with live progress
+  events, ``list`` queries the ledger, ``compare`` renders the
+  direction-aware metric diff between two runs (with regression
+  attribution down to phases and links), ``report`` draws
+  per-topology trend lines over the ledger, and ``ingest`` imports
+  legacy artifacts (BENCH baselines, chaos reports) as records.
 * ``bench`` — regenerate many figures in parallel over a process pool,
   with per-figure wall-clock self-times and a ``bench_run.json``
   manifest; ``--gate`` chains the perf-regression gate afterwards.
@@ -266,6 +275,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out-dir", metavar="DIR", default=None,
         help="write chaos artifacts (trace JSON, report JSON) here",
     )
+    chaos.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="also commit the chaos report to this results store"
+        " (see 'repro experiments')",
+    )
 
     perf = commands.add_parser(
         "perf", help="gate current perf metrics against a BENCH baseline"
@@ -275,13 +289,107 @@ def build_parser() -> argparse.ArgumentParser:
         help="BENCH_*.json baseline file (default: repo BENCH_dgx1-8gpu.json)",
     )
     perf.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="read the baseline through a results store (latest 'perf'"
+        " record) instead of a BENCH file; see 'repro experiments'",
+    )
+    perf.add_argument(
+        "--baseline-run", metavar="RUN_ID", default=None,
+        help="specific store record to gate against (with --store;"
+        " unambiguous prefixes allowed)",
+    )
+    perf.add_argument(
         "--tolerance", type=float, default=None,
         help="allowed relative regression (default 0.10)",
     )
     perf.add_argument(
         "--update", action="store_true",
-        help="rewrite the baseline from the current collection and exit",
+        help="rewrite the baseline from the current collection and exit"
+        " (with --store, also commit it to the ledger)",
     )
+
+    experiments = commands.add_parser(
+        "experiments",
+        help="experiment farm: sweeps into a results store + observatory",
+    )
+    exp_sub = experiments.add_subparsers(dest="exp_command", required=True)
+
+    def _store_arg(sub):
+        sub.add_argument(
+            "--store", metavar="DIR", default=None,
+            help="results-store directory (default: $REPRO_RESULTS_STORE"
+            " or ./experiments)",
+        )
+
+    exp_run = exp_sub.add_parser(
+        "run", help="run a parameterized sweep into the store"
+    )
+    exp_run.add_argument(
+        "--sweep", nargs="+", metavar="KEY=V1[,V2,...]", required=True,
+        help="axes: topology, policy, scale (GPU count), faults"
+        " (preset or 'none'), seed — e.g."
+        " --sweep topology=dgx1 policy=adaptive,static scale=2",
+    )
+    _store_arg(exp_run)
+    exp_run.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: min(points, CPU count))",
+    )
+    exp_run.add_argument(
+        "--tuples-per-gpu", type=parse_size, default=parse_size("64M"),
+        help="logical tuples per relation per GPU for every point",
+    )
+    exp_run.add_argument(
+        "--real-tuples", type=parse_size, default=parse_size("32K"),
+        help="materialized tuples per relation per GPU for every point",
+    )
+    exp_run.add_argument("--seed", type=int, default=42)
+    exp_run.add_argument(
+        "--workload-cache", metavar="DIR", default=None,
+        help="shared on-disk workload cache for the sweep workers",
+    )
+    exp_run.add_argument(
+        "--progress", choices=("human", "jsonl", "quiet"), default="human",
+        help="live progress events: one-line-per-point, JSON lines, or off",
+    )
+
+    exp_list = exp_sub.add_parser("list", help="query the run ledger")
+    _store_arg(exp_list)
+    exp_list.add_argument("--kind", default=None, help="join / chaos / perf")
+    exp_list.add_argument("--topology", default=None)
+    exp_list.add_argument("--policy", default=None)
+
+    exp_compare = exp_sub.add_parser(
+        "compare", help="direction-aware metric diff between two runs"
+    )
+    exp_compare.add_argument("baseline_run", metavar="RUN_A")
+    exp_compare.add_argument("current_run", metavar="RUN_B")
+    _store_arg(exp_compare)
+    exp_compare.add_argument(
+        "--tolerance", type=float, default=None,
+        help="regression-flag threshold (default 0.10)",
+    )
+    exp_compare.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the rendered report here",
+    )
+
+    exp_report = exp_sub.add_parser(
+        "report", help="per-topology trend lines over the ledger"
+    )
+    _store_arg(exp_report)
+    exp_report.add_argument(
+        "--metric", action="append", default=None, metavar="NAME",
+        help="metric(s) to trend (default: join/shuffle throughput)",
+    )
+    exp_report.add_argument("--kind", default=None)
+    exp_report.add_argument("--topology", default=None)
+
+    exp_ingest = exp_sub.add_parser(
+        "ingest", help="import BENCH baselines / chaos reports as records"
+    )
+    exp_ingest.add_argument("paths", nargs="+", metavar="PATH")
+    _store_arg(exp_ingest)
 
     bench = commands.add_parser(
         "bench", help="regenerate figures in parallel with self-time records"
@@ -338,6 +446,7 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": _cmd_chaos,
         "perf": _cmd_perf,
         "bench": _cmd_bench,
+        "experiments": _cmd_experiments,
         "figure": _cmd_figure,
         "tpch": _cmd_tpch,
     }[args.command]
@@ -436,6 +545,8 @@ def _cmd_join(args) -> int:
 def _export_observation(observer, trace_path, csv_path, metadata=None) -> None:
     from repro.obs import export
 
+    # Exclusive per-span timings ride every export as span.* gauges.
+    export.record_self_time_gauges(observer)
     print()
     if trace_path:
         path = export.write_chrome_trace(observer, trace_path, metadata)
@@ -801,14 +912,10 @@ def _cmd_chaos(args) -> int:
         recovery=asdict(effective_recovery),
     )
     trace_path = args.trace
-    if args.out_dir is not None:
+    if args.out_dir is not None or args.store is not None:
         import json
         import pathlib
 
-        out_dir = pathlib.Path(args.out_dir)
-        out_dir.mkdir(parents=True, exist_ok=True)
-        if trace_path is None:
-            trace_path = str(out_dir / "chaos_trace.json")
         recovery_report = report.faulted.recovery
         payload = {
             "plan": report.plan.to_dict(),
@@ -849,12 +956,33 @@ def _cmd_chaos(args) -> int:
             ),
             "run": dict(metadata),
         }
-        report_path = out_dir / "chaos_report.json"
-        report_path.write_text(json.dumps(payload, indent=1))
-        print(f"chaos report   : {report_path}")
+        if args.out_dir is not None:
+            out_dir = pathlib.Path(args.out_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            if trace_path is None:
+                trace_path = str(out_dir / "chaos_trace.json")
+            report_path = out_dir / "chaos_report.json"
+            report_path.write_text(json.dumps(payload, indent=1))
+            print(f"chaos report   : {report_path}")
+        if args.store is not None:
+            from repro.experiments.store import chaos_record
+
+            record = _resolve_store(args.store).put(chaos_record(payload))
+            print(f"ledger record  : {record.run_id} (rev {record.revision})")
     if trace_path is not None:
         _export_observation(observer, trace_path, None, metadata)
     return 0 if ok else 1
+
+
+def _resolve_store(path: str | None):
+    """A ResultsStore at ``path``, $REPRO_RESULTS_STORE, or ./experiments."""
+    import os
+
+    from repro.experiments import DEFAULT_STORE_DIR, RESULTS_STORE_ENV, ResultsStore
+
+    return ResultsStore(
+        path or os.environ.get(RESULTS_STORE_ENV) or DEFAULT_STORE_DIR
+    )
 
 
 def _cmd_perf(args) -> int:
@@ -871,14 +999,199 @@ def _cmd_perf(args) -> int:
         )
         regression.write_baseline(path, current, metadata)
         print(f"baseline updated: {path}")
+        if args.store is not None:
+            record = _resolve_store(args.store).ingest(path)
+            print(f"ledger record   : {record.run_id} (rev {record.revision})")
         return 0
     tolerance = (
         args.tolerance if args.tolerance is not None
         else regression.DEFAULT_TOLERANCE
     )
-    result = regression.run_gate(path, tolerance=tolerance, current=current)
+    if args.store is not None:
+        from repro.experiments import StoreError
+
+        try:
+            result, baseline_run = regression.run_gate_from_store(
+                _resolve_store(args.store),
+                run_id=args.baseline_run,
+                tolerance=tolerance,
+                current=current,
+            )
+        except StoreError as exc:
+            print(f"perf gate cannot read the store: {exc}", file=sys.stderr)
+            return 2
+        print(f"baseline via store: {baseline_run}")
+    else:
+        result = regression.run_gate(path, tolerance=tolerance, current=current)
     print(result.render(), end="")
     return 0 if result.ok else 1
+
+
+def _cmd_experiments(args) -> int:
+    """Dispatch ``repro experiments run|list|compare|report|ingest``."""
+    return {
+        "run": _cmd_experiments_run,
+        "list": _cmd_experiments_list,
+        "compare": _cmd_experiments_compare,
+        "report": _cmd_experiments_report,
+        "ingest": _cmd_experiments_ingest,
+    }[args.exp_command](args)
+
+
+def _cmd_experiments_run(args) -> int:
+    import json
+
+    from repro.experiments import SweepError, SweepPoint, parse_sweep, run_batch
+
+    defaults = SweepPoint(
+        tuples_per_gpu=_round_to_multiple(args.tuples_per_gpu, args.real_tuples),
+        real_tuples=args.real_tuples,
+        seed=args.seed,
+    )
+    try:
+        points = parse_sweep(args.sweep, defaults=defaults)
+    except SweepError as exc:
+        raise SystemExit(str(exc)) from exc
+    store = _resolve_store(args.store)
+
+    def emit_human(event: dict) -> None:
+        kind = event["event"]
+        if kind == "sweep_started":
+            print(
+                f"sweep: {event['points']} point(s), {event['jobs']} job(s)"
+                f" -> {event['store']}"
+            )
+        elif kind == "point_finished":
+            throughput = event.get("throughput_btps")
+            rate = f"  {throughput:.3f} Btps" if throughput is not None else ""
+            print(
+                f"  [{event['completed']}/{event['points']}]"
+                f" {event['label']:<32} {event['run_id']}"
+                f"  {event.get('seconds') or 0.0:.2f}s{rate}"
+            )
+        elif kind == "point_failed":
+            print(
+                f"  FAILED {event['label']}: {event['error']}",
+                file=sys.stderr,
+            )
+        elif kind == "sweep_finished":
+            print(
+                f"sweep done: {event['points'] - event['failed']} ok,"
+                f" {event['failed']} failed,"
+                f" wall {event['wall_seconds']:.1f}s"
+            )
+
+    progress = {
+        "human": emit_human,
+        "jsonl": lambda event: print(json.dumps(event, sort_keys=True)),
+        "quiet": None,
+    }[args.progress]
+    try:
+        records = run_batch(
+            points,
+            store,
+            jobs=args.jobs,
+            workload_cache=args.workload_cache,
+            progress=progress,
+        )
+    except SweepError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"ledger: {store.ledger_path} ({len(records)} record(s) written)")
+    return 0
+
+
+def _cmd_experiments_list(args) -> int:
+    store = _resolve_store(args.store)
+    filters = {}
+    if args.topology is not None:
+        filters["topology"] = args.topology
+    if args.policy is not None:
+        filters["policy"] = args.policy
+    entries = store.select(kind=args.kind, **filters)
+    if not entries:
+        print(f"(no matching runs in {store.root})")
+        return 0
+    print(
+        f"{'seq':>4}  {'run id':<24} {'kind':<6} {'topology':<12}"
+        f" {'policy':<12} {'gpus':>4}  rev  headline"
+    )
+    for entry in entries:
+        headline = ""
+        for name in (
+            "join.throughput_btps",
+            "chaos.throughput_retention",
+            "shuffle.throughput_gbps",
+        ):
+            if entry.get(name) is not None:
+                headline = f"{name}={entry[name]:.4f}"
+                break
+        print(
+            f"{entry['sequence']:>4}  {entry['run_id']:<24}"
+            f" {entry.get('kind') or '?':<6}"
+            f" {entry.get('topology') or '?':<12}"
+            f" {entry.get('policy') or '?':<12}"
+            f" {entry.get('num_gpus') or '?':>4}"
+            f"  {entry.get('revision', 1):>3}  {headline}"
+        )
+    return 0
+
+
+def _cmd_experiments_compare(args) -> int:
+    from repro.bench.regression import DEFAULT_TOLERANCE
+    from repro.experiments import StoreError, diff_records, render_compare
+
+    store = _resolve_store(args.store)
+    try:
+        baseline = store.get(args.baseline_run)
+        current = store.get(args.current_run)
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    tolerance = (
+        args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    )
+    result = diff_records(baseline, current, tolerance=tolerance)
+    rendered = render_compare(baseline, current, result)
+    print(rendered, end="")
+    if args.out:
+        import pathlib
+
+        pathlib.Path(args.out).write_text(rendered)
+        print(f"wrote {args.out}")
+    return 0 if result.ok else 1
+
+
+def _cmd_experiments_report(args) -> int:
+    from repro.experiments import render_trends
+
+    store = _resolve_store(args.store)
+    print(
+        render_trends(
+            store,
+            metrics=args.metric,
+            kind=args.kind,
+            topology=args.topology,
+        ),
+        end="",
+    )
+    return 0
+
+
+def _cmd_experiments_ingest(args) -> int:
+    from repro.experiments import StoreError
+
+    store = _resolve_store(args.store)
+    code = 0
+    for path in args.paths:
+        try:
+            record = store.ingest(path)
+        except (StoreError, OSError, ValueError) as exc:
+            print(f"cannot ingest {path}: {exc}", file=sys.stderr)
+            code = 1
+            continue
+        print(f"ingested {path} -> {record.run_id} (rev {record.revision})")
+    return code
 
 
 def _cmd_bench(args) -> int:

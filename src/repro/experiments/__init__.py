@@ -1,0 +1,60 @@
+"""The experiment farm: results store, sweep harness, observatory.
+
+Three layers (the ``run_one`` / ``run_batch`` / ``ResultsStore``
+decomposition):
+
+* :mod:`repro.experiments.store` — :class:`ResultsStore`, an on-disk
+  ledger of self-describing :class:`RunRecord` files with
+  deterministic run IDs (``<kind>-<config hash>``).
+* :mod:`repro.experiments.sweep` — :func:`run_one` / :func:`run_batch`
+  fan parameterized batches (topology x policy x fault plan x scale)
+  over a process pool into the store, with live progress events.
+* :mod:`repro.experiments.observatory` — cross-run metric diffs,
+  per-topology trend lines over the ledger, and regression
+  attribution joining a failing metric back to the offending run's
+  phase/link breakdown.
+
+CLI: ``repro experiments run | list | compare | report | ingest``.
+"""
+
+from repro.experiments.observatory import (
+    attribute_regression,
+    diff_records,
+    render_compare,
+    render_trends,
+    sparkline,
+    trend_rows,
+)
+from repro.experiments.store import (
+    DEFAULT_STORE_DIR,
+    RESULTS_STORE_ENV,
+    ResultsStore,
+    RunRecord,
+    StoreError,
+)
+from repro.experiments.sweep import (
+    SweepError,
+    SweepPoint,
+    parse_sweep,
+    run_batch,
+    run_one,
+)
+
+__all__ = [
+    "DEFAULT_STORE_DIR",
+    "RESULTS_STORE_ENV",
+    "ResultsStore",
+    "RunRecord",
+    "StoreError",
+    "SweepError",
+    "SweepPoint",
+    "attribute_regression",
+    "diff_records",
+    "parse_sweep",
+    "render_compare",
+    "render_trends",
+    "run_batch",
+    "run_one",
+    "sparkline",
+    "trend_rows",
+]

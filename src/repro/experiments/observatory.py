@@ -1,0 +1,260 @@
+"""The cross-run observatory: diffs, trends, regression attribution.
+
+Once runs live in a :class:`~repro.experiments.store.ResultsStore`,
+three questions become cheap:
+
+* **What changed between these two runs?**  :func:`diff_records`
+  reuses the perf gate's direction-aware comparison
+  (:mod:`repro.bench.regression`) over any two records' metric
+  surfaces, so "regression" means the same thing in CI and in an
+  ad-hoc A/B.
+* **How has this configuration trended?**  :func:`trend_rows` walks
+  the append-only ledger history — every put of every revision — and
+  :func:`render_trends` draws per-metric sparkline trajectories
+  grouped by topology/policy.
+* **Why did it regress?**  :func:`attribute_regression` joins a
+  failing metric back to the offending run's span-derived per-phase
+  self-times and busiest-link breakdown, ranking the phases and links
+  whose deltas explain the movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.regression import DEFAULT_TOLERANCE, GateResult, compare
+from repro.experiments.store import ResultsStore, RunRecord
+
+#: Sparkline glyphs, low to high.
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def diff_records(
+    baseline: RunRecord,
+    current: RunRecord,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> GateResult:
+    """Direction-aware metric diff between two store records.
+
+    Directions come from the records themselves (baseline's tags win
+    on conflict), so chaos records gate on retention and join records
+    on throughput without any global registry knowing about either.
+    """
+    directions = dict(current.directions)
+    directions.update(baseline.directions)
+    return compare(
+        baseline.metrics,
+        current.metrics,
+        tolerance=tolerance,
+        directions=directions,
+    )
+
+
+def render_compare(
+    baseline: RunRecord,
+    current: RunRecord,
+    result: GateResult,
+) -> str:
+    """The ``repro experiments compare`` report."""
+    lines = [
+        f"baseline : {baseline.run_id}  ({_describe(baseline)})",
+        f"current  : {current.run_id}  ({_describe(current)})",
+        "",
+        result.render().rstrip("\n"),
+    ]
+    if result.regressions:
+        lines.append("")
+        lines.append(attribute_regression(baseline, current, result))
+    return "\n".join(lines) + "\n"
+
+
+def _describe(record: RunRecord) -> str:
+    parts = [record.kind]
+    for key in ("topology", "policy", "num_gpus", "repro_version"):
+        value = record.meta.get(key)
+        if value is None:
+            value = record.config.get(key)
+        if value is not None:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Regression attribution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Contributor:
+    """One phase or link whose cost moved between two runs."""
+
+    name: str
+    baseline_seconds: float
+    current_seconds: float
+
+    @property
+    def delta(self) -> float:
+        return self.current_seconds - self.baseline_seconds
+
+
+def _phase_deltas(baseline: RunRecord, current: RunRecord) -> list[Contributor]:
+    names = set(baseline.phases) | set(current.phases)
+    out = [
+        Contributor(
+            name=name,
+            baseline_seconds=float(baseline.phases.get(name, 0.0)),
+            current_seconds=float(current.phases.get(name, 0.0)),
+        )
+        for name in names
+    ]
+    return sorted(out, key=lambda c: abs(c.delta), reverse=True)
+
+
+def _link_deltas(baseline: RunRecord, current: RunRecord) -> list[Contributor]:
+    def busy(record: RunRecord) -> dict[str, float]:
+        return {
+            entry["link"]: float(entry.get("busy_seconds", 0.0))
+            for entry in record.links
+        }
+
+    base, cur = busy(baseline), busy(current)
+    out = [
+        Contributor(
+            name=link,
+            baseline_seconds=base.get(link, 0.0),
+            current_seconds=cur.get(link, 0.0),
+        )
+        for link in set(base) | set(cur)
+    ]
+    return sorted(out, key=lambda c: abs(c.delta), reverse=True)
+
+
+def attribute_regression(
+    baseline: RunRecord,
+    current: RunRecord,
+    result: GateResult,
+    top: int = 3,
+) -> str:
+    """Join each regressed metric back to phase / link movement.
+
+    The offending run's span-derived per-phase self-times and
+    busiest-link busy-seconds are diffed against the baseline's; the
+    largest movers are the attribution.  This is the bridge between
+    "the gate failed" and "go look at the drain phase on link X".
+    """
+    lines = ["regression attribution:"]
+    phases = _phase_deltas(baseline, current)
+    links = _link_deltas(baseline, current)
+    for comparison in result.regressions:
+        lines.append(
+            f"  {comparison.name}: {comparison.baseline:.4f} ->"
+            f" {comparison.current:.4f} ({comparison.change:+.1%})"
+        )
+        movers = [c for c in phases if abs(c.delta) > 0][:top]
+        if movers:
+            lines.append("    phase self-time movement:")
+            for contributor in movers:
+                lines.append(
+                    f"      {contributor.name:<24}"
+                    f" {contributor.baseline_seconds * 1e3:9.3f} ->"
+                    f" {contributor.current_seconds * 1e3:9.3f} ms"
+                    f"  ({contributor.delta * 1e3:+.3f} ms)"
+                )
+        movers = [c for c in links if abs(c.delta) > 0][:top]
+        if movers:
+            lines.append("    link busy-time movement:")
+            for contributor in movers:
+                lines.append(
+                    f"      {contributor.name:<28}"
+                    f" {contributor.baseline_seconds * 1e3:9.3f} ->"
+                    f" {contributor.current_seconds * 1e3:9.3f} ms"
+                    f"  ({contributor.delta * 1e3:+.3f} ms)"
+                )
+        if not phases and not links:
+            lines.append(
+                "    (no phase/link breakdown stored for these runs)"
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Trends over the ledger
+# ---------------------------------------------------------------------------
+
+
+def trend_rows(
+    store: ResultsStore,
+    metric: str,
+    kind: str | None = None,
+    topology: str | None = None,
+) -> dict[tuple, list[tuple[int, float]]]:
+    """Metric trajectories over the full ledger history.
+
+    Every ledger line — including superseded revisions of a run ID —
+    contributes one ``(sequence, value)`` sample, keyed by
+    ``(topology, policy, run_id)``.  The append-only ledger is what
+    makes this a *trend*: re-running a configuration adds a new sample
+    instead of erasing the old one.
+    """
+    series: dict[tuple, list[tuple[int, float]]] = {}
+    for entry in store.history():
+        if kind is not None and entry.get("kind") != kind:
+            continue
+        if topology is not None and entry.get("topology") != topology:
+            continue
+        value = entry.get(metric)
+        if value is None:
+            continue
+        key = (
+            entry.get("topology") or "?",
+            entry.get("policy") or "?",
+            entry["run_id"],
+        )
+        series.setdefault(key, []).append((entry["sequence"], float(value)))
+    for samples in series.values():
+        samples.sort()
+    return series
+
+
+def sparkline(values: list[float]) -> str:
+    """A unicode sparkline; constant series render flat."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARKS[3] * len(values)
+    scale = (len(_SPARKS) - 1) / (hi - lo)
+    return "".join(_SPARKS[int((v - lo) * scale)] for v in values)
+
+
+def render_trends(
+    store: ResultsStore,
+    metrics: list[str] | None = None,
+    kind: str | None = None,
+    topology: str | None = None,
+) -> str:
+    """Per-topology trend lines for ``repro experiments report``."""
+    if metrics is None:
+        metrics = ["join.throughput_btps", "shuffle.throughput_gbps"]
+    lines: list[str] = []
+    for metric in metrics:
+        series = trend_rows(store, metric, kind=kind, topology=topology)
+        if not series:
+            continue
+        lines.append(f"{metric}:")
+        for (topo, policy, run_id), samples in sorted(series.items()):
+            values = [value for _, value in samples]
+            label = f"{topo}/{policy}"
+            lines.append(
+                f"  {label:<24} {sparkline(values)}  "
+                f"latest {values[-1]:.4f}"
+                + (
+                    f"  (from {values[0]:.4f}, {len(values)} samples)"
+                    if len(values) > 1
+                    else ""
+                )
+                + f"  [{run_id[:20]}]"
+            )
+    if not lines:
+        return "(no matching runs in the ledger)\n"
+    return "\n".join(lines) + "\n"

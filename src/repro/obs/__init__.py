@@ -27,8 +27,15 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
-from repro.obs.meta import config_hash, run_metadata
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.meta import (
+    RUN_ID_ENV,
+    config_hash,
+    current_run_id,
+    run_id_for,
+    run_metadata,
+    run_scope,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, stable_float
 from repro.obs.spans import (
     PIPELINE_TRACK,
     SIM,
@@ -129,10 +136,15 @@ __all__ = [
     "NullObserver",
     "Observer",
     "PIPELINE_TRACK",
+    "RUN_ID_ENV",
     "SIM",
     "Span",
     "SpanTracer",
     "WALL",
     "config_hash",
+    "current_run_id",
+    "run_id_for",
     "run_metadata",
+    "run_scope",
+    "stable_float",
 ]

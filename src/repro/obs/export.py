@@ -247,22 +247,42 @@ def _label_text(labels: dict) -> str:
 # ---------------------------------------------------------------------------
 
 
+def record_self_time_gauges(observer: "Observer") -> dict[str, float]:
+    """Export per-span exclusive self-times as ``span.*.self_seconds``.
+
+    One gauge per span name (labelled by clock), so metric snapshots —
+    and through them the experiments ledger — carry the span-derived
+    per-phase timing breakdown without shipping the full trace.
+    Returns the wall-clock self-time dict for convenience.
+    """
+    for clock in (WALL, SIM):
+        for name, seconds in observer.spans.self_times(clock=clock).items():
+            observer.metrics.gauge(
+                f"span.{name}.self_seconds", clock=clock
+            ).set(seconds)
+    return observer.spans.self_times(clock=WALL)
+
+
 def summary(observer: "Observer", top: int = 8) -> str:
     """A human-oriented rollup: phase spans, then the busiest metrics."""
     spans = observer.spans
     lines: list[str] = []
     wall = [s for s in spans.spans if s.clock == WALL]
     if wall:
-        lines.append("wall-clock spans (aggregated by name):")
+        lines.append("wall-clock spans (aggregated by name, incl/self):")
         by_name: dict[str, tuple[int, float]] = {}
         for span in wall:
             count, total = by_name.get(span.name, (0, 0.0))
             by_name[span.name] = (count + 1, total + span.duration)
+        self_times = spans.self_times(clock=WALL)
         width = max(len(name) for name in by_name)
         for name, (count, total) in sorted(
             by_name.items(), key=lambda item: item[1][1], reverse=True
         ):
-            lines.append(f"  {name:<{width}}  {total * 1e3:10.2f} ms  x{count}")
+            lines.append(
+                f"  {name:<{width}}  {total * 1e3:10.2f} ms"
+                f"  self {self_times.get(name, 0.0) * 1e3:10.2f} ms  x{count}"
+            )
     sim = [s for s in spans.spans if s.clock == SIM and s.category == "phase"]
     if sim:
         lines.append("simulated phase schedule:")

@@ -14,16 +14,40 @@ re-looking it up per event — instruments are plain objects with an
 single-threaded).
 
 ``snapshot()`` renders everything into plain dicts, ready for JSON
-persistence next to benchmark results.
+persistence next to benchmark results.  Snapshots are *diff-stable*:
+instruments are emitted in sorted order, label dicts are key-sorted,
+and floats are rounded to 12 significant digits so two runs of the
+same deterministic simulation serialize byte-identically and textual
+diffs between ledger records stay readable.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 #: Histograms keep at most this many raw samples for percentiles; the
 #: running count/sum/min/max stay exact beyond it.
 HISTOGRAM_SAMPLE_CAP = 4096
+
+
+def stable_float(value: float) -> float:
+    """Round to 12 significant digits for diff-stable serialization.
+
+    Accumulation order can perturb the last couple of bits of a float
+    sum (e.g. when a parallel run merges in a different order); 12
+    significant digits is far below any metric's meaningful precision
+    but above that noise floor, so snapshots of equivalent runs
+    serialize identically.
+    """
+    if value != value or value in (float("inf"), float("-inf")):
+        return value
+    return float(f"{value:.12g}")
+
+
+def _stable_labels(labels: dict) -> dict:
+    """The label dict re-emitted with sorted keys."""
+    return {key: labels[key] for key in sorted(labels)}
 
 
 @dataclass
@@ -153,7 +177,12 @@ class MetricsRegistry:
         )
 
     def snapshot(self) -> dict:
-        """Everything as plain JSON-ready dicts, grouped by kind."""
+        """Everything as plain JSON-ready dicts, grouped by kind.
+
+        The output is diff-stable: instruments appear in sorted
+        ``(name, labels)`` order, label keys are sorted, and floats are
+        normalized via :func:`stable_float`.
+        """
         out: dict[str, list[dict]] = {"counters": [], "gauges": [], "histograms": []}
         for key, instrument in sorted(
             self._instruments.items(), key=lambda item: item[0]
@@ -164,23 +193,36 @@ class MetricsRegistry:
                 out["histograms"].append(
                     {
                         "name": hist.name,
-                        "labels": hist.labels,
+                        "labels": _stable_labels(hist.labels),
                         "count": hist.count,
-                        "total": hist.total,
-                        "min": hist.vmin if hist.count else 0.0,
-                        "max": hist.vmax if hist.count else 0.0,
-                        "mean": hist.mean,
-                        "p50": hist.percentile(50),
-                        "p95": hist.percentile(95),
-                        "p99": hist.percentile(99),
+                        "total": stable_float(hist.total),
+                        "min": stable_float(hist.vmin if hist.count else 0.0),
+                        "max": stable_float(hist.vmax if hist.count else 0.0),
+                        "mean": stable_float(hist.mean),
+                        "p50": stable_float(hist.percentile(50)),
+                        "p95": stable_float(hist.percentile(95)),
+                        "p99": stable_float(hist.percentile(99)),
                     }
                 )
             else:
                 out[kind + "s"].append(
                     {
                         "name": instrument.name,  # type: ignore[union-attr]
-                        "labels": instrument.labels,  # type: ignore[union-attr]
-                        "value": instrument.value,  # type: ignore[union-attr]
+                        "labels": _stable_labels(
+                            instrument.labels  # type: ignore[union-attr]
+                        ),
+                        "value": stable_float(
+                            instrument.value  # type: ignore[union-attr]
+                        ),
                     }
                 )
         return out
+
+    def to_json(self, indent: int | None = 1) -> str:
+        """The snapshot as canonical JSON (sorted keys, stable floats).
+
+        Two registries holding equal values serialize to the exact same
+        text, so ledger records containing metric snapshots diff
+        cleanly across runs.
+        """
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -245,3 +245,28 @@ class SpanTracer:
 
     def total_duration(self, name: str) -> float:
         return sum(span.duration for span in self.find(name))
+
+    def self_times(self, clock: str | None = None) -> dict[str, float]:
+        """Exclusive (self) seconds per span name.
+
+        A span's self time is its duration minus the duration of its
+        direct children — the time spent *in* that phase rather than in
+        a nested one, which is what inclusive durations hide (a ``join``
+        span always dominates an inclusive ranking even when all its
+        time sits in children).  Aggregated by name; clamped at zero so
+        clock jitter between a parent and its children never reports
+        negative time.  ``clock`` restricts to one time axis.
+        """
+        child_time: dict[int, float] = {}
+        for span in self.spans:
+            if span.parent_id is not None:
+                child_time[span.parent_id] = (
+                    child_time.get(span.parent_id, 0.0) + span.duration
+                )
+        out: dict[str, float] = {}
+        for span in self.spans:
+            if clock is not None and span.clock != clock:
+                continue
+            exclusive = max(0.0, span.duration - child_time.get(span.span_id, 0.0))
+            out[span.name] = out.get(span.name, 0.0) + exclusive
+        return out

@@ -132,3 +132,37 @@ def test_run_gate_with_supplied_metrics(committed_baseline):
     current["shuffle.throughput_gbps"] *= 0.5
     result = regression.run_gate(regression.baseline_path(), current=current)
     assert not result.ok
+
+
+def test_run_gate_from_store(tmp_path):
+    from repro.experiments import ResultsStore, StoreError
+
+    store = ResultsStore(tmp_path / "exp")
+    with pytest.raises(StoreError, match="no 'perf' baseline"):
+        regression.run_gate_from_store(store, current={})
+
+    metrics = {"shuffle.throughput_gbps": 100.0, "custom.metric": 1.0}
+    path = regression.write_baseline(
+        tmp_path / "BENCH_test.json", metrics, {"topology": "tiny"}
+    )
+    record = store.ingest(path)
+    result, baseline_run = regression.run_gate_from_store(
+        store, current=dict(metrics)
+    )
+    assert result.ok
+    assert baseline_run == record.run_id
+
+    # Record-embedded directions win: the baseline tagged custom.metric
+    # as "track", so halving it never gates...
+    degraded = dict(metrics, **{"custom.metric": 0.5})
+    assert regression.run_gate_from_store(store, current=degraded)[0].ok
+    # ...while a gated metric regressing still fails.
+    degraded = dict(metrics, **{"shuffle.throughput_gbps": 50.0})
+    result, _ = regression.run_gate_from_store(store, current=degraded)
+    assert not result.ok
+
+    # An explicit run ID (prefix allowed) selects the baseline record.
+    result, named = regression.run_gate_from_store(
+        store, run_id=record.run_id[:9], current=dict(metrics)
+    )
+    assert named == record.run_id and result.ok

@@ -94,3 +94,29 @@ def test_bench_workload_uses_env_cache_dir(tmp_path, monkeypatch):
     harness.bench_workload((0, 1), real_tuples_per_gpu=1 << 10)
     assert list(tmp_path.glob("workload-*.pkl"))
     harness.bench_workload.cache_clear()
+
+
+def test_run_id_inherited_by_multiprocessing_workers(tmp_path):
+    from repro.obs.meta import run_scope
+
+    # Two work items force the Pool path; fig04 is analytic, so both
+    # workers stay fast.  The figure artifact and the manifest must both
+    # carry the parent's run ID even though workers may be spawned.
+    with run_scope("join-cafe0123feed"):
+        bench = run_benchmarks(
+            figures=["fig04", "fig04"], jobs=2, out_dir=tmp_path
+        )
+    assert bench.ok
+    artifact = json.loads((tmp_path / "figure_4.json").read_text())
+    assert artifact["run"]["run_id"] == "join-cafe0123feed"
+    manifest = json.loads((tmp_path / RUN_MANIFEST).read_text())
+    assert manifest["run"]["run_id"] == "join-cafe0123feed"
+
+
+def test_artifacts_unstamped_outside_a_run_scope(tmp_path, monkeypatch):
+    from repro.obs.meta import RUN_ID_ENV
+
+    monkeypatch.delenv(RUN_ID_ENV, raising=False)
+    run_benchmarks(figures=["fig04"], jobs=1, out_dir=tmp_path)
+    artifact = json.loads((tmp_path / "figure_4.json").read_text())
+    assert "run_id" not in artifact["run"]

@@ -1,0 +1,111 @@
+"""Observatory: direction-aware diffs, attribution, trend lines."""
+
+from repro.experiments.observatory import (
+    attribute_regression,
+    diff_records,
+    render_compare,
+    render_trends,
+    sparkline,
+    trend_rows,
+)
+from repro.experiments.store import ResultsStore, RunRecord
+
+
+def make_record(throughput, elapsed_ms=1.0, seed=42, *, phases=None,
+                links=None) -> RunRecord:
+    return RunRecord.build(
+        "join",
+        config={"topology": "dgx1", "policy": "adaptive", "seed": seed},
+        metrics={
+            "join.throughput_btps": throughput,
+            "shuffle.elapsed_ms": elapsed_ms,
+            "shuffle.average_hops": 1.0,
+        },
+        directions={
+            "join.throughput_btps": "higher",
+            "shuffle.elapsed_ms": "lower",
+            "shuffle.average_hops": "track",
+        },
+        meta={"topology": "dgx1", "policy": "adaptive", "num_gpus": 8},
+        phases=phases or {},
+        links=links or [],
+    )
+
+
+def test_diff_records_is_direction_aware():
+    baseline = make_record(throughput=10.0, elapsed_ms=1.0)
+    # Throughput down 20% regresses; elapsed down 20% improves.
+    current = make_record(throughput=8.0, elapsed_ms=0.8, seed=7)
+    result = diff_records(baseline, current, tolerance=0.10)
+    assert not result.ok
+    assert [c.name for c in result.regressions] == ["join.throughput_btps"]
+    # Track metrics never gate, even when they move.
+    hops = next(c for c in result.comparisons
+                if c.name == "shuffle.average_hops")
+    assert not hops.regressed(0.10)
+
+
+def test_diff_records_within_tolerance_passes():
+    baseline = make_record(throughput=10.0)
+    current = make_record(throughput=9.5, seed=7)  # -5% < 10% band
+    assert diff_records(baseline, current).ok
+
+
+def test_attribution_names_moved_phases_and_links():
+    baseline = make_record(
+        10.0,
+        phases={"probe": 0.010, "build": 0.005},
+        links=[{"link": "NVLINK 0<->1", "busy_seconds": 0.002}],
+    )
+    current = make_record(
+        8.0, seed=7,
+        phases={"probe": 0.025, "build": 0.005},
+        links=[{"link": "NVLINK 0<->1", "busy_seconds": 0.009}],
+    )
+    result = diff_records(baseline, current)
+    text = attribute_regression(baseline, current, result)
+    assert "join.throughput_btps" in text
+    assert "probe" in text and "build" not in text  # only movers listed
+    assert "NVLINK 0<->1" in text
+
+
+def test_render_compare_includes_attribution_only_on_regression():
+    baseline = make_record(10.0, phases={"probe": 0.01})
+    good = make_record(10.0)
+    bad = make_record(5.0, seed=7, phases={"probe": 0.05})
+    assert "attribution" not in render_compare(
+        baseline, good, diff_records(baseline, good))
+    report = render_compare(baseline, bad, diff_records(baseline, bad))
+    assert "regression attribution:" in report
+    assert report.startswith("baseline : join-")
+
+
+def test_trend_rows_use_full_ledger_history(tmp_path):
+    store = ResultsStore(tmp_path / "exp")
+    for throughput in (10.0, 11.0, 12.0):
+        store.put(make_record(throughput))  # same ID, three revisions
+    series = trend_rows(store, "join.throughput_btps")
+    ((key, samples),) = series.items()
+    assert key[0] == "dgx1" and key[1] == "adaptive"
+    assert [value for _, value in samples] == [10.0, 11.0, 12.0]
+    # Filters narrow the history.
+    assert trend_rows(store, "join.throughput_btps", topology="dgx2") == {}
+    assert trend_rows(store, "join.throughput_btps", kind="chaos") == {}
+
+
+def test_sparkline_shape():
+    assert sparkline([]) == ""
+    assert sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+    line = sparkline([0.0, 0.5, 1.0])
+    assert line[0] == "▁" and line[-1] == "█"
+
+
+def test_render_trends(tmp_path):
+    store = ResultsStore(tmp_path / "exp")
+    store.put(make_record(10.0))
+    store.put(make_record(12.0))
+    text = render_trends(store, metrics=["join.throughput_btps"])
+    assert "join.throughput_btps:" in text
+    assert "dgx1/adaptive" in text
+    assert "latest 12.0000" in text and "2 samples" in text
+    assert render_trends(store, metrics=["no.such.metric"]).startswith("(no")

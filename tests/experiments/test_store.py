@@ -1,0 +1,186 @@
+"""ResultsStore: deterministic IDs, round-trips, ledger semantics."""
+
+import json
+
+import pytest
+
+from repro.experiments.store import (
+    ResultsStore,
+    RunRecord,
+    StoreError,
+    chaos_record,
+)
+from repro.obs.meta import run_id_for
+
+
+def make_record(policy="adaptive", throughput=17.5, **extras) -> RunRecord:
+    config = {"topology": "dgx1", "policy": policy, "scale": 8}
+    return RunRecord.build(
+        "join",
+        config=config,
+        metrics={"join.throughput_btps": throughput, "join.total_time_ms": 1.25},
+        directions={
+            "join.throughput_btps": "higher",
+            "join.total_time_ms": "lower",
+        },
+        meta={"topology": "dgx1", "policy": policy, "num_gpus": 8},
+        **extras,
+    )
+
+
+def test_run_id_is_deterministic_across_builds():
+    a = make_record()
+    b = make_record()
+    assert a.run_id == b.run_id
+    assert a.run_id == run_id_for("join", a.config)
+    assert a.run_id.startswith("join-")
+    # A different config is a different experiment.
+    assert make_record(policy="direct").run_id != a.run_id
+
+
+def test_record_round_trips_exactly():
+    record = make_record(
+        phases={"probe": 0.0123456789012345},
+        links=[{"link": "NVLINK 0<->1", "busy_seconds": 0.5}],
+        telemetry={"digest_match": True},
+    )
+    clone = RunRecord.from_dict(json.loads(record.to_json()))
+    assert clone.to_dict() == record.to_dict()
+    assert clone.to_json() == record.to_json()
+
+
+def test_to_json_is_diff_stable():
+    record = make_record()
+    # Same content serialized twice is byte-identical, keys sorted.
+    assert record.to_json() == record.to_json()
+    payload = json.loads(record.to_json())
+    assert list(payload) == sorted(payload)
+
+
+def test_put_assigns_sequence_and_bumps_revision(tmp_path):
+    store = ResultsStore(tmp_path / "exp")
+    first = store.put(make_record())
+    other = store.put(make_record(policy="direct"))
+    assert (first.sequence, first.revision) == (1, 1)
+    assert (other.sequence, other.revision) == (2, 1)
+    # Re-running the same configuration keeps the ID, bumps revision.
+    again = store.put(make_record(throughput=18.0))
+    assert again.run_id == first.run_id
+    assert (again.sequence, again.revision) == (3, 2)
+    assert len(store) == 2
+    assert store.get(first.run_id).metrics["join.throughput_btps"] == 18.0
+
+
+def test_history_keeps_superseded_revisions(tmp_path):
+    store = ResultsStore(tmp_path / "exp")
+    store.put(make_record(throughput=10.0))
+    store.put(make_record(throughput=12.0))
+    history = store.history()
+    assert [entry["join.throughput_btps"] for entry in history] == [10.0, 12.0]
+    assert len(store.index()) == 1  # index keeps the last line per ID
+
+
+def test_get_resolves_unambiguous_prefix(tmp_path):
+    store = ResultsStore(tmp_path / "exp")
+    record = store.put(make_record())
+    assert store.get(record.run_id[:9]).run_id == record.run_id
+    with pytest.raises(StoreError, match="no run"):
+        store.get("nope-000000")
+    store.put(make_record(policy="direct"))
+    with pytest.raises(StoreError, match="ambiguous"):
+        store.get("join-")
+
+
+def test_select_filters_and_latest(tmp_path):
+    store = ResultsStore(tmp_path / "exp")
+    store.put(make_record(policy="adaptive"))
+    store.put(make_record(policy="direct"))
+    assert len(store.select(kind="join")) == 2
+    (entry,) = store.select(policy="direct")
+    assert entry["policy"] == "direct"
+    assert store.latest(kind="join").meta["policy"] == "direct"
+    assert store.latest(kind="perf") is None
+
+
+def test_rebuild_recovers_deleted_ledger(tmp_path):
+    store = ResultsStore(tmp_path / "exp")
+    a = store.put(make_record())
+    b = store.put(make_record(policy="direct"))
+    store.ledger_path.unlink()
+    assert store.rebuild() == 2
+    assert store.run_ids() == [a.run_id, b.run_id]
+
+
+def test_history_skips_torn_tail_line(tmp_path):
+    store = ResultsStore(tmp_path / "exp")
+    store.put(make_record())
+    with store.ledger_path.open("a") as ledger:
+        ledger.write('{"run_id": "join-tr')  # torn write
+    assert len(store.history()) == 1
+
+
+def test_run_id_rejects_path_separators():
+    with pytest.raises(StoreError, match="path separators"):
+        RunRecord(run_id="../evil", kind="join")
+
+
+def test_ingest_bench_baseline(tmp_path):
+    baseline = tmp_path / "BENCH_test.json"
+    baseline.write_text(json.dumps({
+        "run": {"topology": "dgx1", "num_gpus": 8, "repro_version": "1.4.0"},
+        "directions": {"join.throughput_btps": "higher"},
+        "metrics": {"join.throughput_btps": 17.5},
+    }))
+    store = ResultsStore(tmp_path / "exp")
+    record = store.ingest(baseline)
+    assert record.kind == "perf"
+    assert record.metrics == {"join.throughput_btps": 17.5}
+    assert record.directions == {"join.throughput_btps": "higher"}
+    # Re-ingesting the same file is the same run, one revision later.
+    assert store.ingest(baseline).run_id == record.run_id
+    assert store.get(record.run_id).revision == 2
+
+
+def test_ingest_chaos_report(tmp_path):
+    report = tmp_path / "chaos_report.json"
+    report.write_text(json.dumps({
+        "plan": {"name": "nvlink-brownout"},
+        "run": {"topology": "dgx1", "num_gpus": 8, "seed": 7,
+                "policy": "adaptive"},
+        "throughput_retention": 0.84,
+        "healthy_seconds": 1.0,
+        "faulted_seconds": 1.2,
+        "correct": True,
+        "healthy_digest": "abc",
+        "faulted_digest": "abc",
+        "counters": {"packet_reroutes": 3},
+    }))
+    store = ResultsStore(tmp_path / "exp")
+    record = store.ingest(report)
+    assert record.kind == "chaos"
+    assert record.metrics["chaos.throughput_retention"] == 0.84
+    assert record.metrics["chaos.packet_reroutes"] == 3.0
+    assert record.directions["chaos.packet_reroutes"] == "track"
+    assert record.telemetry["digest_match"] is True
+    assert record.config["scenario"] == "nvlink-brownout"
+
+
+def test_ingest_rejects_unknown_shape(tmp_path):
+    path = tmp_path / "mystery.json"
+    path.write_text(json.dumps({"hello": "world"}))
+    with pytest.raises(StoreError, match="unrecognized"):
+        ResultsStore(tmp_path / "exp").ingest(path)
+
+
+def test_chaos_record_digest_mismatch():
+    record = chaos_record({
+        "plan": {"name": "gpu-crash"},
+        "throughput_retention": 0.5,
+        "healthy_seconds": 1.0,
+        "faulted_seconds": 2.0,
+        "correct": False,
+        "healthy_digest": "abc",
+        "faulted_digest": "xyz",
+    })
+    assert record.telemetry["digest_match"] is False
+    assert record.metrics["chaos.correct"] == 0.0

@@ -245,3 +245,152 @@ def test_analyze_shuffle_with_chaos(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "fault / recovery events" in out
+
+
+def test_experiments_run_list_compare_report(capsys, tmp_path):
+    import json
+
+    store = str(tmp_path / "exp")
+    # The acceptance sweep, shrunk to test-sized workloads.
+    code = main([
+        "experiments", "run",
+        "--sweep", "topology=dgx1", "policy=adaptive,static", "scale=2",
+        "--tuples-per-gpu", "64K", "--real-tuples", "1K",
+        "--store", store, "--jobs", "1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sweep: 2 point(s)" in out
+    assert "sweep done: 2 ok, 0 failed" in out
+
+    # One self-describing record per point, with full metadata.
+    ledger = tmp_path / "exp" / "ledger.jsonl"
+    lines = [json.loads(l) for l in ledger.read_text().splitlines()]
+    assert len(lines) == 2
+    run_ids = [line["run_id"] for line in lines]
+    for run_id in run_ids:
+        record = json.loads(
+            (tmp_path / "exp" / "runs" / f"{run_id}.json").read_text()
+        )
+        assert record["meta"]["run_id"] == run_id
+        assert record["metrics"]["join.throughput_btps"] > 0
+        assert record["phases"] and record["config"]["topology"] == "dgx1"
+
+    assert main(["experiments", "list", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert all(run_id in out for run_id in run_ids)
+
+    # Identical simulations: the direction-aware diff passes.
+    assert main([
+        "experiments", "compare", run_ids[0], run_ids[1], "--store", store,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "perf gate" in out and "PASS" in out
+    assert "baseline : " in out and "policy=adaptive" in out
+
+    assert main([
+        "experiments", "report", "--store", store,
+        "--metric", "join.throughput_btps",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "join.throughput_btps:" in out and "dgx1/" in out
+
+
+def test_experiments_rerun_is_deterministic(capsys, tmp_path):
+    import json
+
+    store = str(tmp_path / "exp")
+    argv = [
+        "experiments", "run", "--sweep", "policy=adaptive", "scale=2",
+        "--tuples-per-gpu", "64K", "--real-tuples", "1K",
+        "--store", store, "--jobs", "1",
+    ]
+    assert main(argv) == 0 and main(argv) == 0
+    capsys.readouterr()
+    lines = [
+        json.loads(l)
+        for l in (tmp_path / "exp" / "ledger.jsonl").read_text().splitlines()
+    ]
+    # Same configuration, same run ID; the re-run bumps the revision.
+    assert len(lines) == 2
+    assert lines[0]["run_id"] == lines[1]["run_id"]
+    assert [line["revision"] for line in lines] == [1, 2]
+
+
+def test_experiments_compare_flags_regression(capsys, tmp_path):
+    import json
+
+    from repro.experiments import ResultsStore, RunRecord
+
+    store = ResultsStore(tmp_path / "exp")
+    def record(seed, throughput, probe):
+        return RunRecord.build(
+            "join",
+            config={"seed": seed},
+            metrics={"join.throughput_btps": throughput},
+            directions={"join.throughput_btps": "higher"},
+            phases={"probe": probe},
+        )
+    a = store.put(record(1, 10.0, 0.010))
+    b = store.put(record(2, 5.0, 0.050))
+    code = main([
+        "experiments", "compare", a.run_id, b.run_id,
+        "--store", str(tmp_path / "exp"),
+        "--out", str(tmp_path / "report.txt"),
+    ])
+    assert code == 1  # direction-aware: throughput halved
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "regression attribution:" in out and "probe" in out
+    assert "REGRESSION" in (tmp_path / "report.txt").read_text()
+    # Unknown run IDs are a usage error, not a crash.
+    assert main([
+        "experiments", "compare", "join-000000000000", a.run_id,
+        "--store", str(tmp_path / "exp"),
+    ]) == 2
+
+
+def test_experiments_ingest_and_perf_gate_through_store(
+    capsys, tmp_path, monkeypatch
+):
+    from repro.bench import regression
+
+    metrics = {"shuffle.throughput_gbps": 100.0, "arm.mean_regret_us": 10.0}
+    monkeypatch.setattr(
+        regression, "collect_perf_metrics", lambda: dict(metrics)
+    )
+    store = str(tmp_path / "exp")
+    baseline = tmp_path / "BENCH_test.json"
+    assert main(["perf", "--update", "--baseline", str(baseline),
+                 "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "baseline updated" in out and "ledger record" in out
+
+    # The gate reads its baseline through the store.
+    assert main(["perf", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "baseline via store: perf-" in out and "PASS" in out
+    metrics["shuffle.throughput_gbps"] = 80.0  # -20%: must gate
+    assert main(["perf", "--store", store]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+    # An empty store is a clean error, not a traceback.
+    assert main(["perf", "--store", str(tmp_path / "empty")]) == 2
+
+
+def test_chaos_command_writes_store_record(capsys, tmp_path):
+    store = str(tmp_path / "exp")
+    code = main([
+        "chaos", "--preset", "gpu-straggler", "--gpus", "4",
+        "--tuples-per-gpu", "1M", "--real-tuples", "4K",
+        "--store", store,
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ledger record" in out
+    from repro.experiments import ResultsStore
+
+    record = ResultsStore(store).latest(kind="chaos")
+    assert record is not None
+    assert record.config["scenario"] == "gpu-straggler"
+    assert record.metrics["chaos.throughput_retention"] > 0
+    assert record.telemetry["digest_match"] is True

@@ -167,3 +167,32 @@ def test_summary_reports_drops():
 
 def test_summary_empty_observer():
     assert summary(Observer()) == "(no observations recorded)\n"
+
+
+def test_record_self_time_gauges(observed):
+    from repro.obs import SIM, WALL
+    from repro.obs.export import record_self_time_gauges
+
+    wall = record_self_time_gauges(observed)
+    assert set(wall) == {"join", "histogram"}
+    # join's self-time excludes the nested histogram span.
+    join_incl = next(
+        s for s in observed.spans.spans if s.name == "join"
+    ).duration
+    assert 0.0 <= wall["join"] <= join_incl
+    # One gauge per span name, labelled by clock.
+    assert observed.metrics.value(
+        "span.join.self_seconds", clock=WALL
+    ) == pytest.approx(wall["join"])
+    assert observed.metrics.value(
+        "span.transfer.self_seconds", clock=SIM
+    ) == pytest.approx(1.0)
+
+
+def test_summary_shows_exclusive_self_time(observed):
+    text = summary(observed)
+    assert "incl/self" in text
+    join_line = next(
+        line for line in text.splitlines() if line.strip().startswith("join")
+    )
+    assert "self" in join_line

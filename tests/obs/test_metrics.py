@@ -108,3 +108,39 @@ def test_snapshot_shape():
     import json
 
     json.dumps(snap)
+
+
+def test_stable_float_rounds_to_12_significant_digits():
+    from repro.obs.metrics import stable_float
+
+    a = 0.1 + 0.2                    # 0.30000000000000004
+    assert stable_float(a) == 0.3
+    assert stable_float(1234567890123456.0) == 1234567890120000.0
+    assert stable_float(0.0) == 0.0
+    assert stable_float(float("inf")) == float("inf")
+    nan = stable_float(float("nan"))
+    assert nan != nan
+
+
+def test_snapshot_is_diff_stable():
+    # Two registries populated in different orders, with last-bit float
+    # noise, serialize byte-identically.
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("z.last", dst=1, src=0).inc(3)
+    a.gauge("a.first").set(0.1 + 0.2)
+    b.gauge("a.first").set(0.3)
+    b.counter("z.last", src=0, dst=1).inc(3)
+    assert a.to_json() == b.to_json()
+    # Instruments come out sorted by (name, labels), labels key-sorted.
+    snap = a.snapshot()
+    assert [row["name"] for row in snap["gauges"]] == ["a.first"]
+    assert list(snap["counters"][0]["labels"]) == ["dst", "src"]
+
+
+def test_to_json_round_trips_snapshot():
+    import json
+
+    registry = MetricsRegistry()
+    registry.histogram("h").observe(1.0)
+    assert json.loads(registry.to_json()) == registry.snapshot()
+    assert registry.to_json() == registry.to_json()

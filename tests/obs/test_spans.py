@@ -96,3 +96,40 @@ def test_queries_filter_on_every_axis():
     assert tracer.find(clock=WALL)[0].name == "y"
     assert tracer.total_duration("x") == pytest.approx(3.0)
     assert tracer.span_names() == {"x", "y"}
+
+
+def test_self_times_subtract_direct_children():
+    tracer = SpanTracer()
+    tracer.add_span("join", 0.0, 10.0)
+    parent = tracer.spans[-1]
+    tracer.add_span("shuffle", 1.0, 5.0, parent_id=parent.span_id)
+    tracer.add_span("probe", 5.0, 8.0, parent_id=parent.span_id)
+    self_times = tracer.self_times()
+    assert self_times["join"] == pytest.approx(3.0)  # 10 - (4 + 3)
+    assert self_times["shuffle"] == pytest.approx(4.0)  # leaf = inclusive
+    assert self_times["probe"] == pytest.approx(3.0)
+
+
+def test_self_times_aggregate_by_name_and_clamp():
+    tracer = SpanTracer()
+    tracer.add_span("phase", 0.0, 2.0)
+    tracer.add_span("phase", 3.0, 4.0)
+    assert tracer.self_times() == {"phase": pytest.approx(3.0)}
+    # Overlapping children longer than the parent clamp to zero, not
+    # negative (can happen with wall-clock jitter on nested spans).
+    tracer = SpanTracer()
+    tracer.add_span("outer", 0.0, 1.0)
+    outer = tracer.spans[-1]
+    tracer.add_span("inner", 0.0, 1.0, parent_id=outer.span_id)
+    tracer.add_span("inner2", 0.0, 1.0, parent_id=outer.span_id)
+    assert tracer.self_times()["outer"] == 0.0
+
+
+def test_self_times_filter_by_clock():
+    tracer = SpanTracer()
+    tracer.add_span("sim.work", 0.0, 5.0)  # SIM clock
+    with tracer.span("wall.work"):
+        pass
+    assert set(tracer.self_times(clock=SIM)) == {"sim.work"}
+    assert set(tracer.self_times(clock=WALL)) == {"wall.work"}
+    assert set(tracer.self_times()) == {"sim.work", "wall.work"}
