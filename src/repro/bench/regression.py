@@ -45,11 +45,21 @@ METRIC_DIRECTIONS: dict[str, str] = {
     "shuffle.bisection_utilization_ab": "track",
     "shuffle.bisection_utilization_ba": "track",
     "arm.mean_regret_us": "lower",
+    "arm.p50_regret_us": "lower",
     "arm.p95_regret_us": "lower",
+    "arm.p99_regret_us": "lower",
     "arm.optimal_share": "higher",
     "arm.direct_mean_regret_us": "track",
     "join.throughput_btps": "higher",
     "perf.self_time_seconds": "lower",
+    "conformance.count": "track",
+    "conformance.drift_ratio": "lower",
+    "conformance.residual_mean_us": "track",
+    "conformance.residual_p50_us": "track",
+    "conformance.residual_p95_us": "track",
+    "conformance.residual_p99_us": "track",
+    "conformance.abs_residual_p95_us": "lower",
+    "conformance.underprediction_share": "track",
 }
 
 #: Per-metric tolerance overrides.  Wall-clock self-time is the one
@@ -58,6 +68,11 @@ METRIC_DIRECTIONS: dict[str, str] = {
 #: the gate, tight enough to catch a real hot-path regression.
 METRIC_TOLERANCES: dict[str, float] = {
     "perf.self_time_seconds": 0.50,
+    # Tail-regret percentiles interpolate between few decision samples,
+    # so tiny decision-order shifts move them more than the mean; give
+    # the tails a wider (but still gating) band than the default 10%.
+    "arm.p50_regret_us": 0.25,
+    "arm.p99_regret_us": 0.25,
 }
 
 MB = 1024 * 1024
@@ -77,8 +92,9 @@ def skewed_flows(gpu_ids: tuple[int, ...], hot_gpu: int | None = None,
     return flows
 
 
-def _shuffle_with_audit(machine, gpu_ids, policy):
+def _shuffle_with_audit(machine, gpu_ids, policy, conformance=None):
     observer = Observer()
+    observer.conformance = conformance
     sampler = LinkTimelineSampler()
     simulator = ShuffleSimulator(machine, gpu_ids, observer=observer,
                                  sampler=sampler)
@@ -109,8 +125,11 @@ def collect_perf_metrics(
     machine = dgx1_topology()
     gpu_ids = tuple(machine.gpu_ids[:num_gpus])
 
+    from repro.obs.conformance import ConformanceProbe
+
+    conformance = ConformanceProbe()
     adaptive_report, adaptive_audit = _shuffle_with_audit(
-        machine, gpu_ids, AdaptiveArmPolicy()
+        machine, gpu_ids, AdaptiveArmPolicy(), conformance=conformance
     )
     _, direct_audit = _shuffle_with_audit(machine, gpu_ids, DirectPolicy())
 
@@ -132,11 +151,28 @@ def collect_perf_metrics(
         "shuffle.bisection_utilization_ab": adaptive_report.bisection_utilization_ab,
         "shuffle.bisection_utilization_ba": adaptive_report.bisection_utilization_ba,
         "arm.mean_regret_us": adaptive_audit.mean_regret * 1e6,
+        "arm.p50_regret_us": adaptive_audit.percentile_regret(50) * 1e6,
         "arm.p95_regret_us": adaptive_audit.percentile_regret(95) * 1e6,
+        "arm.p99_regret_us": adaptive_audit.percentile_regret(99) * 1e6,
         "arm.optimal_share": adaptive_audit.optimal_share,
         "arm.direct_mean_regret_us": direct_audit.mean_regret * 1e6,
         "join.throughput_btps": join_result.throughput / 1e9,
     }
+    # Cost-model conformance over the canonical adaptive shuffle: gated
+    # on drift_ratio / |residual| p95, tracked on the residual shape.
+    drift = conformance.summary()
+    metrics.update(
+        {
+            "conformance.count": float(drift["count"]),
+            "conformance.drift_ratio": drift["drift_ratio"],
+            "conformance.residual_mean_us": drift["residual_mean_us"],
+            "conformance.residual_p50_us": drift["residual_p50_us"],
+            "conformance.residual_p95_us": drift["residual_p95_us"],
+            "conformance.residual_p99_us": drift["residual_p99_us"],
+            "conformance.abs_residual_p95_us": drift["abs_residual_p95_us"],
+            "conformance.underprediction_share": drift["underprediction_share"],
+        }
+    )
     if include_self_time:
         metrics["perf.self_time_seconds"] = time.perf_counter() - started
     return metrics

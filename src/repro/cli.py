@@ -31,13 +31,20 @@ Commands:
   manifest; ``--gate`` chains the perf-regression gate afterwards.
 * ``figure`` — regenerate a paper figure (fig01 .. fig14).
 * ``tpch`` — run TPC-H queries on a chosen engine.
+* ``top`` — live terminal dashboard tailing an NDJSON telemetry
+  stream written by ``--stream`` (phase bar, link heatmap, alerts).
 
 Sizes accept suffixes: ``512M``, ``2G``, ``64K``.
+
+Progress/notice output goes through the ``repro`` logger to stderr
+(``--log-level``, ``--quiet``), so stdout stays clean for reports and
+for ``--stream -`` NDJSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Callable
 
@@ -79,6 +86,8 @@ POLICIES: dict[str, Callable] = {
 
 ALGORITHMS = {"mg-join": MGJoin, "dprj": DPRJJoin, "umj": UMJJoin}
 
+log = logging.getLogger("repro.cli")
+
 _SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3, "b": 1024**3}
 
 
@@ -104,6 +113,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MG-Join (SIGMOD 2021) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="stderr verbosity for progress/notice output (default: info)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="shorthand for --log-level warning",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -133,6 +151,11 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument(
         "--trace-csv", metavar="PATH", default=None,
         help="write the merged spans+metrics CSV of the run",
+    )
+    join.add_argument(
+        "--stream", metavar="PATH", default=None,
+        help="write the live NDJSON telemetry stream here ('-' = stdout;"
+        " tail it with 'repro top')",
     )
 
     shuffle = commands.add_parser("shuffle", help="run one distribution step")
@@ -205,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--out-dir", metavar="DIR", default=None,
         help="also write heatmap.csv/json, bottlenecks.json and regret.csv",
+    )
+    analyze.add_argument(
+        "--conformance", action="store_true",
+        help="instrument every routed transfer with its predicted"
+        " T_R/D_R cost and print the cost-model conformance section",
     )
 
     from repro.faults.plan import PRESET_NAMES
@@ -280,6 +308,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="also commit the chaos report to this results store"
         " (see 'repro experiments')",
     )
+    chaos.add_argument(
+        "--stream", metavar="PATH", default=None,
+        help="write the faulted run's NDJSON telemetry stream"
+        " ('-' = stdout; tail it with 'repro top')",
+    )
+    chaos.add_argument(
+        "--alerts", metavar="PATH", default=None,
+        help="write alerts fired over the stream here as JSON lines"
+        " (fired alerts also land in the report/store record)",
+    )
+    chaos.add_argument(
+        "--alert-rules", metavar="PATH", default=None,
+        help="JSON list of alert rules overriding the built-in defaults",
+    )
 
     perf = commands.add_parser(
         "perf", help="gate current perf metrics against a BENCH baseline"
@@ -351,6 +393,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp_run.add_argument(
         "--progress", choices=("human", "jsonl", "quiet"), default="human",
         help="live progress events: one-line-per-point, JSON lines, or off",
+    )
+    exp_run.add_argument(
+        "--stream", metavar="PATH", default=None,
+        help="mirror sweep progress into an NDJSON telemetry stream"
+        " ('-' = stdout; tail it with 'repro top')",
     )
 
     exp_list = exp_sub.add_parser("list", help="query the run ledger")
@@ -432,11 +479,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tpch.add_argument("--scale-factor", type=float, default=250.0)
     tpch.add_argument("--real-scale-factor", type=float, default=0.01)
+
+    top = commands.add_parser(
+        "top", help="live dashboard over an NDJSON telemetry stream file"
+    )
+    top.add_argument(
+        "path", metavar="STREAM",
+        help="stream file written by a --stream run (may not exist yet)",
+    )
+    top.add_argument(
+        "--follow", action="store_true",
+        help="keep tailing until run.finished / sweep.finished arrives"
+        " (default: render the current state once and exit)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="poll interval with --follow (default 0.5)",
+    )
+
+    # Accept the global logging flags after the subcommand too
+    # (`repro join --quiet` as well as `repro --quiet join`).  The
+    # SUPPRESS default keeps an unsupplied subcommand flag from
+    # clobbering the value the main parser already set.
+    for sub in list(commands.choices.values()) + list(exp_sub.choices.values()):
+        sub.add_argument(
+            "--log-level", choices=("debug", "info", "warning", "error"),
+            default=argparse.SUPPRESS, help=argparse.SUPPRESS,
+        )
+        sub.add_argument(
+            "--quiet", action="store_true",
+            default=argparse.SUPPRESS, help=argparse.SUPPRESS,
+        )
     return parser
+
+
+def _configure_logging(args) -> None:
+    """Route the ``repro`` logger to *current* stderr at the chosen level.
+
+    Reconfigured per ``main()`` call (handlers replaced, not stacked) so
+    repeated in-process invocations — tests, notebooks — never double
+    log lines or write to a stale, captured stderr.
+    """
+    level = "warning" if args.quiet else args.log_level
+    logger = logging.getLogger("repro")
+    for old in list(logger.handlers):
+        logger.removeHandler(old)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(getattr(logging, level.upper()))
+    logger.propagate = False
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
     handler = {
         "topology": _cmd_topology,
         "join": _cmd_join,
@@ -449,6 +546,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": _cmd_experiments,
         "figure": _cmd_figure,
         "tpch": _cmd_tpch,
+        "top": _cmd_top,
     }[args.command]
     try:
         return handler(args)
@@ -505,10 +603,16 @@ def _cmd_join(args) -> int:
         )
     )
     observer = None
-    if args.trace or args.trace_csv:
+    if args.trace or args.trace_csv or args.stream:
         from repro.obs import Observer
 
         observer = Observer()
+    stream = None
+    if args.stream:
+        from repro.obs.stream import open_stream
+
+        stream = open_stream(args.stream)
+        observer.stream = stream
     algorithm_cls = ALGORITHMS[args.algorithm]
     if args.algorithm == "umj":
         algorithm = algorithm_cls(machine, observer=observer)
@@ -516,9 +620,24 @@ def _cmd_join(args) -> int:
         algorithm = algorithm_cls(
             machine, policy=POLICIES[args.policy](), observer=observer
         )
-    result = algorithm.run(workload)
-    metadata = None
-    if observer is not None:
+    try:
+        result = algorithm.run(workload)
+    finally:
+        if stream is not None:
+            stream.close()
+    # With the stream on stdout the human report moves to the logger so
+    # the NDJSON stays machine-parseable.
+    say = log.info if args.stream == "-" else print
+    say(f"algorithm        : {result.algorithm}")
+    say(f"gpus             : {result.num_gpus}")
+    say(f"logical tuples   : {result.logical_tuples:,}")
+    say(f"matches (logical): {result.matches_logical:,}")
+    say(f"total time       : {result.total_time * 1e3:.2f} ms")
+    say(f"throughput       : {result.throughput / 1e9:.2f} B tuples/s")
+    say(f"cycles / tuple   : {result.cycles_per_tuple:.1f}")
+    for phase, seconds in result.breakdown.as_dict().items():
+        say(f"  {phase:22s}: {seconds * 1e3:9.2f} ms")
+    if args.trace or args.trace_csv:
         from repro.obs import run_metadata
 
         metadata = run_metadata(
@@ -528,16 +647,6 @@ def _cmd_join(args) -> int:
             algorithm=args.algorithm,
             policy=args.policy,
         )
-    print(f"algorithm        : {result.algorithm}")
-    print(f"gpus             : {result.num_gpus}")
-    print(f"logical tuples   : {result.logical_tuples:,}")
-    print(f"matches (logical): {result.matches_logical:,}")
-    print(f"total time       : {result.total_time * 1e3:.2f} ms")
-    print(f"throughput       : {result.throughput / 1e9:.2f} B tuples/s")
-    print(f"cycles / tuple   : {result.cycles_per_tuple:.1f}")
-    for phase, seconds in result.breakdown.as_dict().items():
-        print(f"  {phase:22s}: {seconds * 1e3:9.2f} ms")
-    if observer is not None:
         _export_observation(observer, args.trace, args.trace_csv, metadata)
     return 0
 
@@ -667,6 +776,10 @@ def _cmd_analyze(args) -> int:
     machine = MACHINES[args.machine]()
     gpu_ids = _select_gpus(machine, args.gpus)
     observer = Observer()
+    if args.conformance:
+        from repro.obs.conformance import ConformanceProbe
+
+        observer.conformance = ConformanceProbe()
     sampler = LinkTimelineSampler()
     if args.mode == "join":
         workload = generate_workload(
@@ -750,6 +863,9 @@ def _cmd_analyze(args) -> int:
     print(render_bottleneck_report(bottlenecks, top_links=min(5, args.top)))
     print()
     print(render_regret_table(regret, top=args.top))
+    if observer.conformance is not None:
+        print()
+        print("\n".join(observer.conformance.render()))
     fault_events = observer.spans.find_instants(category="fault")
     if fault_events:
         print()
@@ -847,6 +963,8 @@ def _cmd_chaos(args) -> int:
         if args.checkpoint_interval is not None
         else None
     )
+    stream = None
+    alert_engine = None
     try:
         scenario = (
             FaultPlan.from_file(args.plan).validate(machine, gpu_ids)
@@ -862,6 +980,26 @@ def _cmd_chaos(args) -> int:
             )
             retry = RetryPolicy(**{**base, **cli_retry})
         observer = Observer()
+        if args.stream or args.alerts or args.alert_rules:
+            from repro.obs.alerts import AlertEngine, load_rules
+            from repro.obs.conformance import ConformanceProbe
+            from repro.obs.stream import TelemetryStream, open_stream
+
+            # No --stream file still gets a subscriber-only bus so the
+            # alert engine can listen; conformance rides along so the
+            # residual-drift rule has events to chew on.
+            stream = (
+                open_stream(args.stream) if args.stream
+                else TelemetryStream(None)
+            )
+            rules = (
+                load_rules(args.alert_rules)
+                if args.alert_rules is not None
+                else None
+            )
+            alert_engine = AlertEngine(stream, rules, path=args.alerts)
+            observer.stream = stream
+            observer.conformance = ConformanceProbe()
         report = run_chaos(
             machine,
             workload,
@@ -876,13 +1014,31 @@ def _cmd_chaos(args) -> int:
     except (FaultPlanError, RecoveryError, SimulationError) as exc:
         print(f"chaos cannot run this scenario: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if alert_engine is not None:
+            alert_engine.close()
+        if stream is not None:
+            stream.close()
+    # With the stream on stdout the human report moves to the logger so
+    # the NDJSON stays machine-parseable.
+    say = log.info if args.stream == "-" else print
     for line in report.summary_lines():
-        print(line)
+        say(line)
+    if alert_engine is not None:
+        fired = alert_engine.summary()
+        severities = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(fired["by_severity"].items())
+        )
+        say(
+            f"alerts fired   : {fired['fired']}"
+            + (f" ({severities})" if severities else "")
+        )
     ok = report.correct
     if not ok:
-        print("FAIL: faulted run corrupted the join result")
+        say("FAIL: faulted run corrupted the join result")
     if args.expect_loss and report.faulted.recovery is None:
-        print(
+        say(
             "FAIL: --expect-loss was given but no GPU died; join-level "
             "recovery never engaged"
         )
@@ -891,7 +1047,7 @@ def _cmd_chaos(args) -> int:
         args.min_retention is not None
         and report.throughput_retention < args.min_retention
     ):
-        print(
+        say(
             f"FAIL: retention {report.throughput_retention:.3f} below the "
             f"--min-retention floor {args.min_retention:.3f}"
         )
@@ -956,6 +1112,8 @@ def _cmd_chaos(args) -> int:
             ),
             "run": dict(metadata),
         }
+        if alert_engine is not None:
+            payload["alerts"] = alert_engine.fired
         if args.out_dir is not None:
             out_dir = pathlib.Path(args.out_dir)
             out_dir.mkdir(parents=True, exist_ok=True)
@@ -963,12 +1121,12 @@ def _cmd_chaos(args) -> int:
                 trace_path = str(out_dir / "chaos_trace.json")
             report_path = out_dir / "chaos_report.json"
             report_path.write_text(json.dumps(payload, indent=1))
-            print(f"chaos report   : {report_path}")
+            say(f"chaos report   : {report_path}")
         if args.store is not None:
             from repro.experiments.store import chaos_record
 
             record = _resolve_store(args.store).put(chaos_record(payload))
-            print(f"ledger record  : {record.run_id} (rev {record.revision})")
+            say(f"ledger record  : {record.run_id} (rev {record.revision})")
     if trace_path is not None:
         _export_observation(observer, trace_path, None, metadata)
     return 0 if ok else 1
@@ -1054,31 +1212,30 @@ def _cmd_experiments_run(args) -> int:
         raise SystemExit(str(exc)) from exc
     store = _resolve_store(args.store)
 
+    # Human progress rides the logger (stderr) so stdout stays free for
+    # --progress jsonl and --stream - machine output.
     def emit_human(event: dict) -> None:
         kind = event["event"]
         if kind == "sweep_started":
-            print(
-                f"sweep: {event['points']} point(s), {event['jobs']} job(s)"
-                f" -> {event['store']}"
+            log.info(
+                "sweep: %d point(s), %d job(s) -> %s",
+                event["points"], event["jobs"], event["store"],
             )
         elif kind == "point_finished":
             throughput = event.get("throughput_btps")
             rate = f"  {throughput:.3f} Btps" if throughput is not None else ""
-            print(
-                f"  [{event['completed']}/{event['points']}]"
-                f" {event['label']:<32} {event['run_id']}"
-                f"  {event.get('seconds') or 0.0:.2f}s{rate}"
+            log.info(
+                "  [%d/%d] %-32s %s  %.2fs%s",
+                event["completed"], event["points"], event["label"],
+                event["run_id"], event.get("seconds") or 0.0, rate,
             )
         elif kind == "point_failed":
-            print(
-                f"  FAILED {event['label']}: {event['error']}",
-                file=sys.stderr,
-            )
+            log.error("  FAILED %s: %s", event["label"], event["error"])
         elif kind == "sweep_finished":
-            print(
-                f"sweep done: {event['points'] - event['failed']} ok,"
-                f" {event['failed']} failed,"
-                f" wall {event['wall_seconds']:.1f}s"
+            log.info(
+                "sweep done: %d ok, %d failed, wall %.1fs",
+                event["points"] - event["failed"], event["failed"],
+                event["wall_seconds"],
             )
 
     progress = {
@@ -1086,6 +1243,11 @@ def _cmd_experiments_run(args) -> int:
         "jsonl": lambda event: print(json.dumps(event, sort_keys=True)),
         "quiet": None,
     }[args.progress]
+    stream = None
+    if args.stream:
+        from repro.obs.stream import open_stream
+
+        stream = open_stream(args.stream)
     try:
         records = run_batch(
             points,
@@ -1093,11 +1255,17 @@ def _cmd_experiments_run(args) -> int:
             jobs=args.jobs,
             workload_cache=args.workload_cache,
             progress=progress,
+            stream=stream,
         )
     except SweepError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 1
-    print(f"ledger: {store.ledger_path} ({len(records)} record(s) written)")
+    finally:
+        if stream is not None:
+            stream.close()
+    log.info(
+        "ledger: %s (%d record(s) written)", store.ledger_path, len(records)
+    )
     return 0
 
 
@@ -1234,6 +1402,18 @@ def _cmd_figure(args) -> int:
     if args.out:
         path = save_figure_result(result, args.out)
         print(f"\nsaved to {path}")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    """Render (or --follow) the live dashboard for a stream file."""
+    from repro.obs.top import follow
+
+    follow(
+        args.path,
+        interval=args.interval,
+        iterations=None if args.follow else 1,
+    )
     return 0
 
 

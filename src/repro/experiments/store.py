@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import warnings
 from dataclasses import dataclass, field
 
 from repro.obs.meta import run_id_for, run_metadata
@@ -224,12 +225,21 @@ class ResultsStore:
 
         Returns the number of records indexed.  Run files are the
         source of truth; this recovers from a deleted or corrupt index.
+        A truncated or otherwise unreadable run file (e.g. a write torn
+        by a crash — the very situation rebuild exists for) is skipped
+        with a warning instead of aborting the whole recovery.
         """
-        records = sorted(
-            (RunRecord.from_dict(json.loads(path.read_text()))
-             for path in self.runs_dir.glob("*.json")),
-            key=lambda record: (record.sequence, record.run_id),
-        )
+        records = []
+        for path in self.runs_dir.glob("*.json"):
+            try:
+                records.append(RunRecord.from_dict(json.loads(path.read_text())))
+            except (json.JSONDecodeError, StoreError, KeyError, TypeError,
+                    ValueError) as exc:
+                warnings.warn(
+                    f"rebuild: skipping corrupt run file {path.name}: {exc}",
+                    stacklevel=2,
+                )
+        records.sort(key=lambda record: (record.sequence, record.run_id))
         self.root.mkdir(parents=True, exist_ok=True)
         with self.ledger_path.open("w") as ledger:
             for record in records:
@@ -372,6 +382,15 @@ def chaos_record(payload: dict) -> RunRecord:
     telemetry["digest_match"] = (
         payload.get("healthy_digest") == payload.get("faulted_digest")
     )
+    alerts = payload.get("alerts")
+    if alerts is not None:
+        # Fired SLO alerts ride along so the observatory can trend them.
+        telemetry["alerts"] = alerts
+        metrics["chaos.alerts_fired"] = float(len(alerts))
+        directions["chaos.alerts_fired"] = "lower"
+        critical = sum(1 for alert in alerts if alert.get("severity") == "critical")
+        metrics["chaos.alerts_critical"] = float(critical)
+        directions["chaos.alerts_critical"] = "lower"
     meta = dict(payload.get("run", {}))
     config = {
         "scenario": payload.get("plan", {}).get("name"),

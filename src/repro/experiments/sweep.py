@@ -374,6 +374,7 @@ def run_batch(
     jobs: int | None = None,
     workload_cache: str | None = None,
     progress: Callable[[dict], None] | None = None,
+    stream=None,
 ) -> list[RunRecord]:
     """Fan ``points`` over a process pool and commit records in order
     of completion.
@@ -383,12 +384,36 @@ def run_batch(
     per point (with run ID, label, wall seconds and headline metric),
     then ``sweep_finished``.  Raises :class:`SweepError` at the end if
     any point failed, after committing every point that succeeded.
+
+    ``stream`` (a :class:`repro.obs.stream.TelemetryStream`) mirrors the
+    same progress as wall-clock ``sweep.*`` NDJSON events, so a sweep
+    can be watched live with ``repro top``.
     """
     if not points:
         raise SweepError("run_batch needs at least one point")
     for point in points:
         validate_point(point)
-    emit = progress or (lambda event: None)
+    base_emit = progress or (lambda event: None)
+    _STREAM_TYPES = {
+        "sweep_started": "sweep.started",
+        "point_finished": "sweep.point",
+        "point_failed": "sweep.failed",
+        "sweep_finished": "sweep.finished",
+    }
+
+    def emit(event: dict) -> None:
+        base_emit(event)
+        if stream is not None:
+            fields = {k: v for k, v in event.items() if k != "event"}
+            if event["event"] == "sweep_finished":
+                fields["finished"] = event["points"] - event["failed"]
+            stream.emit(
+                _STREAM_TYPES[event["event"]],
+                t=stream.wall(),
+                clock="wall",
+                **fields,
+            )
+            stream.flush()
     if jobs is None:
         jobs = min(len(points), os.cpu_count() or 1)
     if jobs < 1:

@@ -231,3 +231,11 @@ class FaultInjector:
             category="fault",
             **self._attrs(event),
         )
+        if observer.stream is not None:
+            observer.stream.emit(
+                "fault",
+                t=self._engine.now,
+                clock="sim",
+                action=name,
+                **self._attrs(event),
+            )

@@ -324,6 +324,7 @@ PRESET_NAMES = (
     "nvlink-brownout",
     "gpu-straggler",
     "link-flap",
+    "link-blackout",
     "nvlink-cut",
     "gpu-crash",
     "gpu-crash-x2",
@@ -425,6 +426,20 @@ def build_preset(
                 )
             )
             at += blackout + rng.uniform(0.08, 0.15) * horizon
+    elif name == "link-blackout":
+        # One sustained outage on a single NVLink: down for ~30% of the
+        # run, then restored.  The canonical telemetry-smoke scenario —
+        # one clean link.down/link.up pair and one critical alert.
+        src, dst = rng.choice(_nvlink_pairs(machine, targets))
+        events.append(
+            FaultEvent(
+                kind=FaultKind.LINK_BLACKOUT,
+                at=0.2 * horizon,
+                src=src,
+                dst=dst,
+                duration=0.3 * horizon,
+            )
+        )
     elif name == "nvlink-cut":
         src, dst = rng.choice(_nvlink_pairs(machine, targets))
         events.append(

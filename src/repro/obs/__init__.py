@@ -46,18 +46,64 @@ from repro.obs.spans import (
 )
 
 
+#: Pipeline phases forwarded to an attached telemetry stream.  Only
+#: these well-known names stream, so phase events stay bounded even if
+#: callers open many ad-hoc spans.
+PHASE_NAMES = frozenset(
+    {
+        "join",
+        "histogram",
+        "assignment",
+        "global_partition",
+        "shuffle",
+        "local_partition",
+        "probe",
+    }
+)
+
+
 class Observer:
-    """Bundles one run's span tracer and metrics registry."""
+    """Bundles one run's span tracer and metrics registry.
+
+    Two optional live surfaces can be attached post-construction:
+
+    * ``stream`` — a :class:`repro.obs.stream.TelemetryStream`; when
+      set, pipeline-phase spans and simulator hooks emit NDJSON events
+      in real time.
+    * ``conformance`` — a
+      :class:`repro.obs.conformance.ConformanceProbe`; when set, the
+      shuffle simulator instruments every routed transfer with its
+      predicted ``T_R``/``D_R``.
+
+    Both default to ``None`` and every hook guards on that, so a run
+    without them pays nothing.
+    """
 
     enabled = True
 
     def __init__(self, max_records: int = 2_000_000) -> None:
         self.spans = SpanTracer(max_records=max_records)
         self.metrics = MetricsRegistry()
+        self.stream = None
+        self.conformance = None
 
     # Convenience pass-throughs so instrumented code reads naturally.
 
+    @contextmanager
+    def _streamed_span(self, name: str, track: str, attrs: dict):
+        import time as _time
+
+        stream = self.stream
+        stream.emit("phase", t=_time.time(), clock="wall", name=name, state="begin")
+        try:
+            with self.spans.span(name, track=track, **attrs) as span:
+                yield span
+        finally:
+            stream.emit("phase", t=_time.time(), clock="wall", name=name, state="end")
+
     def span(self, name: str, track: str = PIPELINE_TRACK, **attrs):
+        if self.stream is not None and name in PHASE_NAMES:
+            return self._streamed_span(name, track, attrs)
         return self.spans.span(name, track=track, **attrs)
 
     def add_span(self, name: str, start: float, end: float, **kwargs):
@@ -100,6 +146,8 @@ class NullObserver:
     enabled = False
     spans = None
     metrics = None
+    stream = None
+    conformance = None
 
     _instrument = _NullInstrument()
 
@@ -135,6 +183,7 @@ __all__ = [
     "NULL_OBSERVER",
     "NullObserver",
     "Observer",
+    "PHASE_NAMES",
     "PIPELINE_TRACK",
     "RUN_ID_ENV",
     "SIM",

@@ -182,21 +182,20 @@ class LinkTimelineSampler:
         for channel in links.values():
             channel.sampler = self
         if self.sample_interval is not None:
-            engine.schedule(self.sample_interval, self._probe)
+            engine.every(self.sample_interval, self._probe)
 
     def _probe(self) -> None:
-        """Periodic engine hook: sample every link, then reschedule.
+        """Periodic engine hook: sample every link.
 
-        Rescheduling only happens while other events are pending, so
-        the probe chain dies with the simulation instead of running the
-        heap forever.
+        Scheduled through :meth:`Engine.every`, whose housekeeping
+        accounting stops the chain once only periodic observers remain
+        — a raw ``engine.pending`` check here would deadlock against
+        any *other* periodic observer (e.g. the telemetry stream's link
+        pump), each seeing the other as pending work.
         """
         self.probe_count += 1
         for channel in self._links.values():
             self.record_queue(channel)
-        assert self.engine is not None
-        if self.engine.pending:
-            self.engine.schedule(self.sample_interval, self._probe)
 
     # -- recording (called from linksim / gpusim hot paths) ----------------
 

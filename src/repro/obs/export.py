@@ -113,6 +113,38 @@ def chrome_trace_events(spans: SpanTracer) -> list[dict]:
     return tids.metadata_events() + events
 
 
+def gauge_counter_events(metrics) -> list[dict]:
+    """Render every gauge as a Chrome counter ("C") event.
+
+    Gauges are end-of-run snapshot values, so each one becomes a single
+    counter sample at ts 0 on the wall-clock process — Perfetto draws
+    it as a flat counter track, and the value survives round-trips
+    through trace files without digging into ``otherData``.
+    """
+    from repro.obs.metrics import Gauge
+
+    events = []
+    for instrument in sorted(
+        metrics.instruments(), key=lambda i: (i.name, sorted(i.labels.items()))
+    ):
+        if not isinstance(instrument, Gauge):
+            continue
+        label = ",".join(f"{k}={v}" for k, v in sorted(instrument.labels.items()))
+        name = f"{instrument.name}[{label}]" if label else instrument.name
+        events.append(
+            {
+                "name": name,
+                "cat": "metric",
+                "ph": "C",
+                "ts": 0,
+                "pid": 1,
+                "tid": 0,
+                "args": {instrument.name: instrument.value},
+            }
+        )
+    return events
+
+
 def to_chrome_trace(observer: "Observer", metadata: dict | None = None) -> dict:
     """The full Chrome trace object for one observed run.
 
@@ -128,7 +160,8 @@ def to_chrome_trace(observer: "Observer", metadata: dict | None = None) -> dict:
     if metadata is not None:
         other["run"] = dict(metadata)
     return {
-        "traceEvents": chrome_trace_events(observer.spans),
+        "traceEvents": chrome_trace_events(observer.spans)
+        + gauge_counter_events(observer.metrics),
         "displayTimeUnit": "ms",
         "otherData": other,
     }
@@ -184,6 +217,15 @@ def validate_chrome_trace(trace: object) -> list[str]:
                 problems.append(f"{where}: negative dur")
         if phase == "i" and event.get("s") not in ("g", "p", "t", None):
             problems.append(f"{where}: bad instant scope {event.get('s')!r}")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: counter event needs non-empty args")
+            elif not all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in args.values()
+            ):
+                problems.append(f"{where}: counter args must be numeric")
         if "args" in event and not isinstance(event["args"], dict):
             problems.append(f"{where}: args must be an object")
     return problems

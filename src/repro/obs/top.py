@@ -1,0 +1,237 @@
+"""``repro top`` — live terminal view over a telemetry stream file.
+
+Tails an NDJSON stream (see :mod:`repro.obs.stream`), folds events into
+a small model, and renders a text dashboard: phase progress, a per-link
+utilization heatmap, the alert feed, and run counters.  Pure text — no
+curses dependency — so it works in CI logs and dumb terminals alike.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+
+__all__ = ["TopModel", "render", "follow"]
+
+_PHASES = (
+    "histogram",
+    "assignment",
+    "global_partition",
+    "shuffle",
+    "local_partition",
+    "probe",
+)
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+class TopModel:
+    """Folds stream events into the state ``render`` draws."""
+
+    def __init__(self, max_alerts: int = 12) -> None:
+        self.run: dict = {}
+        self.finished: dict | None = None
+        self.phases: dict[str, str] = {}
+        self.current_phase: str | None = None
+        self.links: dict[int, dict] = {}
+        self.link_history: dict[int, deque] = {}
+        self.alerts: deque = deque(maxlen=max_alerts)
+        self.sim_time = 0.0
+        self.counters = {"retries": 0, "fallbacks": 0, "recovered": 0, "faults": 0}
+        self.sweep: dict = {}
+        self.conformance: dict | None = None
+        self.events = 0
+        self.invalid = 0
+
+    def ingest_line(self, line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            self.invalid += 1
+            return
+        if isinstance(event, dict):
+            self.ingest(event)
+
+    def ingest(self, event: dict) -> None:
+        self.events += 1
+        etype = event.get("type")
+        if event.get("clock") == "sim":
+            t = event.get("t")
+            if isinstance(t, (int, float)):
+                self.sim_time = max(self.sim_time, float(t))
+        if etype == "run.started":
+            self.run = event
+        elif etype == "run.finished":
+            self.finished = event
+        elif etype == "phase":
+            name, state = event.get("name"), event.get("state")
+            if isinstance(name, str):
+                self.phases[name] = state
+                if state == "begin":
+                    self.current_phase = name
+                elif self.current_phase == name:
+                    self.current_phase = None
+        elif etype == "links":
+            for sample in event.get("samples", ()):
+                link = sample.get("link")
+                if link is None:
+                    continue
+                self.links[link] = sample
+                self.link_history.setdefault(link, deque(maxlen=24)).append(
+                    sample.get("util", 0.0)
+                )
+        elif etype == "alert":
+            self.alerts.append(event)
+        elif etype == "fault":
+            self.counters["faults"] += 1
+        elif etype == "packet.retry":
+            self.counters["retries"] += 1
+        elif etype == "packet.fallback":
+            self.counters["fallbacks"] += 1
+        elif etype == "packet.recovered":
+            self.counters["recovered"] += 1
+        elif etype and etype.startswith("sweep."):
+            self.sweep[etype] = event
+        elif etype == "conformance":
+            self.conformance = event
+
+
+def _phase_bar(model: TopModel) -> str:
+    cells = []
+    for phase in _PHASES:
+        state = model.phases.get(phase)
+        if state == "end":
+            cells.append("█")
+        elif state == "begin":
+            cells.append("▶")
+        else:
+            cells.append("·")
+    done = sum(1 for p in _PHASES if model.phases.get(p) == "end")
+    label = model.current_phase or ("done" if model.finished else "idle")
+    return f"[{''.join(cells)}] {done}/{len(_PHASES)} {label}"
+
+
+def _sparkline(history: "deque | None") -> str:
+    if not history:
+        return ""
+    return "".join(
+        _BLOCKS[min(int(value * (len(_BLOCKS) - 1) + 0.5), len(_BLOCKS) - 1)]
+        for value in history
+    )
+
+
+def render(model: TopModel, width: int = 72) -> str:
+    """Render the dashboard as one multi-line string."""
+    lines = []
+    title = "repro top"
+    if model.run:
+        title += (
+            f" — {model.run.get('gpus', '?')} GPUs,"
+            f" {model.run.get('links', '?')} links"
+        )
+    lines.append(title)
+    lines.append("=" * min(width, max(len(title), 24)))
+    lines.append(f"sim clock {model.sim_time * 1e3:9.3f} ms   phases {_phase_bar(model)}")
+    if model.finished:
+        lines.append(f"run finished: elapsed {model.finished.get('elapsed', 0) * 1e3:.3f} ms")
+    lines.append("")
+    lines.append("links (util over last sample, history sparkline)")
+    ranked = sorted(
+        model.links.items(), key=lambda item: -item[1].get("util", 0.0)
+    )[:10]
+    if not ranked:
+        lines.append("  (no link samples yet)")
+    for link_id, sample in ranked:
+        util = sample.get("util", 0.0)
+        bar_len = int(util * 20 + 0.5)
+        state = "" if sample.get("up", True) else " DOWN"
+        lines.append(
+            f"  link {link_id:>4} |{'#' * bar_len:<20}| {util * 100:5.1f}%"
+            f" q={sample.get('queue', 0.0) * 1e6:8.2f}us"
+            f" {_sparkline(model.link_history.get(link_id))}{state}"
+        )
+    lines.append("")
+    counts = model.counters
+    lines.append(
+        f"faults={counts['faults']} retries={counts['retries']}"
+        f" fallbacks={counts['fallbacks']} recovered={counts['recovered']}"
+        f" events={model.events}"
+        + (f" invalid={model.invalid}" if model.invalid else "")
+    )
+    if model.conformance:
+        lines.append(
+            "conformance: drift {:.1f}% over {} transfers (p95 residual {:+.1f}us)".format(
+                model.conformance.get("drift_ratio", 0.0) * 100,
+                model.conformance.get("count", 0),
+                model.conformance.get("residual_p95_us", 0.0),
+            )
+        )
+    if model.sweep:
+        finished = model.sweep.get("sweep.finished")
+        point = model.sweep.get("sweep.point")
+        if finished:
+            lines.append(
+                f"sweep: finished={finished.get('finished')}"
+                f" failed={finished.get('failed', 0)}"
+            )
+        elif point:
+            lines.append(
+                f"sweep: {point.get('completed', '?')}/{point.get('points', '?')}"
+                f" last={point.get('run_id')}"
+            )
+    lines.append("")
+    lines.append("alerts")
+    if not model.alerts:
+        lines.append("  (none)")
+    for alert in list(model.alerts)[-8:]:
+        lines.append(
+            f"  [{alert.get('severity', '?'):>8}] {alert.get('rule')}:"
+            f" {alert.get('message', '')}"
+        )
+    return "\n".join(lines)
+
+
+def follow(
+    path: "str | Path",
+    *,
+    interval: float = 0.5,
+    iterations: "int | None" = None,
+    out=None,
+) -> TopModel:
+    """Tail ``path``, re-rendering after each poll.
+
+    ``iterations`` bounds the number of polls (``None`` = until the
+    stream's ``run.finished``/``sweep.finished`` event arrives).  Used
+    with ``iterations=1`` for the one-shot ``repro top`` mode.
+    """
+    import sys
+
+    out = out or sys.stdout
+    model = TopModel()
+    target = Path(path)
+    offset = 0
+    polls = 0
+    while True:
+        if target.exists():
+            with target.open("r", encoding="utf-8") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+                offset = handle.tell()
+            for line in chunk.splitlines():
+                model.ingest_line(line)
+        polls += 1
+        if iterations is not None and polls >= iterations:
+            break
+        out.write("\x1b[2J\x1b[H" + render(model) + "\n")
+        out.flush()
+        if model.finished or "sweep.finished" in model.sweep:
+            break
+        time.sleep(interval)
+    out.write(render(model) + "\n")
+    out.flush()
+    return model

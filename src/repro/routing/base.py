@@ -39,6 +39,9 @@ class RoutingContext:
     observer: "Observer | None" = None
     #: Time-resolved link/flow sampler; ``None`` = off.
     sampler: "LinkTimelineSampler | None" = None
+    #: Cost-model conformance probe (predicted T_R/D_R vs actuals);
+    #: ``None`` = off.  See :mod:`repro.obs.conformance`.
+    conformance: "object | None" = None
 
     def queue_delay_seen_by(self, viewer_gpu: int, spec: LinkSpec) -> float:
         """Queue delay of ``spec`` as GPU ``viewer_gpu`` perceives it.

@@ -143,6 +143,7 @@ class Engine:
         self._running = False
         self._fast = fast
         self._event_pool: list[SimEvent] = []
+        self._housekeeping = 0
         self._events_scheduled = 0
         self._ready_dispatches = 0
         self._heap_dispatches = 0
@@ -195,6 +196,36 @@ class Engine:
             heapq.heappush(
                 self._heap, (self._now + delay, next(self._sequence), callback, args)
             )
+
+    def every(self, interval: float, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` every ``interval`` seconds while real work remains.
+
+        This is the sanctioned way to attach periodic *housekeeping*
+        (telemetry pumps, timeline probes) to a run.  Each registered
+        chain counts itself in ``_housekeeping``; a tick reschedules
+        only while ``pending`` exceeds the number of outstanding
+        housekeeping ticks.  A raw ``if engine.pending: reschedule``
+        probe cannot tell another probe from real work, so two such
+        probes would keep each other — and the run — alive forever;
+        chains registered here all terminate once only housekeeping
+        remains on the clock.
+
+        Callbacks must be read-only with respect to simulation state:
+        ticks consume sequence numbers but never reorder or retime real
+        events, so results are unchanged by observation.
+        """
+        if interval <= 0:
+            raise SimulationError(f"every() interval must be positive ({interval})")
+
+        def tick() -> None:
+            self._housekeeping -= 1
+            callback()
+            if self.pending > self._housekeeping:
+                self._housekeeping += 1
+                self.schedule(interval, tick)
+
+        self._housekeeping += 1
+        self.schedule(interval, tick)
 
     def _defer(self, callback: Callable, event: SimEvent | None) -> None:
         """Run ``callback(event)`` at the current instant.

@@ -278,9 +278,20 @@ class GpuNode:
                         len(batch)
                     )
                     metrics.counter("shuffle.batches", gpu=self.gpu_id).inc()
+                conformance = self.context.conformance
+                prediction = None
+                if conformance is not None:
+                    # Price the chosen route exactly as this GPU
+                    # perceives it at injection; matched against the
+                    # realized latency in _deliver.
+                    prediction = conformance.predict(
+                        self.context, self.gpu_id, route, self.packet_size
+                    )
                 for packet in batch:
                     packet.route = route
                     packet.created_at = self.engine.now
+                    if prediction is not None:
+                        conformance.register(packet, prediction)
                     self._commit_route(packet)
                     self.enqueue(packet)
                     self.stats.injected_packets += 1
@@ -690,6 +701,8 @@ class GpuNode:
             )
         if self.context.sampler is not None:
             self.context.sampler.record_delivery(packet, self.engine.now)
+        if self.context.conformance is not None:
+            self.context.conformance.record_delivery(packet, self.engine.now)
         slot = packet.held_buffer
         if self.consume_rate is None:
             if slot is not None:

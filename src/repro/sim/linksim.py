@@ -108,11 +108,28 @@ class LinkChannel:
         if self.up:
             self.up = False
             self._outage_epoch += 1
+            if self.observer is not None and self.observer.stream is not None:
+                self.observer.stream.emit(
+                    "link.down",
+                    t=self.engine.now,
+                    clock="sim",
+                    link=self.spec.link_id,
+                    label=str(self.spec),
+                )
 
     def bring_up(self) -> None:
         """End an outage; whatever queued during it was lost, not saved."""
+        was_down = not self.up
         self.up = True
         self._free_at = min(self._free_at, self.engine.now)
+        if was_down and self.observer is not None and self.observer.stream is not None:
+            self.observer.stream.emit(
+                "link.up",
+                t=self.engine.now,
+                clock="sim",
+                link=self.spec.link_id,
+                label=str(self.spec),
+            )
 
     def transmit(self, nbytes: int) -> SimEvent:
         """Enqueue a transfer; the event triggers at completion.

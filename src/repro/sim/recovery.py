@@ -130,11 +130,30 @@ class RecoveryManager:
                 route=str(packet.route),
                 rerouted=rerouted,
             )
+            if self.observer.stream is not None:
+                self.observer.stream.emit(
+                    "packet.retry",
+                    t=self.engine.now,
+                    clock="sim",
+                    src=packet.flow_src,
+                    dst=packet.flow_dst,
+                    attempt=packet.attempts,
+                    reason=reason,
+                    rerouted=rerouted,
+                )
 
     def record_recovered(self, packet: "Packet") -> None:
         self.packets_recovered += 1
         if self.observer is not None:
             self.observer.metrics.counter("faults.packets_recovered").inc()
+            if self.observer.stream is not None:
+                self.observer.stream.emit(
+                    "packet.recovered",
+                    t=self.engine.now,
+                    clock="sim",
+                    src=packet.flow_src,
+                    dst=packet.flow_dst,
+                )
 
     # ------------------------------------------------------------------
     # Host-staged fallback (graceful degradation)
@@ -184,6 +203,16 @@ class RecoveryManager:
                 reason=reason,
                 penalty_seconds=finish - now,
             )
+            if self.observer.stream is not None:
+                self.observer.stream.emit(
+                    "packet.fallback",
+                    t=now,
+                    clock="sim",
+                    src=packet.flow_src,
+                    dst=packet.flow_dst,
+                    reason=reason,
+                    penalty_seconds=finish - now,
+                )
 
 
 @dataclass(frozen=True)

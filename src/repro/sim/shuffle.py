@@ -199,6 +199,25 @@ class ShuffleSimulator:
             allowed_gpus=relay_ids,
             max_intermediates=config.max_intermediates,
         )
+        conformance = (
+            self.observer.conformance if self.observer is not None else None
+        )
+        if conformance is not None and not conformance.policy:
+            conformance.policy = policy.name
+        stream = self.observer.stream if self.observer is not None else None
+        if stream is not None:
+            from repro.obs.stream import LinkPump
+
+            stream.emit(
+                "run.started",
+                t=engine.now,
+                clock="sim",
+                gpus=len(self.gpu_ids),
+                links=len(links),
+                policy=policy.name,
+                faulted=self.faults is not None,
+            )
+            LinkPump(stream, engine, links)
         context = RoutingContext(
             engine=engine,
             machine=self.machine,
@@ -208,6 +227,7 @@ class ShuffleSimulator:
             num_gpus=len(self.gpu_ids),
             observer=self.observer,
             sampler=self.sampler,
+            conformance=conformance,
         )
         recovery: RecoveryManager | None = None
         if self.faults is not None:
@@ -276,6 +296,16 @@ class ShuffleSimulator:
             if outgoing:
                 nodes[gpu_id].start_flows(outgoing)
         engine.run()
+        if stream is not None:
+            stream.emit("kernel", t=engine.now, clock="sim", stats=engine.stats)
+            if conformance is not None:
+                stream.emit(
+                    "conformance", t=engine.now, clock="sim", **conformance.summary()
+                )
+            stream.emit("run.finished", t=engine.now, clock="sim", elapsed=engine.now)
+            stream.flush()
+        if conformance is not None and self.observer is not None:
+            conformance.export_metrics(self.observer)
         report = self._build_report(
             engine, policy, flows, links, nodes, delivered, board, coordinator
         )

@@ -111,6 +111,20 @@ def test_rebuild_recovers_deleted_ledger(tmp_path):
     assert store.run_ids() == [a.run_id, b.run_id]
 
 
+def test_rebuild_skips_corrupt_run_files_with_warning(tmp_path):
+    """A torn/corrupt run file must not abort recovery of the rest."""
+    store = ResultsStore(tmp_path / "exp")
+    a = store.put(make_record())
+    b = store.put(make_record(policy="direct"))
+    truncated = store.runs_dir / f"{a.run_id}.json"
+    truncated.write_text(truncated.read_text()[:40])  # torn write
+    (store.runs_dir / "stray.json").write_text('{"kind": "join"}')  # no run_id
+    store.ledger_path.unlink()
+    with pytest.warns(UserWarning, match="skipping corrupt run file"):
+        assert store.rebuild() == 1
+    assert store.run_ids() == [b.run_id]
+
+
 def test_history_skips_torn_tail_line(tmp_path):
     store = ResultsStore(tmp_path / "exp")
     store.put(make_record())

@@ -259,9 +259,11 @@ def test_experiments_run_list_compare_report(capsys, tmp_path):
         "--store", store, "--jobs", "1",
     ])
     assert code == 0
-    out = capsys.readouterr().out
-    assert "sweep: 2 point(s)" in out
-    assert "sweep done: 2 ok, 0 failed" in out
+    # Progress is notice output: it rides the logger on stderr so stdout
+    # stays clean for --progress jsonl / --stream - machine output.
+    err = capsys.readouterr().err
+    assert "sweep: 2 point(s)" in err
+    assert "sweep done: 2 ok, 0 failed" in err
 
     # One self-describing record per point, with full metadata.
     ledger = tmp_path / "exp" / "ledger.jsonl"

@@ -7,6 +7,7 @@ import pytest
 from repro.obs import Observer
 from repro.obs.export import (
     chrome_trace_events,
+    gauge_counter_events,
     summary,
     to_chrome_trace,
     to_csv,
@@ -70,7 +71,11 @@ def test_write_chrome_trace_roundtrip(observed, tmp_path):
     path = write_chrome_trace(observed, tmp_path / "trace.json")
     loaded = json.loads(path.read_text())
     assert validate_chrome_trace(loaded) == []
-    assert len(loaded["traceEvents"]) == len(chrome_trace_events(observed.spans))
+    expected = (
+        len(chrome_trace_events(observed.spans))
+        + len(gauge_counter_events(observed.metrics))
+    )
+    assert len(loaded["traceEvents"]) == expected
 
 
 @pytest.mark.parametrize(
@@ -119,6 +124,75 @@ def test_validate_chrome_trace_flags_problems(trace, fragment):
     problems = validate_chrome_trace(trace)
     assert problems
     assert any(fragment in p for p in problems)
+
+
+def test_instant_events_roundtrip_through_write(observed, tmp_path):
+    path = write_chrome_trace(observed, tmp_path / "trace.json")
+    loaded = json.loads(path.read_text())
+    assert validate_chrome_trace(loaded) == []
+    instants = [e for e in loaded["traceEvents"] if e["ph"] == "i"]
+    (decision,) = instants
+    assert decision["name"] == "arm.decision"
+    assert decision["ts"] == pytest.approx(1.5e6)
+    assert decision["s"] == "t"
+    assert decision["args"]["T_R"] == 0.5
+
+
+def test_gauge_counter_events(observed):
+    events = gauge_counter_events(observed.metrics)
+    (gauge,) = events
+    assert gauge["ph"] == "C"
+    assert gauge["name"] == "shuffle.elapsed_seconds"
+    assert gauge["args"] == {"shuffle.elapsed_seconds": 2.0}
+    assert gauge["pid"] == 1 and gauge["tid"] == 0
+
+
+def test_gauge_counter_events_fold_labels_into_name():
+    observer = Observer()
+    observer.gauge("link.util", link="0->1", kind="nvlink").set(0.5)
+    (gauge,) = gauge_counter_events(observer.metrics)
+    assert gauge["name"] == "link.util[kind=nvlink,link=0->1]"
+    assert gauge["args"]["link.util"] == 0.5
+
+
+def test_gauge_counters_roundtrip_through_write(observed, tmp_path):
+    path = write_chrome_trace(observed, tmp_path / "trace.json")
+    loaded = json.loads(path.read_text())
+    assert validate_chrome_trace(loaded) == []
+    counters = [e for e in loaded["traceEvents"] if e["ph"] == "C"]
+    names = {e["name"] for e in counters}
+    assert "shuffle.elapsed_seconds" in names
+    # record_self_time_gauges is not implied: only explicit gauges ride.
+    assert all(isinstance(v, (int, float)) for e in counters
+               for v in e["args"].values())
+
+
+@pytest.mark.parametrize(
+    "counter, fragment",
+    [
+        (
+            {"name": "g", "ph": "C", "ts": 0, "pid": 1, "tid": 0},
+            "non-empty args",
+        ),
+        (
+            {"name": "g", "ph": "C", "ts": 0, "pid": 1, "tid": 0, "args": {}},
+            "non-empty args",
+        ),
+        (
+            {"name": "g", "ph": "C", "ts": 0, "pid": 1, "tid": 0,
+             "args": {"g": "high"}},
+            "must be numeric",
+        ),
+        (
+            {"name": "g", "ph": "C", "ts": 0, "pid": 1, "tid": 0,
+             "args": {"g": True}},
+            "must be numeric",
+        ),
+    ],
+)
+def test_validate_chrome_trace_flags_bad_counters(counter, fragment):
+    problems = validate_chrome_trace({"traceEvents": [counter]})
+    assert any(fragment in p for p in problems), problems
 
 
 def test_metadata_events_need_no_timestamp():

@@ -37,6 +37,9 @@ class _StubEngine:
     def schedule(self, delay, callback):
         self.scheduled.append((delay, callback))
 
+    def every(self, interval, callback):
+        self.scheduled.append((interval, callback))
+
 
 def _bound_sampler(interval=None):
     sampler = LinkTimelineSampler(sample_interval=interval)

@@ -1,0 +1,135 @@
+"""The ``repro top`` dashboard: event folding, rendering, tailing."""
+
+import io
+import json
+
+from repro.obs.top import TopModel, follow, render
+
+
+def event(etype, t=0.0, clock="sim", **fields):
+    return dict({"v": 1, "type": etype, "t": t, "clock": clock}, **fields)
+
+
+def links_event(t, samples):
+    return event(
+        "links", t=t, samples=samples,
+        max_util=max((s["util"] for s in samples), default=0.0),
+        max_queue=0.0,
+    )
+
+
+class TestTopModel:
+    def test_ingest_line_tolerates_garbage(self):
+        model = TopModel()
+        model.ingest_line("")
+        model.ingest_line("not json{")
+        model.ingest_line(json.dumps(event("run.started", gpus=8)))
+        assert model.events == 1
+        assert model.invalid == 1
+        assert model.run["gpus"] == 8
+
+    def test_phase_tracking(self):
+        model = TopModel()
+        model.ingest(event("phase", clock="wall", name="shuffle", state="begin"))
+        assert model.current_phase == "shuffle"
+        model.ingest(event("phase", clock="wall", name="shuffle", state="end"))
+        assert model.current_phase is None
+        assert model.phases["shuffle"] == "end"
+
+    def test_sim_clock_is_max_over_sim_events(self):
+        model = TopModel()
+        model.ingest(links_event(0.002, []))
+        model.ingest(event("phase", t=99.0, clock="wall", name="x", state="begin"))
+        assert model.sim_time == 0.002  # wall events don't advance it
+
+    def test_link_history_builds_sparkline_window(self):
+        model = TopModel()
+        for t in range(30):
+            model.ingest(
+                links_event(t * 1e-3, [{"link": 5, "util": 0.5, "queue": 0.0}])
+            )
+        assert len(model.link_history[5]) == 24  # bounded window
+
+    def test_counters_and_alerts(self):
+        model = TopModel(max_alerts=2)
+        model.ingest(event("fault", action="fault.inject", kind="link-blackout"))
+        model.ingest(event("packet.retry", reason="down"))
+        model.ingest(event("packet.fallback", reason="budget"))
+        model.ingest(event("packet.recovered"))
+        for index in range(3):
+            model.ingest(event("alert", rule=f"r{index}", severity="warning"))
+        assert model.counters == {
+            "retries": 1, "fallbacks": 1, "recovered": 1, "faults": 1,
+        }
+        assert [a["rule"] for a in model.alerts] == ["r1", "r2"]  # bounded
+
+
+class TestRender:
+    def test_render_empty_model(self):
+        text = render(TopModel())
+        assert "repro top" in text
+        assert "(no link samples yet)" in text
+        assert "(none)" in text
+
+    def test_render_full_dashboard(self):
+        model = TopModel()
+        model.ingest(event("run.started", gpus=8, links=58))
+        model.ingest(event("phase", clock="wall", name="shuffle", state="begin"))
+        model.ingest(
+            links_event(
+                0.001,
+                [{"link": 3, "util": 0.9, "queue": 1e-4, "up": False}],
+            )
+        )
+        model.ingest(event("alert", rule="link-saturation", severity="warning",
+                           message="hot"))
+        model.ingest(event("conformance", count=10, drift_ratio=0.25,
+                           residual_p95_us=12.0))
+        model.ingest(event("run.finished", t=0.005, elapsed=0.005))
+        text = render(model)
+        assert "8 GPUs" in text
+        assert "link    3" in text and "DOWN" in text
+        assert "link-saturation" in text
+        assert "drift 25.0%" in text
+        assert "run finished" in text
+
+    def test_render_sweep_progress(self):
+        model = TopModel()
+        model.ingest(event("sweep.started", clock="wall", points=4))
+        model.ingest(event("sweep.point", clock="wall", run_id="join-abc",
+                           completed=2, points=4))
+        assert "sweep: 2/4" in render(model)
+        model.ingest(event("sweep.finished", clock="wall", finished=4, failed=0))
+        assert "sweep: finished=4" in render(model)
+
+
+class TestFollow:
+    def test_one_shot_renders_final_state(self, tmp_path):
+        path = tmp_path / "stream.ndjson"
+        path.write_text(
+            "\n".join(
+                json.dumps(e)
+                for e in (
+                    event("run.started", gpus=2),
+                    event("run.finished", t=1.0, elapsed=1.0),
+                )
+            )
+            + "\n"
+        )
+        out = io.StringIO()
+        model = follow(path, iterations=1, out=out)
+        assert model.finished is not None
+        assert "run finished" in out.getvalue()
+
+    def test_follow_stops_on_run_finished(self, tmp_path):
+        path = tmp_path / "stream.ndjson"
+        path.write_text(json.dumps(event("run.finished", elapsed=1.0)) + "\n")
+        out = io.StringIO()
+        model = follow(path, interval=0.01, out=out)
+        assert model.events == 1
+
+    def test_missing_file_renders_empty(self, tmp_path):
+        out = io.StringIO()
+        model = follow(tmp_path / "absent.ndjson", iterations=1, out=out)
+        assert model.events == 0
+        assert "repro top" in out.getvalue()

@@ -316,3 +316,56 @@ def test_engine_stats_count_dispatch_paths():
     assert stats["events_scheduled"] == 2
     assert stats["ready_dispatches"] == 1
     assert stats["heap_dispatches"] == 1
+
+
+class TestEvery:
+    """Periodic housekeeping chains that stop with the real workload."""
+
+    def test_ticks_while_real_work_remains(self):
+        engine = Engine()
+        ticks = []
+        engine.every(1.0, lambda: ticks.append(engine.now))
+        engine.schedule(3.5, lambda: None)
+        # The chain overruns the last real event by at most one tick
+        # (the reschedule decision at 3.0 still saw the 3.5 work).
+        assert engine.run() == pytest.approx(4.0)
+        assert ticks == [pytest.approx(t) for t in (1.0, 2.0, 3.0, 4.0)]
+
+    def test_chain_does_not_keep_engine_alive(self):
+        engine = Engine()
+        engine.every(1.0, lambda: None)
+        # No real work at all: the first tick sees only itself pending.
+        assert engine.run() == pytest.approx(1.0)
+
+    def test_two_chains_do_not_keep_each_other_alive(self):
+        engine = Engine()
+        counts = [0, 0]
+
+        def bump(index):
+            counts[index] += 1
+
+        engine.every(1.0, lambda: bump(0))
+        engine.every(1.0, lambda: bump(1))
+        engine.schedule(2.5, lambda: None)
+        # Without housekeeping accounting each chain would read the
+        # other as pending work and the run would never terminate.
+        assert engine.run() == pytest.approx(3.0)
+        assert counts == [3, 3]
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(SimulationError):
+            Engine().every(0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            Engine().every(-1.0, lambda: None)
+
+    def test_callbacks_do_not_retime_real_events(self):
+        seen = []
+        engine = Engine()
+        engine.schedule(1.0, lambda: seen.append(("work", engine.now)))
+        engine.every(0.4, lambda: None)
+        engine.schedule(2.0, lambda: seen.append(("late", engine.now)))
+        engine.run()
+        assert seen == [
+            ("work", pytest.approx(1.0)),
+            ("late", pytest.approx(2.0)),
+        ]
