@@ -322,6 +322,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--alert-rules", metavar="PATH", default=None,
         help="JSON list of alert rules overriding the built-in defaults",
     )
+    chaos.add_argument(
+        "--verify", dest="verify", action="store_true", default=None,
+        help="force the verified transport on (per-packet checksums,"
+        " NACK/retransmit, duplicate suppression)",
+    )
+    chaos.add_argument(
+        "--no-verify", dest="verify", action="store_false",
+        help="force the verified transport off; injected corruption is"
+        " then *detected* by the end-to-end audit (exit code 3) instead"
+        " of repaired (default: on exactly when the plan has"
+        " corruption-class faults)",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command")
+    fuzz = chaos_sub.add_parser(
+        "fuzz",
+        help="property-based chaos fuzzing: random fault plans, shrunk"
+        " reproducers",
+    )
+    fuzz.add_argument("--machine", choices=sorted(MACHINES), default="dgx1")
+    fuzz.add_argument("--policy", choices=sorted(POLICIES), default="adaptive")
+    fuzz.add_argument("--gpus", type=int, default=8)
+    fuzz.add_argument(
+        "--tuples-per-gpu", type=parse_size, default=parse_size("512M"),
+        help="logical tuples per relation per GPU",
+    )
+    fuzz.add_argument(
+        "--real-tuples", type=parse_size, default=parse_size("32K"),
+        help="materialized tuples per relation per GPU",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=42,
+        help="fuzz stream seed: same seed + budget = same plan sequence",
+    )
+    fuzz.add_argument(
+        "--budget", type=int, default=25, metavar="N",
+        help="number of random fault plans to run (default 25)",
+    )
+    fuzz.add_argument(
+        "--shrink-budget", type=int, default=32, metavar="N",
+        help="max extra oracle runs spent minimizing one failure",
+    )
+    fuzz.add_argument(
+        "--verify", dest="verify", action="store_true", default=None,
+        help="run every plan with the verified transport forced on",
+    )
+    fuzz.add_argument(
+        "--no-verify", dest="verify", action="store_false",
+        help="run every plan with the verified transport forced off",
+    )
+    fuzz.add_argument(
+        "--out-dir", metavar="DIR", default=None,
+        help="write fuzz_report.json and minimized reproducer plans here",
+    )
+    fuzz.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="also commit the fuzz report to this results store",
+    )
 
     perf = commands.add_parser(
         "perf", help="gate current perf metrics against a BENCH baseline"
@@ -501,7 +558,11 @@ def build_parser() -> argparse.ArgumentParser:
     # (`repro join --quiet` as well as `repro --quiet join`).  The
     # SUPPRESS default keeps an unsupplied subcommand flag from
     # clobbering the value the main parser already set.
-    for sub in list(commands.choices.values()) + list(exp_sub.choices.values()):
+    for sub in (
+        list(commands.choices.values())
+        + list(exp_sub.choices.values())
+        + list(chaos_sub.choices.values())
+    ):
         sub.add_argument(
             "--log-level", choices=("debug", "info", "warning", "error"),
             default=argparse.SUPPRESS, help=argparse.SUPPRESS,
@@ -933,6 +994,8 @@ def _cmd_chaos(args) -> int:
     from repro.sim import SimulationError
     from repro.sim.recovery import RecoveryConfig, RetryPolicy
 
+    if getattr(args, "chaos_command", None) == "fuzz":
+        return _cmd_chaos_fuzz(args)
     if args.plan is None and args.preset is None:
         raise SystemExit("chaos needs --preset NAME or --plan PATH")
     machine = MACHINES[args.machine]()
@@ -1010,6 +1073,7 @@ def _cmd_chaos(args) -> int:
             strict=False,
             retry=retry,
             recovery=recovery,
+            verify=args.verify,
         )
     except (FaultPlanError, RecoveryError, SimulationError) as exc:
         print(f"chaos cannot run this scenario: {exc}", file=sys.stderr)
@@ -1035,7 +1099,12 @@ def _cmd_chaos(args) -> int:
             + (f" ({severities})" if severities else "")
         )
     ok = report.correct
-    if not ok:
+    if report.silent_corruption_detected:
+        say(
+            "FAIL: unverified transport delivered corrupted data; the "
+            "end-to-end audit caught it (rerun with --verify to repair)"
+        )
+    elif not ok:
         say("FAIL: faulted run corrupted the join result")
     if args.expect_loss and report.faulted.recovery is None:
         say(
@@ -1082,6 +1151,11 @@ def _cmd_chaos(args) -> int:
             "healthy_digest": report.healthy.match_digest,
             "faulted_digest": report.faulted.match_digest,
             "counters": report.fault_counters,
+            "integrity": (
+                report.integrity.to_dict()
+                if report.integrity is not None
+                else None
+            ),
             "retry": asdict(effective_retry),
             "recovery": asdict(effective_recovery),
             "recovery_telemetry": (
@@ -1129,7 +1203,112 @@ def _cmd_chaos(args) -> int:
             say(f"ledger record  : {record.run_id} (rev {record.revision})")
     if trace_path is not None:
         _export_observation(observer, trace_path, None, metadata)
+    if report.silent_corruption_detected:
+        return 3
     return 0 if ok else 1
+
+
+def _cmd_chaos_fuzz(args) -> int:
+    """Fuzz random fault plans against the healthy-digest property."""
+    from dataclasses import replace as dc_replace
+
+    from repro.core.config import MGJoinConfig
+    from repro.core.recovery import RecoveryError
+    from repro.faults import ChaosError, FaultPlanError, run_chaos
+    from repro.faults.fuzz import run_fuzz
+    from repro.obs import run_metadata
+    from repro.sim import SimulationError
+
+    machine = MACHINES[args.machine]()
+    gpu_ids = _select_gpus(machine, args.gpus)
+    workload = generate_workload(
+        WorkloadSpec(
+            gpu_ids=gpu_ids,
+            logical_tuples_per_gpu=_round_to_multiple(
+                args.tuples_per_gpu, args.real_tuples
+            ),
+            real_tuples_per_gpu=args.real_tuples,
+            seed=args.seed,
+        )
+    )
+    # One healthy baseline for the whole campaign; every plan is graded
+    # against its digest and scaled to its shuffle duration.
+    config = dc_replace(MGJoinConfig(), materialize=True)
+    healthy = MGJoin(
+        machine, config=config, policy=POLICIES[args.policy]()
+    ).run(workload)
+    if healthy.shuffle_report is None:
+        raise SystemExit("chaos fuzz needs a workload that shuffles data")
+    horizon = healthy.shuffle_report.elapsed
+
+    def runner(plan) -> "str | None":
+        try:
+            chaos = run_chaos(
+                machine,
+                workload,
+                plan,
+                config=config,
+                policy=POLICIES[args.policy](),
+                seed=args.seed,
+                strict=False,
+                verify=args.verify,
+                healthy=healthy,
+            )
+        except (ChaosError, FaultPlanError, RecoveryError, SimulationError) as exc:
+            return f"{type(exc).__name__}: {exc}"
+        if chaos.silent_corruption_detected:
+            stats = chaos.integrity
+            return (
+                f"silent corruption: {stats.corrupt_delivered} corrupt, "
+                f"{stats.dup_delivered} duplicate deliveries"
+            )
+        if not chaos.correct:
+            return "digest mismatch: faulted join differs from healthy"
+        return None
+
+    report = run_fuzz(
+        machine,
+        horizon,
+        runner,
+        seed=args.seed,
+        budget=args.budget,
+        gpu_ids=gpu_ids,
+        shrink_budget=args.shrink_budget,
+        log=log.info,
+    )
+    for line in report.summary_lines():
+        print(line)
+    if args.out_dir is not None or args.store is not None:
+        import json
+        import pathlib
+
+        metadata = run_metadata(
+            topology=args.machine,
+            num_gpus=len(gpu_ids),
+            seed=args.seed,
+            policy=args.policy,
+            verify=args.verify,
+            budget=args.budget,
+        )
+        payload = dict(report.to_dict(), run=dict(metadata))
+        if args.out_dir is not None:
+            out_dir = pathlib.Path(args.out_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            report_path = out_dir / "fuzz_report.json"
+            report_path.write_text(json.dumps(payload, indent=1))
+            print(f"fuzz report    : {report_path}")
+            for failure in report.failures:
+                plan_path = out_dir / f"{failure.plan.name}.min.json"
+                plan_path.write_text(
+                    json.dumps(failure.shrunk.to_dict(), indent=1)
+                )
+                print(f"reproducer     : {plan_path}")
+        if args.store is not None:
+            from repro.experiments.store import fuzz_record
+
+            record = _resolve_store(args.store).put(fuzz_record(payload))
+            print(f"ledger record  : {record.run_id} (rev {record.revision})")
+    return 0 if report.ok else 1
 
 
 def _resolve_store(path: str | None):

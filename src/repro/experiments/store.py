@@ -407,3 +407,40 @@ def chaos_record(payload: dict) -> RunRecord:
         meta=meta,
         telemetry=telemetry,
     )
+
+
+def fuzz_record(payload: dict) -> RunRecord:
+    """A ``fuzz_report.json`` payload as a store record.
+
+    Failures (with their minimized reproducer plans) ride in the
+    telemetry blob so a red fuzz campaign is diagnosable from the
+    ledger alone.
+    """
+    failures = payload.get("failures", [])
+    metrics = {
+        "fuzz.plans_run": float(payload.get("plans_run", 0)),
+        "fuzz.failures": float(len(failures)),
+        "fuzz.ok": 1.0 if payload.get("ok") else 0.0,
+    }
+    directions = {
+        "fuzz.plans_run": "track",
+        "fuzz.failures": "lower",
+        "fuzz.ok": "higher",
+    }
+    meta = dict(payload.get("run", {}))
+    config = {
+        "seed": payload.get("seed"),
+        "budget": payload.get("budget"),
+        "topology": meta.get("topology"),
+        "num_gpus": meta.get("num_gpus"),
+        "policy": meta.get("policy"),
+        "verify": meta.get("verify"),
+    }
+    return RunRecord.build(
+        "chaos-fuzz",
+        config=config,
+        metrics=metrics,
+        directions=directions,
+        meta=meta,
+        telemetry={"failures": failures},
+    )

@@ -10,8 +10,12 @@ simulator can take paths away.  This package provides:
   (link degradation/blackout/failure, GPU stragglers and crashes),
 * :func:`run_chaos` — runs a join healthy and faulted, asserts result
   correctness and reports throughput retention,
+* :func:`run_fuzz` — property-based chaos fuzzing: seeded random fault
+  plans graded against the healthy digest, failures shrunk to minimal
+  reproducers,
 * built-in presets (``nvlink-brownout``, ``gpu-straggler``,
-  ``link-flap``, ``nvlink-cut``, ``gpu-crash``, ``gpu-crash-x2``).
+  ``link-flap``, ``nvlink-cut``, ``gpu-crash``, ``gpu-crash-x2``,
+  ``payload-corrupt``, ``packet-dup``, ``packet-reorder``).
 
 Packet-level recovery (retry/backoff/re-route/host fallback) lives in
 :mod:`repro.sim.recovery`; join-level crash recovery (heartbeat
@@ -21,8 +25,17 @@ semantics.
 """
 
 from repro.faults.chaos import ChaosError, ChaosReport, resolve_plan, run_chaos
+from repro.faults.fuzz import (
+    FuzzError,
+    FuzzFailure,
+    FuzzReport,
+    run_fuzz,
+    sample_plan,
+    shrink_plan,
+)
 from repro.faults.injector import FAULT_TRACK, LINK_DOWN_PENALTY, FaultInjector
 from repro.faults.plan import (
+    CORRUPTION_KINDS,
     PRESET_NAMES,
     RETRY_FIELDS,
     FaultEvent,
@@ -33,6 +46,7 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "CORRUPTION_KINDS",
     "ChaosError",
     "ChaosReport",
     "FAULT_TRACK",
@@ -41,10 +55,16 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "FaultPlanError",
+    "FuzzError",
+    "FuzzFailure",
+    "FuzzReport",
     "LINK_DOWN_PENALTY",
     "PRESET_NAMES",
     "RETRY_FIELDS",
     "build_preset",
     "resolve_plan",
     "run_chaos",
+    "run_fuzz",
+    "sample_plan",
+    "shrink_plan",
 ]

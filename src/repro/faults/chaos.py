@@ -22,13 +22,20 @@ from typing import TYPE_CHECKING
 
 from repro.core.config import MGJoinConfig
 from repro.core.mgjoin import JoinResult, MGJoin
-from repro.faults.plan import FaultPlan, FaultPlanError, PRESET_NAMES, build_preset
+from repro.faults.plan import (
+    CORRUPTION_KINDS,
+    FaultPlan,
+    FaultPlanError,
+    PRESET_NAMES,
+    build_preset,
+)
 from repro.sim.recovery import RecoveryConfig, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.relation import JoinWorkload
     from repro.obs import Observer
     from repro.routing.base import RoutingPolicy
+    from repro.sim.integrity import IntegrityStats
     from repro.topology.machine import MachineTopology
 
 
@@ -45,6 +52,28 @@ class ChaosReport:
     faulted: JoinResult
 
     @property
+    def integrity(self) -> "IntegrityStats | None":
+        """Verified-transport stats from the faulted run, if active."""
+        report = self.faulted.shuffle_report
+        return None if report is None else report.integrity
+
+    @property
+    def silent_corruption_detected(self) -> bool:
+        """Did the unverified transport deliver corrupt/duplicate data?
+
+        Only meaningful with verification *off*: the end-to-end audit
+        found deliveries whose payload checksum was stale or whose uid
+        was already seen.  With verification on, those packets were
+        repaired in-flight and this stays ``False``.
+        """
+        stats = self.integrity
+        return (
+            stats is not None
+            and not stats.verified
+            and stats.silent_corruption
+        )
+
+    @property
     def correct(self) -> bool:
         """Did the faulted join produce the exact healthy result?
 
@@ -52,8 +81,12 @@ class ChaosReport:
         canonical match-set digest.  The per-GPU distribution must also
         match — except when join-level recovery reassigned partitions,
         where survivors legitimately absorb the dead GPUs' shares and
-        only the *set* of matches has to be identical.
+        only the *set* of matches has to be identical.  A run where the
+        integrity audit caught silent corruption is never correct, even
+        if the (timing-model) digest happens to agree.
         """
+        if self.silent_corruption_detected:
+            return False
         if self.faulted.matches_logical != self.healthy.matches_logical:
             return False
         if (
@@ -78,13 +111,20 @@ class ChaosReport:
         report = self.faulted.shuffle_report
         if report is None:
             return {}
-        return {
+        counters = {
             "faults_injected": report.faults_injected,
             "packet_retries": report.packet_retries,
             "packet_reroutes": report.packet_reroutes,
             "packet_fallbacks": report.packet_fallbacks,
             "packets_recovered": report.packets_recovered,
         }
+        if report.integrity is not None:
+            counters.update(
+                checksum_failures=report.integrity.checksum_failures,
+                retransmits=report.integrity.retransmits,
+                dup_dropped=report.integrity.dup_dropped,
+            )
+        return counters
 
     def summary_lines(self) -> list[str]:
         lines = [
@@ -102,6 +142,16 @@ class ChaosReport:
         ]
         for name, value in self.fault_counters.items():
             lines.append(f"{name:<15}: {value}")
+        stats = self.integrity
+        if stats is not None:
+            mode = "verified" if stats.verified else "audit-only"
+            lines.append(f"transport      : {mode} integrity layer active")
+            if self.silent_corruption_detected:
+                lines.append(
+                    f"  SILENT CORRUPTION: {stats.corrupt_delivered} corrupt "
+                    f"and {stats.dup_delivered} duplicate deliveries reached "
+                    f"destinations unchecked"
+                )
         if self.faulted.recovery is not None:
             lines.append("degraded mode  : join-level crash recovery engaged")
             lines.extend(
@@ -143,6 +193,8 @@ def run_chaos(
     strict: bool = True,
     retry: RetryPolicy | None = None,
     recovery: RecoveryConfig | None = None,
+    verify: bool | None = None,
+    healthy: JoinResult | None = None,
 ) -> ChaosReport:
     """Run one chaos scenario; the observer sees the *faulted* run.
 
@@ -154,10 +206,22 @@ def run_chaos(
     when ``None``, overrides baked into the plan's ``retry`` section
     apply, and otherwise :class:`RetryPolicy` defaults.  ``recovery``
     sets the heartbeat/checkpoint knobs for join-level crash recovery.
+
+    ``verify`` controls the verified-transport layer for the faulted
+    run: ``True`` forces checksum/NACK/dedup protection on, ``False``
+    forces it off (the integrity layer still *audits* and the report
+    flags silent corruption), and ``None`` (default) enables it exactly
+    when the plan contains corruption-class faults — so existing
+    loss/slowdown scenarios keep their historical digests.
+
+    ``healthy`` supplies a precomputed baseline (same machine, workload,
+    config, and policy) so batch callers like the chaos fuzzer pay for
+    the healthy run once instead of once per plan.
     """
     # Materialize the match sets so correctness is digest-graded.
     config = replace(config or MGJoinConfig(), materialize=True)
-    healthy = MGJoin(machine, config=config, policy=policy).run(workload)
+    if healthy is None:
+        healthy = MGJoin(machine, config=config, policy=policy).run(workload)
     if healthy.shuffle_report is None:
         raise ChaosError(
             "chaos needs a multi-GPU workload that actually shuffles data"
@@ -166,9 +230,14 @@ def run_chaos(
     plan = resolve_plan(scenario, machine, horizon, seed, workload.gpu_ids)
     if retry is None and plan.retry is not None:
         retry = RetryPolicy(**plan.retry_kwargs)
+    if verify is None:
+        verify = any(event.kind in CORRUPTION_KINDS for event in plan.events)
+    faulted_config = replace(
+        config, shuffle=replace(config.shuffle, verify_transport=verify)
+    )
     faulted = MGJoin(
         machine,
-        config=config,
+        config=faulted_config,
         policy=policy,
         observer=observer,
         faults=plan,
@@ -177,6 +246,14 @@ def run_chaos(
     ).run(workload)
     report = ChaosReport(plan=plan, healthy=healthy, faulted=faulted)
     if strict and not report.correct:
+        if report.silent_corruption_detected:
+            stats = report.integrity
+            raise ChaosError(
+                f"chaos scenario {plan.name!r} silently corrupted the "
+                f"shuffle: {stats.corrupt_delivered} corrupt and "
+                f"{stats.dup_delivered} duplicate deliveries went "
+                f"undetected by the unverified transport"
+            )
         raise ChaosError(
             f"chaos scenario {plan.name!r} corrupted the join: "
             f"{report.faulted.matches_logical} matches vs "

@@ -1,0 +1,351 @@
+"""Property-based chaos fuzzer: random fault plans, shrunk reproducers.
+
+The fuzzer samples fault plans from a seeded grammar covering every
+:class:`FaultKind`, runs each against a property oracle (by default:
+"the faulted join still produces the healthy canonical match digest"),
+and — when a plan breaks the property — *shrinks* it to a minimal
+reproducer by dropping events and softening magnitudes/durations while
+the failure persists.
+
+Determinism contract: the plan sequence is a pure function of
+``(seed, budget)``.  No wall clock, no global RNG — every draw comes
+from a :class:`random.Random` seeded from :data:`FUZZ_SALT`, the fuzz
+seed, and the plan name, so ``repro chaos fuzz --seed 8 --budget 25``
+reproduces the same plans on any machine and interpreter.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable
+
+from repro.faults.plan import (
+    CORRUPTION_KINDS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultPlanError,
+    _nvlink_pairs,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topology.machine import MachineTopology
+
+__all__ = [
+    "FUZZ_SALT",
+    "FuzzError",
+    "FuzzFailure",
+    "FuzzReport",
+    "run_fuzz",
+    "sample_plan",
+    "shrink_plan",
+]
+
+#: Mixed into every plan RNG so fuzz streams never collide with the
+#: preset-builder streams (which hash the same plan names).
+FUZZ_SALT = zlib.crc32(b"chaos-fuzz")
+
+#: Deterministic kind order for sampling (enum definition order).
+_ALL_KINDS = tuple(FaultKind)
+
+#: Floors below which shrinking stops softening a knob.
+_MIN_DURATION = 1e-6
+_MIN_CORRUPTION = 0.05
+
+
+class FuzzError(RuntimeError):
+    """The fuzzer itself failed (e.g. could not sample a valid plan)."""
+
+
+def sample_plan(
+    machine: "MachineTopology",
+    horizon: float,
+    seed: int,
+    index: int,
+    gpu_ids: "tuple[int, ...] | None" = None,
+) -> FaultPlan:
+    """Sample the ``index``-th plan of the ``seed`` fuzz stream.
+
+    Plans carry 1-3 events over every fault kind (at most one
+    ``gpu-crash``), scheduled in the first half of ``horizon`` so they
+    land while the shuffle is still moving data.  Invalid combinations
+    (permanent-fault conflicts) are resampled from the same RNG stream,
+    so validity filtering never breaks determinism.
+    """
+    name = f"fuzz-{seed}-{index:03d}"
+    rng = random.Random(FUZZ_SALT ^ seed ^ zlib.crc32(name.encode("utf-8")))
+    participants = tuple(sorted(gpu_ids)) if gpu_ids else machine.gpu_ids
+    pairs = _nvlink_pairs(machine, gpu_ids)
+    for _ in range(32):
+        events = []
+        crashed = False
+        for _ in range(rng.randint(1, 3)):
+            kind = rng.choice(_ALL_KINDS)
+            if kind is FaultKind.GPU_CRASH and crashed:
+                kind = FaultKind.GPU_STRAGGLER
+            events.append(_sample_event(kind, rng, horizon, participants, pairs))
+            crashed = crashed or kind is FaultKind.GPU_CRASH
+        try:
+            return FaultPlan(
+                name=name, events=tuple(events), seed=seed
+            ).validate(machine, gpu_ids)
+        except FaultPlanError:
+            continue  # conflict (e.g. event after a crash); redraw
+    raise FuzzError(
+        f"could not sample a valid plan for {name!r} after 32 attempts"
+    )
+
+
+def _sample_event(
+    kind: FaultKind,
+    rng: random.Random,
+    horizon: float,
+    participants: tuple[int, ...],
+    pairs: list[tuple[int, int]],
+) -> FaultEvent:
+    at = rng.uniform(0.0, 0.5 * horizon)
+    if kind in (FaultKind.GPU_STRAGGLER, FaultKind.GPU_CRASH):
+        gpu = rng.choice(participants)
+        if kind is FaultKind.GPU_CRASH:
+            return FaultEvent(kind=kind, at=at, gpu=gpu)
+        return FaultEvent(
+            kind=kind,
+            at=at,
+            gpu=gpu,
+            duration=rng.uniform(0.2, 0.8) * horizon,
+            magnitude=rng.uniform(1.5, 8.0),
+        )
+    src, dst = rng.choice(pairs)
+    if kind is FaultKind.LINK_FAIL:
+        return FaultEvent(kind=kind, at=at, src=src, dst=dst)
+    if kind is FaultKind.LINK_DEGRADE:
+        return FaultEvent(
+            kind=kind,
+            at=at,
+            src=src,
+            dst=dst,
+            duration=rng.uniform(0.2, 0.8) * horizon,
+            magnitude=rng.uniform(0.05, 0.9),
+        )
+    if kind is FaultKind.LINK_BLACKOUT:
+        return FaultEvent(
+            kind=kind,
+            at=at,
+            src=src,
+            dst=dst,
+            duration=rng.uniform(0.05, 0.4) * horizon,
+        )
+    assert kind in CORRUPTION_KINDS
+    return FaultEvent(
+        kind=kind,
+        at=at,
+        src=src,
+        dst=dst,
+        duration=rng.uniform(0.3, 0.9) * horizon,
+        magnitude=rng.uniform(_MIN_CORRUPTION, 1.0),
+    )
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+
+
+def _soften(event: FaultEvent) -> FaultEvent | None:
+    """One softening step toward a milder event; ``None`` at the floor.
+
+    Magnitudes move halfway toward harmless before durations halve, so
+    the reproducer pins down *how much* fault is needed, not just how
+    long.
+    """
+    if event.kind is FaultKind.LINK_DEGRADE and event.magnitude < 0.95:
+        return replace(event, magnitude=min(0.95, (event.magnitude + 1.0) / 2))
+    if event.kind is FaultKind.GPU_STRAGGLER and event.magnitude > 1.1:
+        return replace(event, magnitude=1.0 + (event.magnitude - 1.0) / 2)
+    if event.kind in CORRUPTION_KINDS and event.magnitude > _MIN_CORRUPTION:
+        return replace(
+            event, magnitude=max(_MIN_CORRUPTION, event.magnitude / 2)
+        )
+    if event.duration is not None and event.duration > _MIN_DURATION:
+        return replace(event, duration=event.duration / 2)
+    return None
+
+
+def shrink_plan(
+    plan: FaultPlan,
+    is_failing: Callable[[FaultPlan], bool],
+    max_checks: int = 32,
+) -> tuple[FaultPlan, int]:
+    """Shrink ``plan`` while ``is_failing`` holds; returns (plan, checks).
+
+    Greedy two-phase reduction: first drop whole events to a fixpoint,
+    then soften magnitudes/durations to a fixpoint.  The oracle is
+    called at most ``max_checks`` times, so a slow reproducer cannot
+    stall the fuzz loop; the best plan found so far is returned when
+    the budget runs out.
+    """
+    checks = 0
+
+    def failing(candidate: FaultPlan) -> bool:
+        nonlocal checks
+        if checks >= max_checks:
+            return False
+        checks += 1
+        return is_failing(candidate)
+
+    current = plan
+    progress = True
+    while progress and len(current.events) > 1 and checks < max_checks:
+        progress = False
+        for index in range(len(current.events)):
+            events = current.events[:index] + current.events[index + 1 :]
+            candidate = replace(current, events=events)
+            if failing(candidate):
+                current = candidate
+                progress = True
+                break
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for index, event in enumerate(current.events):
+            softened = _soften(event)
+            if softened is None:
+                continue
+            events = (
+                current.events[:index]
+                + (softened,)
+                + current.events[index + 1 :]
+            )
+            candidate = replace(current, events=events)
+            if failing(candidate):
+                current = candidate
+                progress = True
+                break
+    return current, checks
+
+
+# ----------------------------------------------------------------------
+# The fuzz loop
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One property violation: the sampled plan and its reproducer."""
+
+    plan: FaultPlan
+    reason: str
+    shrunk: FaultPlan
+    shrunk_reason: str
+    shrink_checks: int
+
+    def to_dict(self) -> dict:
+        return {
+            "plan": self.plan.to_dict(),
+            "reason": self.reason,
+            "shrunk": self.shrunk.to_dict(),
+            "shrunk_reason": self.shrunk_reason,
+            "shrink_checks": self.shrink_checks,
+        }
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """Outcome of one fuzz campaign."""
+
+    seed: int
+    budget: int
+    plans_run: int
+    failures: tuple[FuzzFailure, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "plans_run": self.plans_run,
+            "failures": [failure.to_dict() for failure in self.failures],
+            "ok": self.ok,
+        }
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"fuzz campaign  : seed {self.seed}, "
+            f"{self.plans_run}/{self.budget} plan(s) run",
+            f"verdict        : "
+            f"{'OK' if self.ok else f'{len(self.failures)} FAILURE(S)'}",
+        ]
+        for failure in self.failures:
+            events = ", ".join(
+                e.kind.value for e in failure.shrunk.events
+            )
+            lines.append(
+                f"  {failure.plan.name}: {failure.shrunk_reason} "
+                f"(minimized to {len(failure.shrunk)} event(s): {events})"
+            )
+        return lines
+
+
+def run_fuzz(
+    machine: "MachineTopology",
+    horizon: float,
+    runner: Callable[[FaultPlan], "str | None"],
+    *,
+    seed: int = 0,
+    budget: int = 25,
+    gpu_ids: "tuple[int, ...] | None" = None,
+    shrink_budget: int = 32,
+    log: "Callable[[str], None] | None" = None,
+) -> FuzzReport:
+    """Fuzz ``budget`` plans against a property oracle.
+
+    ``runner`` grades one plan and returns a failure reason (string) or
+    ``None`` when the property held.  ``horizon`` is the healthy run's
+    shuffle duration — the time base every sampled plan is scaled to.
+    Failures are shrunk with at most ``shrink_budget`` extra oracle
+    calls each.
+    """
+    failures: list[FuzzFailure] = []
+    for index in range(budget):
+        plan = sample_plan(machine, horizon, seed, index, gpu_ids)
+        reason = runner(plan)
+        if log is not None:
+            verdict = "ok" if reason is None else f"FAIL ({reason})"
+            log(f"[{index + 1}/{budget}] {plan.name}: {verdict}")
+        if reason is None:
+            continue
+        last_reason = reason
+
+        def is_failing(candidate: FaultPlan) -> bool:
+            nonlocal last_reason
+            result = runner(candidate)
+            if result is not None:
+                last_reason = result
+            return result is not None
+
+        shrunk, checks = shrink_plan(plan, is_failing, shrink_budget)
+        if log is not None:
+            log(
+                f"  shrunk {plan.name} from {len(plan)} to "
+                f"{len(shrunk)} event(s) in {checks} oracle call(s)"
+            )
+        failures.append(
+            FuzzFailure(
+                plan=plan,
+                reason=reason,
+                shrunk=shrunk,
+                shrunk_reason=last_reason,
+                shrink_checks=checks,
+            )
+        )
+    return FuzzReport(
+        seed=seed,
+        budget=budget,
+        plans_run=budget,
+        failures=tuple(failures),
+    )

@@ -9,7 +9,10 @@ per fault (plus one per recovery) on the engine clock.  Faults act by:
   and permanent failures — in-flight transfers are lost),
 * invalidating routes via :meth:`RouteEnumerator.fail_link` (permanent
   failures and GPU crashes),
-* slowing a GPU's injection/consumption rates (stragglers).
+* slowing a GPU's injection/consumption rates (stragglers),
+* installing a :class:`~repro.sim.integrity.PacketTamperer` on a link's
+  directed channels (payload corruption, duplication, reordering) —
+  applied by the sending GPU, observed by the verified-transport layer.
 
 Every health change is surfaced two ways, mirroring reality: the owning
 GPU sees its own port's :meth:`queue_delay` penalty immediately, while
@@ -22,12 +25,19 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, FaultPlanError
+from repro.faults.plan import (
+    CORRUPTION_KINDS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultPlanError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observer
     from repro.sim.engine import Engine
     from repro.sim.gpusim import GpuNode
+    from repro.sim.integrity import TransportIntegrity
     from repro.sim.linksim import LinkChannel, LinkStateBoard
     from repro.sim.recovery import CrashCoordinator
     from repro.topology.machine import MachineTopology
@@ -58,6 +68,7 @@ class FaultInjector:
         self._packet_size = 0
         self._observer: "Observer | None" = None
         self._coordinator: "CrashCoordinator | None" = None
+        self._integrity: "TransportIntegrity | None" = None
 
     def bind(
         self,
@@ -71,6 +82,7 @@ class FaultInjector:
         packet_size: int,
         observer: "Observer | None" = None,
         coordinator: "CrashCoordinator | None" = None,
+        integrity: "TransportIntegrity | None" = None,
     ) -> None:
         """Attach to one simulation run and schedule every fault."""
         self._engine = engine
@@ -82,6 +94,7 @@ class FaultInjector:
         self._packet_size = packet_size
         self._observer = observer
         self._coordinator = coordinator
+        self._integrity = integrity
         for event in self.plan.events:
             self._validate(event)
             engine.schedule(event.at, self._inject, event)
@@ -175,6 +188,8 @@ class FaultInjector:
                 # scheduled) — not just dead links.  Without a
                 # coordinator the legacy link-only semantics apply.
                 self._coordinator.notice_crash(event.gpu)
+        elif kind in CORRUPTION_KINDS:
+            self._install_tamperer(event)
         self._emit("fault.inject", event)
         if event.duration is not None:
             self._engine.schedule(event.duration, self._restore, event)
@@ -194,6 +209,9 @@ class FaultInjector:
                 self._board.publish_fault(channel.spec.link_id, 0.0)
         elif kind is FaultKind.GPU_STRAGGLER:
             self._nodes[event.gpu].clear_slowdown()
+        elif kind in CORRUPTION_KINDS:
+            for channel in self._link_pair(event):
+                channel.tamper = None
         self._emit("fault.restore", event)
         if self._observer is not None:
             self._observer.add_span(
@@ -205,6 +223,40 @@ class FaultInjector:
                 **self._attrs(event),
             )
 
+    def _install_tamperer(self, event: FaultEvent) -> None:
+        """Arm both directed channels of the link with one shared tamperer.
+
+        One tamperer (and one seeded RNG) per fault event, shared by both
+        directions, so the corruption pattern is a pure function of the
+        plan — independent of packet interleaving across directions.
+        """
+        import random
+        import zlib
+
+        from repro.sim.integrity import PacketTamperer
+
+        if self._integrity is None:
+            raise FaultPlanError(
+                f"{event.kind.value} fault requires the transport integrity "
+                f"layer, which is not active for this run"
+            )
+        seed = (
+            zlib.crc32(
+                f"{event.kind.value}:{event.src}:{event.dst}:{event.at}".encode(
+                    "utf-8"
+                )
+            )
+            ^ self.plan.seed
+        )
+        tamperer = PacketTamperer(
+            kind=event.kind.value,
+            magnitude=event.magnitude,
+            rng=random.Random(seed),
+            integrity=self._integrity,
+        )
+        for channel in self._link_pair(event):
+            channel.tamper = tamperer
+
     def _attrs(self, event: FaultEvent) -> dict:
         attrs: dict = {"kind": event.kind.value}
         if event.gpu is not None:
@@ -212,7 +264,10 @@ class FaultInjector:
         if event.src is not None:
             attrs["src"] = event.src
             attrs["dst"] = event.dst
-        if event.kind in (FaultKind.LINK_DEGRADE, FaultKind.GPU_STRAGGLER):
+        if (
+            event.kind in (FaultKind.LINK_DEGRADE, FaultKind.GPU_STRAGGLER)
+            or event.kind in CORRUPTION_KINDS
+        ):
             attrs["magnitude"] = event.magnitude
         return attrs
 

@@ -49,10 +49,27 @@ class FaultKind(str, Enum):
     #: GPU crash: every link touching the GPU fails permanently and,
     #: with join-level recovery armed, its compute state is lost too.
     GPU_CRASH = "gpu-crash"
+    #: Silent payload corruption: packets crossing the link have their
+    #: payload bit-flipped in flight (seeded); ``magnitude`` in (0, 1]
+    #: is the fraction of packets affected.
+    PAYLOAD_CORRUPT = "payload-corrupt"
+    #: Packet duplication: the link delivers some packets twice;
+    #: ``magnitude`` in (0, 1] is the fraction of packets duplicated.
+    PACKET_DUP = "packet-dup"
+    #: Packet reordering: some packets are held back and arrive late,
+    #: out of sequence order; ``magnitude`` in (0, 1] is the fraction
+    #: of packets delayed.
+    PACKET_REORDER = "packet-reorder"
 
 
-LINK_KINDS = frozenset(
-    {FaultKind.LINK_DEGRADE, FaultKind.LINK_BLACKOUT, FaultKind.LINK_FAIL}
+#: Transport-corruption kinds: link-targeted, duration-windowed, with
+#: ``magnitude`` as the per-packet affect rate in (0, 1].
+CORRUPTION_KINDS = frozenset(
+    {FaultKind.PAYLOAD_CORRUPT, FaultKind.PACKET_DUP, FaultKind.PACKET_REORDER}
+)
+LINK_KINDS = (
+    frozenset({FaultKind.LINK_DEGRADE, FaultKind.LINK_BLACKOUT, FaultKind.LINK_FAIL})
+    | CORRUPTION_KINDS
 )
 GPU_KINDS = frozenset({FaultKind.GPU_STRAGGLER, FaultKind.GPU_CRASH})
 #: Kinds that must not carry a duration (they never heal).
@@ -106,6 +123,11 @@ class FaultEvent:
                 "gpu-straggler magnitude is the slowdown factor and must "
                 f"be > 1, got {self.magnitude}"
             )
+        if self.kind in CORRUPTION_KINDS and not 0 < self.magnitude <= 1:
+            raise FaultPlanError(
+                f"{self.kind.value} magnitude is the fraction of packets "
+                f"affected and must be in (0, 1], got {self.magnitude}"
+            )
 
     @property
     def ends_at(self) -> float | None:
@@ -117,7 +139,10 @@ class FaultEvent:
             value = getattr(self, key)
             if value is not None:
                 entry[key] = value
-        if self.kind in (FaultKind.LINK_DEGRADE, FaultKind.GPU_STRAGGLER):
+        if (
+            self.kind in (FaultKind.LINK_DEGRADE, FaultKind.GPU_STRAGGLER)
+            or self.kind in CORRUPTION_KINDS
+        ):
             entry["magnitude"] = self.magnitude
         return entry
 
@@ -167,6 +192,7 @@ RETRY_FIELDS = (
     "acquire_timeout",
     "host_bandwidth",
     "host_latency",
+    "jitter",
 )
 
 
@@ -269,7 +295,54 @@ class FaultPlan:
                         f"gpu{event.src}<->gpu{event.dst}, but no NVLink "
                         f"connects them on this machine"
                     )
+        self._validate_permanent_conflicts()
         return self
+
+    def _validate_permanent_conflicts(self) -> None:
+        """Reject events targeting something a permanent fault removed.
+
+        A ``link-fail`` kills its link forever and a ``gpu-crash``
+        kills every link touching the GPU: any later event aimed at
+        that target is at best a no-op and at worst a runtime
+        ``KeyError``.  Walk the (time-sorted) schedule and name *both*
+        events in the error so the conflict is diagnosable from the
+        plan file alone.
+        """
+
+        def describe(event: FaultEvent) -> str:
+            if event.kind in GPU_KINDS:
+                target = f"gpu{event.gpu}"
+            else:
+                target = f"gpu{event.src}<->gpu{event.dst}"
+            return f"{event.kind.value} at t={event.at} on {target}"
+
+        crashed: dict[int, FaultEvent] = {}
+        failed_pairs: dict[frozenset, FaultEvent] = {}
+        for event in self.events:
+            if event.kind in GPU_KINDS:
+                earlier = crashed.get(event.gpu)
+                if earlier is not None:
+                    raise FaultPlanError(
+                        f"plan {self.name!r}: {describe(event)} targets a "
+                        f"GPU already removed by {describe(earlier)}"
+                    )
+                if event.kind is FaultKind.GPU_CRASH:
+                    crashed[event.gpu] = event
+            else:
+                pair = frozenset((event.src, event.dst))
+                earlier = failed_pairs.get(pair)
+                if earlier is None:
+                    for endpoint in (event.src, event.dst):
+                        if endpoint in crashed:
+                            earlier = crashed[endpoint]
+                            break
+                if earlier is not None:
+                    raise FaultPlanError(
+                        f"plan {self.name!r}: {describe(event)} targets a "
+                        f"link already removed by {describe(earlier)}"
+                    )
+                if event.kind is FaultKind.LINK_FAIL:
+                    failed_pairs[pair] = event
 
     def to_dict(self) -> dict:
         data = {
@@ -328,6 +401,9 @@ PRESET_NAMES = (
     "nvlink-cut",
     "gpu-crash",
     "gpu-crash-x2",
+    "payload-corrupt",
+    "packet-dup",
+    "packet-reorder",
 )
 
 
@@ -467,6 +543,48 @@ def build_preset(
         )
         events.append(
             FaultEvent(kind=FaultKind.GPU_CRASH, at=0.4 * horizon, gpu=second)
+        )
+    elif name == "payload-corrupt":
+        # One NVLink silently flips payload bits on a third of its
+        # packets for most of the run — the fault digest equality
+        # exists to catch.
+        src, dst = rng.choice(_nvlink_pairs(machine, targets))
+        events.append(
+            FaultEvent(
+                kind=FaultKind.PAYLOAD_CORRUPT,
+                at=0.1 * horizon,
+                src=src,
+                dst=dst,
+                duration=0.7 * horizon,
+                magnitude=0.35,
+            )
+        )
+    elif name == "packet-dup":
+        # One NVLink delivers a quarter of its packets twice.
+        src, dst = rng.choice(_nvlink_pairs(machine, targets))
+        events.append(
+            FaultEvent(
+                kind=FaultKind.PACKET_DUP,
+                at=0.1 * horizon,
+                src=src,
+                dst=dst,
+                duration=0.6 * horizon,
+                magnitude=0.25,
+            )
+        )
+    elif name == "packet-reorder":
+        # One NVLink holds back a quarter of its packets so they land
+        # late and out of sequence order.
+        src, dst = rng.choice(_nvlink_pairs(machine, targets))
+        events.append(
+            FaultEvent(
+                kind=FaultKind.PACKET_REORDER,
+                at=0.1 * horizon,
+                src=src,
+                dst=dst,
+                duration=0.6 * horizon,
+                magnitude=0.25,
+            )
         )
     else:
         known = ", ".join(PRESET_NAMES)

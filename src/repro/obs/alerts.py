@@ -108,7 +108,8 @@ class AlertRule:
 
 
 #: Default SLO surface: link saturation, blackout, retry budget,
-#: straggler presence, and cost-model residual drift.
+#: straggler presence, cost-model residual drift, and verified-transport
+#: checksum failures.
 DEFAULT_RULES: tuple[AlertRule, ...] = (
     AlertRule(
         name="link-saturation",
@@ -149,6 +150,13 @@ DEFAULT_RULES: tuple[AlertRule, ...] = (
         threshold=0.5,
         severity="warning",
         message="routing cost model drifting >=50% from simulated actuals",
+    ),
+    AlertRule(
+        name="checksum-failure",
+        event_type="integrity",
+        where=(("kind", "checksum-failure"),),
+        severity="critical",
+        message="verified transport caught a payload checksum mismatch",
     ),
 )
 

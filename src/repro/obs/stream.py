@@ -53,6 +53,7 @@ EVENT_TYPES: dict[str, tuple[str, ...]] = {
     "packet.retry": ("reason",),
     "packet.fallback": ("reason",),
     "packet.recovered": (),
+    "integrity": ("kind",),
     "sweep.started": ("points",),
     "sweep.point": ("run_id",),
     "sweep.failed": ("error",),

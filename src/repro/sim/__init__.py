@@ -10,6 +10,7 @@ the analytic GPU kernel cost model (:mod:`repro.sim.compute`).
 """
 
 from repro.sim.engine import Engine, Process, SimEvent, SimulationError
+from repro.sim.integrity import IntegrityStats, PacketTamperer, TransportIntegrity
 from repro.sim.resources import RoutingBuffer, Store
 from repro.sim.linksim import LinkChannel, LinkStateBoard
 from repro.sim.compute import GpuComputeModel, GpuSpec, V100
@@ -24,9 +25,11 @@ __all__ = [
     "FlowMatrix",
     "GpuComputeModel",
     "GpuSpec",
+    "IntegrityStats",
     "LinkChannel",
     "LinkStateBoard",
     "LinkStats",
+    "PacketTamperer",
     "Process",
     "RecoveryConfig",
     "RecoveryStats",
@@ -40,6 +43,7 @@ __all__ = [
     "Store",
     "TraceEvent",
     "Tracer",
+    "TransportIntegrity",
     "V100",
     "bisection_cut",
 ]

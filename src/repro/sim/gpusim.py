@@ -32,6 +32,7 @@ from repro.topology.routes import Route, UnroutableError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.routing.base import RoutingContext, RoutingPolicy
+    from repro.sim.integrity import TransportIntegrity
     from repro.sim.recovery import CrashCoordinator, RecoveryManager
 
 
@@ -58,6 +59,17 @@ class Packet:
     #: True once the packet was relayed through the host-staged
     #: fallback path instead of the GPU fabric.
     fallback: bool = False
+    #: Verified-transport envelope, stamped by
+    #: :class:`~repro.sim.integrity.TransportIntegrity` when the
+    #: integrity layer is active; all zero (and never read) otherwise.
+    #: ``uid`` is run-unique — ``sequence`` alone collides between the
+    #: per-GPU injector counters and the crash coordinator's host sends.
+    uid: int = 0
+    payload_token: int = 0
+    checksum: int = 0
+    #: True on a fault-made duplicate copy: it carries no accounting
+    #: weight (the original owns the flow's conservation books).
+    duplicate: bool = False
     #: Link ids committed for the current route but not yet submitted
     #: to the wire; returned (uncommitted) if the packet is lost so the
     #: adaptive metric stops charging a route the packet abandoned.
@@ -104,6 +116,7 @@ class GpuNode:
         on_delivery: Callable[[Packet], None],
         recovery: "RecoveryManager | None" = None,
         coordinator: "CrashCoordinator | None" = None,
+        integrity: "TransportIntegrity | None" = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -129,6 +142,9 @@ class GpuNode:
         #: Crash-recovery bookkeeping; ``None`` = GPUs cannot die, so
         #: no crash check ever runs on the hot path.
         self.coordinator = coordinator
+        #: Verified-transport envelope state; ``None`` = packets are
+        #: never stamped or checked, the legacy path runs unchanged.
+        self.integrity = integrity
         #: Set by :meth:`crash`: this GPU does no further work.
         self.crashed = False
         self.crash_time: float | None = None
@@ -214,16 +230,17 @@ class GpuNode:
                     payload = min(self.packet_size, remaining[dst])
                     remaining[dst] -= payload
                     batch_payload += payload
-                    batch.append(
-                        Packet(
-                            flow_src=self.gpu_id,
-                            flow_dst=dst,
-                            payload_bytes=payload,
-                            header_bytes=self.header_bytes,
-                            route=None,  # assigned below
-                            sequence=sequence,
-                        )
+                    packet = Packet(
+                        flow_src=self.gpu_id,
+                        flow_dst=dst,
+                        payload_bytes=payload,
+                        header_bytes=self.header_bytes,
+                        route=None,  # assigned below
+                        sequence=sequence,
                     )
+                    if self.integrity is not None:
+                        self.integrity.stamp(packet)
+                    batch.append(packet)
                     sequence += 1
                 if remaining[dst] <= 0:
                     del remaining[dst]
@@ -445,21 +462,32 @@ class GpuNode:
                     packet.held_buffer = None
                     self._recover(packet, reason="link-down")
                     continue
+                delay = 0.0
+                if self.integrity is not None and first_link.tamper is not None:
+                    delay = first_link.tamper.apply(self, packet, receiver)
                 if len(path) == 1:
                     # Single-link hop (the common NVLink case): there is
                     # nothing left to traverse, so hand the packet to
                     # the receiver directly instead of spinning up a
                     # whole generator process.  Both paths consume one
                     # schedule slot, so event order is unchanged.
-                    self.engine.schedule(0.0, receiver.on_arrival, packet)
+                    self.engine.schedule(delay, receiver.on_arrival, packet)
                 else:
                     self.engine.process(
-                        self._traverse(packet, path[1:], receiver),
+                        self._traverse(packet, path[1:], receiver, delay),
                         name=f"gpu{self.gpu_id}-traverse",
                     )
             self._active_sends[next_gpu] -= 1
 
-    def _traverse(self, packet: Packet, remaining_path, receiver: "GpuNode"):
+    def _traverse(
+        self,
+        packet: Packet,
+        remaining_path,
+        receiver: "GpuNode",
+        delay: float = 0.0,
+    ):
+        if delay > 0.0:
+            yield self.engine.sleep(delay)
         for spec in remaining_path:
             link = self.links[spec.link_id]
             self._fulfill_link(packet, link)
@@ -476,6 +504,10 @@ class GpuNode:
                     packet.held_buffer = None
                 self._recover(packet, reason="link-down")
                 return
+            if self.integrity is not None and link.tamper is not None:
+                hold = link.tamper.apply(self, packet, receiver)
+                if hold > 0.0:
+                    yield self.engine.sleep(hold)
         receiver.on_arrival(packet)
 
     def _fulfill_link(self, packet: Packet, channel: LinkChannel) -> None:
@@ -501,6 +533,10 @@ class GpuNode:
             packet.held_buffer.release()
             packet.held_buffer = None
         self._return_commits(packet)
+        if packet.duplicate:
+            # A fault-made copy is dropped without touching the books:
+            # the original owns the flow's conservation accounting.
+            return
         self.coordinator.orphaned(packet)
 
     def crash(self) -> int:
@@ -604,9 +640,7 @@ class GpuNode:
 
     def _retry(self, packet: Packet, reason: str):
         recovery = self.recovery
-        yield self.engine.sleep(
-            recovery.policy.retry_delay(packet.attempts - 1)
-        )
+        yield self.engine.sleep(recovery.retry_delay(packet.attempts - 1))
         if self.coordinator is not None and (
             self.crashed or self.coordinator.is_dead(packet.flow_dst)
         ):
@@ -633,6 +667,22 @@ class GpuNode:
             self, packet, reason=reason, rerouted=route != old_route
         )
         self.enqueue(packet)
+
+    def _nack(self, packet: Packet) -> None:
+        """Checksum mismatch: ask the source for a pristine retransmit.
+
+        The NACK reuses the loss-recovery machinery at the *source*
+        GPU, so the retransmission re-chooses its route, backs off
+        through the same bounded-retry schedule, and degrades to the
+        host relay once the attempt budget runs out — the host copy is
+        re-read from source memory and therefore always pristine.
+        """
+        self.integrity.record_retransmit(packet)
+        self.integrity.restamp(packet)
+        source = self.peers.get(packet.flow_src)
+        if source is None or source.recovery is None:
+            return
+        source._recover(packet, reason="checksum-failure")
 
     def receive_fallback(self, packet: Packet) -> None:
         """Accept a host-relayed packet (no routing-buffer slot held)."""
@@ -681,6 +731,16 @@ class GpuNode:
             self.enqueue(packet)
 
     def _deliver(self, packet: Packet) -> None:
+        if self.integrity is not None:
+            verdict = self.integrity.on_deliver(self, packet)
+            if verdict != "ok":
+                slot = packet.held_buffer
+                if slot is not None:
+                    slot.release()
+                    packet.held_buffer = None
+                if verdict == "corrupt":
+                    self._nack(packet)
+                return
         self.stats.delivered_bytes += packet.payload_bytes
         self.stats.delivered_packets += 1
         self.stats.last_delivery_time = self.engine.now

@@ -74,6 +74,12 @@ class LinkChannel:
     _outage_epoch: int = 0
     #: Transfers lost to a down link (submitted or in flight).
     transfers_lost: int = 0
+    #: Corruption-fault hook (a :class:`~repro.sim.integrity.
+    #: PacketTamperer`), installed by the fault injector for the
+    #: event's duration; ``None`` = the wire is honest.  Applied by the
+    #: sending GPU after a successful transmit, and only when the run's
+    #: integrity layer is active — healthy runs never look at it.
+    tamper: "object | None" = None
 
     def service_time(self, nbytes: float) -> float:
         return self.spec.latency + nbytes / (self.spec.bandwidth * self.bandwidth_scale)

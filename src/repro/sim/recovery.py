@@ -27,9 +27,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import random
+
     from repro.obs import Observer
     from repro.sim.engine import Engine
     from repro.sim.gpusim import GpuNode, Packet
+    from repro.sim.integrity import TransportIntegrity
     from repro.sim.linksim import LinkStateBoard
     from repro.sim.shuffle import FlowMatrix
     from repro.sim.stats import RecoveryStats
@@ -62,6 +65,13 @@ class RetryPolicy:
     #: pinned-buffer PCIe rate) and per-packet latency.
     host_bandwidth: float = 5e9
     host_latency: float = 50e-6
+    #: Retry-delay jitter fraction in [0, 1): each backoff is scaled by
+    #: a factor in ``[1 - jitter/2, 1 + jitter/2)``.  The jitter rng is
+    #: seeded from the fault plan (crc32 of its name ^ its seed), never
+    #: from wall clock or global state, so two identical chaos runs
+    #: replay the identical retry schedule.  0 (the default) draws
+    #: nothing and leaves every existing digest byte-identical.
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -70,9 +80,11 @@ class RetryPolicy:
             raise ValueError("need 0 <= base_delay <= max_delay")
         if self.backoff < 1.0:
             raise ValueError("backoff must be >= 1 (delays must not shrink)")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
 
     def retry_delay(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (0-based)."""
+        """Backoff before retry number ``attempt`` (0-based, no jitter)."""
         return min(self.max_delay, self.base_delay * self.backoff**attempt)
 
     def total_delay_bound(self) -> float:
@@ -93,6 +105,9 @@ class RecoveryManager:
     engine: "Engine"
     policy: RetryPolicy = field(default_factory=RetryPolicy)
     observer: "Observer | None" = None
+    #: Seed of the (lazy) retry-jitter rng; derived from the fault plan
+    #: by the shuffle driver so identical runs jitter identically.
+    jitter_seed: int = 0
 
     #: Recovery counters (copied onto the shuffle report).
     retries: int = 0
@@ -104,6 +119,23 @@ class RecoveryManager:
     #: transfers to the same GPU serialize FIFO instead of completing
     #: in parallel at an unrealistic aggregate rate.
     _host_free_at: dict[int, float] = field(default_factory=dict)
+    _jitter_rng: "random.Random | None" = field(default=None, repr=False)
+
+    def retry_delay(self, attempt: int) -> float:
+        """The policy backoff for ``attempt``, with seeded jitter applied.
+
+        With ``policy.jitter == 0`` (the default) the rng is never even
+        created, so the schedule — and every digest — is exactly the
+        un-jittered policy value.
+        """
+        delay = self.policy.retry_delay(attempt)
+        if self.policy.jitter > 0.0:
+            if self._jitter_rng is None:
+                import random
+
+                self._jitter_rng = random.Random(self.jitter_seed)
+            delay *= 1.0 + self.policy.jitter * (self._jitter_rng.random() - 0.5)
+        return delay
 
     # ------------------------------------------------------------------
     # Event accounting
@@ -289,6 +321,7 @@ class CrashCoordinator:
         header_bytes: int,
         bridge: "object | None" = None,
         observer: "Observer | None" = None,
+        integrity: "TransportIntegrity | None" = None,
     ) -> None:
         self.engine = engine
         self.config = config
@@ -297,6 +330,9 @@ class CrashCoordinator:
         self.recovery = recovery
         self.packet_size = packet_size
         self.header_bytes = header_bytes
+        #: Verified-transport state; host-sent packets are stamped too
+        #: so the receiver-side dedup window covers every path.
+        self.integrity = integrity
         #: Join-level recovery coordinator (duck-typed: must expose
         #: ``on_gpu_dead(dead_gpu, survivors) -> FlowMatrix``); ``None``
         #: means lost partitions are not re-owned (shuffle-only runs).
@@ -413,6 +449,10 @@ class CrashCoordinator:
         re-sent — from the source GPU over the fabric when it is alive,
         through the host otherwise.
         """
+        if packet.duplicate:
+            # A fault-made duplicate copy carries no accounting weight;
+            # the original packet owns the flow's conservation books.
+            return
         src, dst = packet.flow_src, packet.flow_dst
         if dst in self._crashed or dst in self._declared:
             self.bytes_abandoned += packet.payload_bytes
@@ -615,6 +655,8 @@ class CrashCoordinator:
                 sequence=self._sequence,
                 created_at=self.engine.now,
             )
+            if self.integrity is not None:
+                self.integrity.stamp(packet)
             self.recovery.host_transfer(destination, packet)
 
     # ------------------------------------------------------------------

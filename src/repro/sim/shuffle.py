@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 from repro.routing.base import RoutingContext, RoutingPolicy
 from repro.sim.engine import Engine, SimulationError
 from repro.sim.gpusim import GpuNode, Packet
+from repro.sim.integrity import TransportIntegrity
 from repro.sim.linksim import LinkChannel, LinkStateBoard
 from repro.sim.recovery import (
     CrashCoordinator,
@@ -72,6 +73,12 @@ class ShuffleConfig:
     #: memory on the relay GPU, which a join does not want to steal
     #: from GPUs processing other work (§4.1).
     allow_external_relays: bool = False
+    #: Verified transport: stamp a crc32 checksum per packet at send,
+    #: verify on delivery, NACK/retransmit corrupt packets and drop
+    #: duplicates.  Off by default — the perf-gated configs keep their
+    #: byte-identical digests; corruption-class fault plans without it
+    #: are *detected* (not repaired) by the end-to-end integrity audit.
+    verify_transport: bool = False
 
     def __post_init__(self) -> None:
         if self.packet_size < 1024:
@@ -231,8 +238,31 @@ class ShuffleSimulator:
         )
         recovery: RecoveryManager | None = None
         if self.faults is not None:
+            import zlib
+
             recovery = RecoveryManager(
-                engine, policy=self.retry, observer=self.observer
+                engine,
+                policy=self.retry,
+                observer=self.observer,
+                # Seeded like presets (crc32, not hash()) so identical
+                # chaos runs replay identical retry-jitter schedules.
+                jitter_seed=zlib.crc32(self.faults.name.encode("utf-8"))
+                ^ self.faults.seed,
+            )
+        # The integrity layer exists when verification is requested or
+        # the plan can tamper with packets (so the audit sees it);
+        # healthy default runs skip it entirely — zero hot-path cost.
+        integrity: TransportIntegrity | None = None
+        plan_tampering = False
+        if self.faults is not None:
+            from repro.faults.plan import CORRUPTION_KINDS
+
+            plan_tampering = any(
+                event.kind in CORRUPTION_KINDS for event in self.faults.events
+            )
+        if config.verify_transport or plan_tampering:
+            integrity = TransportIntegrity(
+                engine, verify=config.verify_transport, observer=self.observer
             )
         coordinator: CrashCoordinator | None = None
         if recovery is not None and self.recovery_bridge is not None:
@@ -246,6 +276,7 @@ class ShuffleSimulator:
                 header_bytes=config.header_bytes,
                 bridge=self.recovery_bridge,
                 observer=self.observer,
+                integrity=integrity,
             )
         self.coordinator = coordinator
         delivered: list[Packet] = []
@@ -269,6 +300,7 @@ class ShuffleSimulator:
                 on_delivery=delivered.append,
                 recovery=recovery,
                 coordinator=coordinator,
+                integrity=integrity,
             )
         for node in nodes.values():
             node.peers = nodes
@@ -290,6 +322,7 @@ class ShuffleSimulator:
                 packet_size=config.packet_size,
                 observer=self.observer,
                 coordinator=coordinator,
+                integrity=integrity,
             )
         for gpu_id in self.gpu_ids:
             outgoing = flows.outgoing(gpu_id)
@@ -307,7 +340,15 @@ class ShuffleSimulator:
         if conformance is not None and self.observer is not None:
             conformance.export_metrics(self.observer)
         report = self._build_report(
-            engine, policy, flows, links, nodes, delivered, board, coordinator
+            engine,
+            policy,
+            flows,
+            links,
+            nodes,
+            delivered,
+            board,
+            coordinator,
+            integrity,
         )
         if injector is not None:
             report.faults_injected = injector.faults_injected
@@ -363,8 +404,14 @@ class ShuffleSimulator:
         delivered: list[Packet],
         board: LinkStateBoard,
         coordinator: CrashCoordinator | None = None,
+        integrity: TransportIntegrity | None = None,
     ) -> ShuffleReport:
         delivered_bytes = sum(node.stats.delivered_bytes for node in nodes.values())
+        # With verification *off*, fault-made duplicate copies are
+        # delivered twice on purpose (that is the corruption the audit
+        # must catch) — excuse exactly those bytes from conservation.
+        # Any residual mismatch is still a hard simulation error.
+        dup_bytes = integrity.dup_payload_bytes if integrity is not None else 0
         crashed = coordinator.crashed_gpus if coordinator is not None else frozenset()
         if crashed:
             # Conservation under crash recovery: every *surviving*
@@ -376,12 +423,12 @@ class ShuffleSimulator:
                 if gpu_id not in crashed
             )
             expected = coordinator.expected_live_bytes()
-            if live_delivered != expected:
+            if not expected <= live_delivered <= expected + dup_bytes:
                 raise SimulationError(
                     f"crash recovery lost data: survivors received "
                     f"{live_delivered} of {expected} expected bytes"
                 )
-        elif delivered_bytes != flows.total_bytes:
+        elif delivered_bytes - dup_bytes != flows.total_bytes:
             raise SimulationError(
                 f"shuffle stalled: delivered {delivered_bytes} of "
                 f"{flows.total_bytes} bytes (possible buffer deadlock)"
@@ -436,4 +483,5 @@ class ShuffleSimulator:
             recovery=(
                 coordinator.build_stats(elapsed) if crashed else None
             ),
+            integrity=integrity.build_stats() if integrity is not None else None,
         )

@@ -10,6 +10,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro.sim.integrity import IntegrityStats
 from repro.topology.links import LinkSpec
 from repro.topology.machine import MachineTopology
 from repro.topology.nodes import Node, gpu
@@ -199,6 +200,9 @@ class ShuffleReport:
     #: Crash-recovery accounting; ``None`` unless a GPU crashed with
     #: join-level recovery enabled.
     recovery: RecoveryStats | None = None
+    #: Verified-transport accounting; ``None`` unless the integrity
+    #: layer was active (verification on, or corruption faults planned).
+    integrity: IntegrityStats | None = None
 
     @property
     def throughput(self) -> float:

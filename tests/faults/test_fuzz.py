@@ -1,0 +1,182 @@
+"""Chaos fuzzer: seeded determinism, grammar validity, shrinking."""
+
+import pytest
+
+from repro.faults import (
+    CORRUPTION_KINDS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    run_fuzz,
+    sample_plan,
+    shrink_plan,
+)
+
+
+class TestSampling:
+    def test_same_seed_same_plan(self, dgx1):
+        for index in range(5):
+            first = sample_plan(dgx1, 1e-3, seed=8, index=index)
+            second = sample_plan(dgx1, 1e-3, seed=8, index=index)
+            assert first.to_dict() == second.to_dict()
+
+    def test_seed_and_index_vary_plans(self, dgx1):
+        base = sample_plan(dgx1, 1e-3, seed=8, index=0)
+        assert sample_plan(dgx1, 1e-3, seed=9, index=0).to_dict() != base.to_dict()
+        assert sample_plan(dgx1, 1e-3, seed=8, index=1).to_dict() != base.to_dict()
+
+    def test_plans_are_valid_and_bounded(self, dgx1):
+        for index in range(40):
+            plan = sample_plan(dgx1, 1e-3, seed=3, index=index)
+            plan.validate(dgx1)  # must not raise
+            assert 1 <= len(plan.events) <= 3
+            crashes = [
+                e for e in plan.events if e.kind is FaultKind.GPU_CRASH
+            ]
+            assert len(crashes) <= 1
+            for event in plan.events:
+                assert 0.0 <= event.at <= 0.5e-3
+
+    def test_grammar_covers_most_kinds(self, dgx1):
+        kinds = {
+            event.kind
+            for index in range(60)
+            for event in sample_plan(dgx1, 1e-3, seed=5, index=index).events
+        }
+        assert len(kinds) >= 6
+        assert kinds & CORRUPTION_KINDS
+
+    def test_respects_gpu_subset(self, dgx1):
+        subset = (0, 1, 2, 3)
+        for index in range(20):
+            plan = sample_plan(dgx1, 1e-3, seed=2, index=index, gpu_ids=subset)
+            for event in plan.events:
+                targets = {event.gpu, event.src, event.dst} - {None}
+                assert targets <= set(subset)
+
+
+def corrupt_event(magnitude=0.8):
+    return FaultEvent(
+        kind=FaultKind.PAYLOAD_CORRUPT,
+        at=0.0,
+        duration=1e-3,
+        src=0,
+        dst=1,
+        magnitude=magnitude,
+    )
+
+
+def straggler_event():
+    return FaultEvent(
+        kind=FaultKind.GPU_STRAGGLER, at=0.0, duration=1e-3, gpu=2, magnitude=4.0
+    )
+
+
+def blackout_event():
+    return FaultEvent(
+        kind=FaultKind.LINK_BLACKOUT, at=0.0, duration=1e-4, src=2, dst=3
+    )
+
+
+class TestShrinking:
+    def test_drops_irrelevant_events(self):
+        plan = FaultPlan(
+            name="s",
+            events=(corrupt_event(), straggler_event(), blackout_event()),
+        )
+
+        def oracle(candidate):
+            return any(
+                e.kind is FaultKind.PAYLOAD_CORRUPT for e in candidate.events
+            )
+
+        shrunk, checks = shrink_plan(plan, oracle)
+        assert len(shrunk.events) == 1
+        assert shrunk.events[0].kind is FaultKind.PAYLOAD_CORRUPT
+        assert checks <= 32
+
+    def test_softens_magnitude_to_floor(self):
+        plan = FaultPlan(name="s", events=(corrupt_event(magnitude=0.8),))
+
+        def oracle(candidate):  # fails at any magnitude
+            return True
+
+        shrunk, _ = shrink_plan(plan, oracle)
+        assert shrunk.events[0].magnitude == pytest.approx(0.05)
+        assert shrunk.events[0].duration < 1e-3
+
+    def test_keeps_magnitude_needed_to_fail(self):
+        plan = FaultPlan(name="s", events=(corrupt_event(magnitude=0.8),))
+
+        def oracle(candidate):
+            return candidate.events[0].magnitude >= 0.4
+
+        shrunk, _ = shrink_plan(plan, oracle)
+        assert shrunk.events[0].magnitude >= 0.4
+
+    def test_oracle_calls_bounded(self):
+        plan = FaultPlan(
+            name="s",
+            events=(corrupt_event(), straggler_event(), blackout_event()),
+        )
+        calls = 0
+
+        def oracle(candidate):
+            nonlocal calls
+            calls += 1
+            return True
+
+        _, checks = shrink_plan(plan, oracle, max_checks=5)
+        assert checks == 5
+        assert calls == 5
+
+
+class TestRunFuzz:
+    def stub_runner(self, failing_names):
+        calls = []
+
+        def runner(plan):
+            calls.append(plan.name)
+            if plan.name in failing_names:
+                return "boom"
+            return None
+
+        return runner, calls
+
+    def test_budget_and_determinism(self, dgx1):
+        runner, calls = self.stub_runner(set())
+        report = run_fuzz(dgx1, 1e-3, runner, seed=8, budget=7)
+        assert report.ok
+        assert report.plans_run == 7
+        assert calls == [f"fuzz-8-{i:03d}" for i in range(7)]
+        rerun = run_fuzz(dgx1, 1e-3, self.stub_runner(set())[0], seed=8, budget=7)
+        assert report.to_dict() == rerun.to_dict()
+
+    def test_failures_are_shrunk_and_reported(self, dgx1):
+        runner, _ = self.stub_runner({"fuzz-8-002"})
+
+        def sticky_runner(plan):
+            # The shrunk candidates keep the failing plan's name, so the
+            # failure persists through shrinking (worst case: minimal
+            # plan is one maximally-softened event).
+            return runner(plan)
+
+        report = run_fuzz(dgx1, 1e-3, sticky_runner, seed=8, budget=4)
+        assert not report.ok
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.plan.name == "fuzz-8-002"
+        assert failure.reason == "boom"
+        assert len(failure.shrunk.events) <= len(failure.plan.events)
+        payload = report.to_dict()
+        assert payload["ok"] is False
+        assert payload["failures"][0]["plan"]["name"] == "fuzz-8-002"
+        text = "\n".join(report.summary_lines())
+        assert "FAILURE" in text and "fuzz-8-002" in text
+
+    def test_log_callback_sees_every_plan(self, dgx1):
+        lines = []
+        runner, _ = self.stub_runner(set())
+        run_fuzz(dgx1, 1e-3, runner, seed=1, budget=3, log=lines.append)
+        assert len(lines) == 3
+        assert "[1/3]" in lines[0]

@@ -1,0 +1,273 @@
+"""Verified transport: checksums, NACK/retransmit, dedup, and the
+end-to-end audit that catches silent corruption with verification off.
+
+The single-NVLink tiny machine guarantees every shuffle packet crosses
+the tampered link, so magnitude-1.0 plans tamper deterministically —
+no reliance on which links a router happens to pick.
+"""
+
+import pytest
+from helpers import make_workload
+
+from repro.faults import ChaosError, FaultEvent, FaultKind, FaultPlan, run_chaos
+from repro.sim.integrity import IntegrityStats, payload_checksum, payload_token
+
+CORRUPTION = (
+    FaultKind.PAYLOAD_CORRUPT,
+    FaultKind.PACKET_DUP,
+    FaultKind.PACKET_REORDER,
+)
+
+
+def corruption_plan(kind, magnitude=1.0, retry=None):
+    """One whole-run corruption window on the tiny machine's only link."""
+    return FaultPlan(
+        name=f"it-{kind.value}",
+        events=(
+            FaultEvent(
+                kind=kind,
+                at=0.0,
+                duration=10.0,
+                src=0,
+                dst=1,
+                magnitude=magnitude,
+            ),
+        ),
+        retry=retry,
+    )
+
+
+@pytest.fixture
+def workload():
+    return make_workload(num_gpus=2, real=2048)
+
+
+class TestVerifiedTransport:
+    """With verification on, every corruption class is absorbed and the
+    faulted digest equals the healthy one byte-for-byte."""
+
+    @pytest.mark.parametrize("kind", CORRUPTION)
+    def test_digest_identical_under_corruption(self, tiny_machine, workload, kind):
+        report = run_chaos(
+            tiny_machine, workload, corruption_plan(kind), verify=True
+        )  # strict: raises on any mismatch
+        assert report.correct
+        assert report.faulted.match_digest == report.healthy.match_digest
+        stats = report.integrity
+        assert stats is not None and stats.verified
+        assert not stats.silent_corruption
+
+    def test_corruption_is_repaired_via_nack(self, tiny_machine, workload):
+        report = run_chaos(
+            tiny_machine,
+            workload,
+            corruption_plan(FaultKind.PAYLOAD_CORRUPT),
+            verify=True,
+        )
+        stats = report.integrity
+        assert stats.corrupted_wire > 0
+        assert stats.checksum_failures == stats.corrupted_wire
+        assert stats.retransmits > 0
+        assert stats.corrupt_delivered == 0
+        assert report.fault_counters["checksum_failures"] > 0
+
+    def test_duplicates_are_dropped(self, tiny_machine, workload):
+        report = run_chaos(
+            tiny_machine,
+            workload,
+            corruption_plan(FaultKind.PACKET_DUP),
+            verify=True,
+        )
+        stats = report.integrity
+        assert stats.duplicated_wire > 0
+        assert stats.dup_dropped == stats.duplicated_wire
+        assert stats.dup_delivered == 0
+
+    def test_reorders_are_marked(self, tiny_machine, workload):
+        report = run_chaos(
+            tiny_machine,
+            workload,
+            corruption_plan(FaultKind.PACKET_REORDER),
+            verify=True,
+        )
+        assert report.integrity.reordered_wire > 0
+
+
+class TestUnverifiedAudit:
+    """With verification off, the audit must detect corruption — the
+    run is graded wrong (never silently correct-looking)."""
+
+    @pytest.mark.parametrize(
+        "kind", (FaultKind.PAYLOAD_CORRUPT, FaultKind.PACKET_DUP)
+    )
+    def test_silent_corruption_detected(self, tiny_machine, workload, kind):
+        report = run_chaos(
+            tiny_machine,
+            workload,
+            corruption_plan(kind),
+            strict=False,
+            verify=False,
+        )
+        assert report.silent_corruption_detected
+        assert not report.correct
+        stats = report.integrity
+        assert not stats.verified
+        if kind is FaultKind.PAYLOAD_CORRUPT:
+            assert stats.corrupt_delivered > 0
+        else:
+            assert stats.dup_delivered > 0
+            assert stats.dup_payload_bytes > 0
+
+    def test_strict_raises_naming_silent_corruption(self, tiny_machine, workload):
+        with pytest.raises(ChaosError, match="silently corrupted"):
+            run_chaos(
+                tiny_machine,
+                workload,
+                corruption_plan(FaultKind.PAYLOAD_CORRUPT),
+                verify=False,
+            )
+
+    def test_reorder_without_verification_is_benign(self, tiny_machine, workload):
+        # Arrival order is not a correctness property (healthy multi-route
+        # shuffles already reorder); the audit must not cry wolf.
+        report = run_chaos(
+            tiny_machine,
+            workload,
+            corruption_plan(FaultKind.PACKET_REORDER),
+            strict=False,
+            verify=False,
+        )
+        assert report.integrity.reordered_wire > 0
+        assert not report.silent_corruption_detected
+        assert report.correct
+
+
+class TestAutoVerify:
+    def test_auto_on_for_corruption_plans(self, tiny_machine, workload):
+        report = run_chaos(
+            tiny_machine,
+            workload,
+            corruption_plan(FaultKind.PAYLOAD_CORRUPT),
+        )  # verify=None
+        assert report.integrity is not None
+        assert report.integrity.verified
+
+    def test_off_for_loss_only_plans(self, tiny_machine, workload):
+        plan = FaultPlan(
+            name="it-blackout",
+            events=(
+                FaultEvent(
+                    kind=FaultKind.LINK_BLACKOUT,
+                    at=1e-5,
+                    duration=2e-5,
+                    src=0,
+                    dst=1,
+                ),
+            ),
+        )
+        report = run_chaos(tiny_machine, workload, plan, strict=False)
+        # No integrity layer: zero overhead, historical digests intact.
+        assert report.integrity is None
+
+    def test_precomputed_healthy_baseline(self, tiny_machine, workload):
+        from dataclasses import replace
+
+        from repro.core import MGJoin
+        from repro.core.config import MGJoinConfig
+
+        config = replace(MGJoinConfig(), materialize=True)
+        healthy = MGJoin(tiny_machine, config=config).run(workload)
+        report = run_chaos(
+            tiny_machine,
+            workload,
+            corruption_plan(FaultKind.PAYLOAD_CORRUPT),
+            config=config,
+            healthy=healthy,
+        )
+        assert report.healthy is healthy
+        assert report.correct
+
+
+class TestChecksumPrimitives:
+    def test_token_and_checksum_deterministic(self):
+        token = payload_token(0, 1, 7, 4096)
+        assert token == payload_token(0, 1, 7, 4096)
+        assert payload_checksum(token) == payload_checksum(token)
+
+    def test_any_bit_flip_invalidates(self):
+        token = payload_token(2, 3, 11, 8192)
+        checksum = payload_checksum(token)
+        for bit in range(32):
+            assert payload_checksum(token ^ (1 << bit)) != checksum
+
+    def test_distinct_packets_distinct_tokens(self):
+        tokens = {
+            payload_token(src, dst, seq, 4096)
+            for src in range(4)
+            for dst in range(4)
+            for seq in range(8)
+        }
+        assert len(tokens) == 4 * 4 * 8
+
+    def test_stats_to_dict_and_silent_flag(self):
+        stats = IntegrityStats(verified=False, corrupt_delivered=2)
+        assert stats.silent_corruption
+        payload = stats.to_dict()
+        assert payload["corrupt_delivered"] == 2
+        assert payload["silent_corruption"] is True
+        assert not IntegrityStats(verified=True).silent_corruption
+
+
+class TestRetryJitterDeterminism:
+    """Jitter is seeded from the plan (crc32 of its name ^ seed), so two
+    identical chaos runs emit byte-identical retry telemetry."""
+
+    def run_once(self, machine, workload):
+        from repro.obs import Observer
+        from repro.obs.stream import TelemetryStream
+
+        events = []
+        stream = TelemetryStream(None)
+        stream.subscribe(events.append)
+        observer = Observer()
+        observer.stream = stream
+        plan = corruption_plan(
+            FaultKind.PAYLOAD_CORRUPT,
+            retry=(("jitter", 0.5), ("base_delay", 1e-6)),
+        )
+        report = run_chaos(
+            machine, workload, plan, verify=True, observer=observer
+        )
+        assert report.integrity.retransmits > 0
+        return [e for e in events if e["type"] in ("packet.retry", "integrity")]
+
+    def test_identical_runs_identical_retry_telemetry(
+        self, tiny_machine, workload
+    ):
+        first = self.run_once(tiny_machine, workload)
+        second = self.run_once(tiny_machine, workload)
+        assert first  # jitter actually exercised the retry path
+        assert first == second
+
+    def test_jitter_validation(self):
+        from repro.sim.recovery import RetryPolicy
+
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        assert RetryPolicy(jitter=0.25).jitter == 0.25
+
+    def test_jitter_perturbs_but_preserves_mean_scale(self):
+        from repro.sim.recovery import RecoveryManager, RetryPolicy
+
+        policy = RetryPolicy(jitter=0.5, base_delay=1e-6)
+        manager = RecoveryManager(engine=None, policy=policy, jitter_seed=7)
+        base = policy.retry_delay(0)
+        delays = [manager.retry_delay(0) for _ in range(64)]
+        assert any(d != base for d in delays)
+        assert all(0.5 * base <= d <= 1.5 * base for d in delays)
+        # Zero jitter must bypass the RNG entirely (digest stability).
+        plain = RecoveryManager(engine=None, policy=RetryPolicy(), jitter_seed=7)
+        assert plain.retry_delay(0) == RetryPolicy().retry_delay(0)
+        assert plain._jitter_rng is None

@@ -182,3 +182,151 @@ class TestPresets:
     def test_nonpositive_horizon_rejected(self, dgx1):
         with pytest.raises(FaultPlanError):
             build_preset("nvlink-cut", dgx1, 0.0)
+
+
+def corruption_event(kind=FaultKind.PAYLOAD_CORRUPT, **overrides):
+    kwargs = dict(kind=kind, at=1.0, duration=2.0, src=0, dst=1, magnitude=0.5)
+    kwargs.update(overrides)
+    return FaultEvent(**kwargs)
+
+
+class TestCorruptionEvents:
+    @pytest.mark.parametrize(
+        "kind",
+        (FaultKind.PAYLOAD_CORRUPT, FaultKind.PACKET_DUP, FaultKind.PACKET_REORDER),
+    )
+    def test_magnitude_must_be_a_rate(self, kind):
+        with pytest.raises(FaultPlanError):
+            corruption_event(kind, magnitude=0.0)
+        with pytest.raises(FaultPlanError):
+            corruption_event(kind, magnitude=1.5)
+        assert corruption_event(kind, magnitude=1.0).magnitude == 1.0
+
+    @pytest.mark.parametrize(
+        "kind",
+        (FaultKind.PAYLOAD_CORRUPT, FaultKind.PACKET_DUP, FaultKind.PACKET_REORDER),
+    )
+    def test_needs_duration_and_link_pair(self, kind):
+        with pytest.raises(FaultPlanError):
+            corruption_event(kind, duration=None)
+        with pytest.raises(FaultPlanError):
+            corruption_event(kind, src=None, dst=None)
+
+    def test_dict_round_trip_keeps_magnitude(self):
+        event = corruption_event(FaultKind.PACKET_DUP, magnitude=0.25)
+        payload = event.to_dict()
+        assert payload["magnitude"] == 0.25
+        assert FaultEvent.from_dict(payload) == event
+
+    def test_corruption_presets_validate(self, dgx1):
+        for name in ("payload-corrupt", "packet-dup", "packet-reorder"):
+            plan = build_preset(name, dgx1, horizon=1.0, seed=4)
+            plan.validate(dgx1)
+            assert plan.events[0].kind.value == name
+            assert plan.events[0].duration is not None
+
+
+class TestPermanentConflicts:
+    """validate() rejects plans whose later events target something an
+    earlier permanent fault already removed, naming both events."""
+
+    def test_double_crash_same_gpu(self, dgx1):
+        plan = FaultPlan(
+            name="crash-twice",
+            events=(
+                FaultEvent(kind=FaultKind.GPU_CRASH, at=1.0, gpu=2),
+                FaultEvent(kind=FaultKind.GPU_CRASH, at=2.0, gpu=2),
+            ),
+        )
+        with pytest.raises(FaultPlanError) as err:
+            plan.validate(dgx1)
+        message = str(err.value)
+        assert "gpu-crash at t=1.0 on gpu2" in message
+        assert "gpu-crash at t=2.0 on gpu2" in message
+
+    def test_double_fail_same_link(self, dgx1):
+        plan = FaultPlan(
+            name="fail-twice",
+            events=(
+                FaultEvent(kind=FaultKind.LINK_FAIL, at=1.0, src=0, dst=1),
+                FaultEvent(kind=FaultKind.LINK_FAIL, at=2.0, src=1, dst=0),
+            ),
+        )
+        with pytest.raises(FaultPlanError) as err:
+            plan.validate(dgx1)
+        message = str(err.value)
+        assert "link-fail at t=1.0" in message and "link-fail at t=2.0" in message
+
+    def test_event_on_failed_link(self, dgx1):
+        plan = FaultPlan(
+            name="degrade-dead-link",
+            events=(
+                FaultEvent(kind=FaultKind.LINK_FAIL, at=1.0, src=0, dst=1),
+                FaultEvent(
+                    kind=FaultKind.LINK_DEGRADE,
+                    at=2.0,
+                    src=0,
+                    dst=1,
+                    duration=1.0,
+                    magnitude=0.5,
+                ),
+            ),
+        )
+        with pytest.raises(FaultPlanError, match="already removed by"):
+            plan.validate(dgx1)
+
+    def test_event_touching_crashed_gpu(self, dgx1):
+        plan = FaultPlan(
+            name="corrupt-dead-gpu",
+            events=(
+                FaultEvent(kind=FaultKind.GPU_CRASH, at=1.0, gpu=1),
+                corruption_event(at=2.0, src=0, dst=1),
+            ),
+        )
+        with pytest.raises(FaultPlanError) as err:
+            plan.validate(dgx1)
+        message = str(err.value)
+        assert "gpu-crash at t=1.0 on gpu1" in message
+        assert "payload-corrupt at t=2.0 on gpu0<->gpu1" in message
+
+    def test_straggler_on_crashed_gpu(self, dgx1):
+        plan = FaultPlan(
+            name="straggle-the-dead",
+            events=(
+                FaultEvent(kind=FaultKind.GPU_CRASH, at=1.0, gpu=3),
+                FaultEvent(
+                    kind=FaultKind.GPU_STRAGGLER,
+                    at=2.0,
+                    gpu=3,
+                    duration=1.0,
+                    magnitude=2.0,
+                ),
+            ),
+        )
+        with pytest.raises(FaultPlanError, match="already removed by"):
+            plan.validate(dgx1)
+
+    def test_disjoint_targets_pass(self, dgx1):
+        plan = FaultPlan(
+            name="fine",
+            events=(
+                FaultEvent(kind=FaultKind.LINK_FAIL, at=1.0, src=0, dst=1),
+                FaultEvent(kind=FaultKind.GPU_CRASH, at=2.0, gpu=5),
+                corruption_event(at=3.0, src=2, dst=3),
+            ),
+        )
+        assert plan.validate(dgx1) is plan
+
+    def test_transient_faults_may_repeat(self, dgx1):
+        plan = FaultPlan(
+            name="flap",
+            events=(
+                FaultEvent(
+                    kind=FaultKind.LINK_BLACKOUT, at=1.0, duration=0.5, src=0, dst=1
+                ),
+                FaultEvent(
+                    kind=FaultKind.LINK_BLACKOUT, at=3.0, duration=0.5, src=0, dst=1
+                ),
+            ),
+        )
+        assert plan.validate(dgx1) is plan

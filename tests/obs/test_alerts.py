@@ -150,6 +150,27 @@ class TestAlertEngine:
         stream.emit("conformance", t=1.0, count=100, drift_ratio=0.75)
         assert [alert["rule"] for alert in engine.fired] == ["residual-drift"]
 
+    def test_checksum_failure_rule(self):
+        stream = TelemetryStream(None)
+        engine = AlertEngine(stream)
+        stream.emit(
+            "integrity", t=1.0, kind="checksum-failure", src=0, dst=1, sequence=3
+        )
+        assert [alert["rule"] for alert in engine.fired] == ["checksum-failure"]
+        assert engine.fired[0]["severity"] == "critical"
+
+    def test_checksum_rule_ignores_dup_drops(self):
+        # Duplicate suppression is routine protection, not an SLO breach.
+        stream = TelemetryStream(None)
+        engine = AlertEngine(stream)
+        stream.emit(
+            "integrity", t=1.0, kind="dup-dropped", src=0, dst=1, sequence=3
+        )
+        assert engine.fired == []
+
+    def test_checksum_rule_is_a_default(self):
+        assert any(rule.name == "checksum-failure" for rule in DEFAULT_RULES)
+
 
 def test_load_rules_roundtrip(tmp_path):
     path = tmp_path / "rules.json"
