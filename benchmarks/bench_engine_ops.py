@@ -1,0 +1,48 @@
+"""Batch-engine kernel micro-benchmarks (docs/performance.md).
+
+Times the array operations behind the batch event kernel in isolation
+— ready-batch extraction, the heap-drain lexsort merge, the link-queue
+drain forecast, and a live calendar drain — per available backend.
+The row table lands in ``bench_results/engine-ops.json`` and the
+suite's self-time in ``bench_run.json`` like every other figure.
+
+Assertions here are *sanity* bounds (the ops complete, scale sanely,
+and every backend produced rows), not perf gates: wall-clock per-op
+timings on shared CI are too noisy to gate, and the real hot-path
+budget is ``perf.self_time_seconds`` in the BENCH baselines.
+"""
+
+from repro.bench.engine_ops import SIZES, engine_ops
+from repro.sim import kernels
+
+
+def test_engine_ops_micro_suite(run_figure):
+    result = run_figure(engine_ops)
+
+    ops = {row["op"] for row in result.rows}
+    assert ops == {
+        "ready-batch-extraction",
+        "heap-drain-merge",
+        "link-queue-drain",
+        "engine-calendar-drain",
+    }
+    backends = {row["backend"] for row in result.rows}
+    assert "numpy" in backends
+    if kernels.numba_available():
+        assert "numba" in backends
+
+    # Every (op, backend) pair covered the full size sweep.
+    for op in ops:
+        for backend in backends:
+            sizes = {
+                row["n"]
+                for row in result.rows
+                if row["op"] == op and row["backend"] == backend
+            }
+            assert len(sizes) == len(SIZES), (op, backend)
+
+    # Timings are positive and finite (a zero would mean the op was
+    # optimized away and the row is meaningless).
+    for row in result.rows:
+        cost = row.get("ns_per_element", row.get("ns_per_call"))
+        assert cost is not None and cost > 0

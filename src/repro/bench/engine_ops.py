@@ -1,0 +1,162 @@
+"""Micro-benchmarks of the batch engine's kernel operations.
+
+Times the three array operations behind the
+:class:`~repro.sim.batch.BatchEngine` hot path *in isolation* — each
+on synthetic inputs shaped like real calendars, for every available
+kernel backend:
+
+* **ready-batch extraction** — cohort-boundary search at the head of a
+  sorted run with realistic duplicate-timestamp cohorts,
+* **heap drain** — the ``(time, seq)`` lexsort merge that folds the
+  append buffer into the sorted run,
+* **link-queue drain** — the FIFO service-time forecast over one
+  link's queued transfer sizes.
+
+A fourth row set drains a live :class:`BatchEngine` calendar
+end-to-end (schedule ``n`` timers, run to completion), capturing the
+per-event overhead everything above amortizes.  Results ride the
+standard figure pipeline: ``repro bench`` stamps the self-time into
+``bench_run.json`` and the row tables land in ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.harness import FigureResult
+from repro.sim import kernels
+
+#: Input sizes swept per operation.
+SIZES = (1024, 16384, 131072)
+
+#: Deterministic input seed (inputs, not timings, are reproducible).
+SEED = 42
+
+
+def _backends() -> list[kernels.KernelBackend]:
+    resolved = [kernels.resolve_backend("numpy")]
+    if kernels.numba_available():
+        resolved.append(kernels.resolve_backend("numba"))
+    return resolved
+
+
+def _calendar(rng: np.random.Generator, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """A sorted run with duplicate-heavy timestamps (mean cohort ~4)."""
+    times = np.sort(rng.integers(0, max(n // 4, 1), size=n).astype(np.float64))
+    seqs = np.arange(n, dtype=np.int64)
+    return times, seqs
+
+
+def _time_op(op, repeats: int = 5) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one call of ``op``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        op()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _bench_cohort_extraction(result: FigureResult, backend, n: int) -> None:
+    rng = np.random.default_rng(SEED)
+    times, _ = _calendar(rng, n)
+    heads = rng.integers(0, n, size=256)
+
+    def op():
+        for head in heads:
+            backend.cohort_end(times, int(head), n)
+
+    seconds = _time_op(op)
+    result.add(
+        op="ready-batch-extraction",
+        backend=backend.name,
+        n=n,
+        calls=len(heads),
+        ns_per_call=seconds / len(heads) * 1e9,
+    )
+
+
+def _bench_heap_drain(result: FigureResult, backend, n: int) -> None:
+    rng = np.random.default_rng(SEED)
+    run_times, run_seqs = _calendar(rng, n)
+    buf_times = rng.integers(0, max(n // 4, 1), size=n // 4).astype(np.float64)
+    buf_seqs = np.arange(n, n + len(buf_times), dtype=np.int64)
+    times = np.concatenate([run_times, buf_times])
+    seqs = np.concatenate([run_seqs, buf_seqs])
+
+    seconds = _time_op(lambda: backend.merge_order(times, seqs))
+    result.add(
+        op="heap-drain-merge",
+        backend=backend.name,
+        n=len(times),
+        calls=1,
+        ns_per_element=seconds / len(times) * 1e9,
+    )
+
+
+def _bench_link_drain(result: FigureResult, backend, n: int) -> None:
+    rng = np.random.default_rng(SEED)
+    sizes = rng.integers(1 << 16, 2 << 20, size=n).astype(np.float64)
+
+    seconds = _time_op(
+        lambda: backend.link_drain(sizes, 0.0, 1e-3, 5e-6, 1.0 / 25e9)
+    )
+    result.add(
+        op="link-queue-drain",
+        backend=backend.name,
+        n=n,
+        calls=1,
+        ns_per_element=seconds / n * 1e9,
+    )
+
+
+def _bench_engine_drain(result: FigureResult, backend_name: str, n: int) -> None:
+    from repro.sim.batch import BatchEngine
+
+    rng = np.random.default_rng(SEED)
+    delays = rng.random(n) * 1e-3
+
+    def op():
+        engine = BatchEngine(backend=backend_name)
+        sink = (lambda: None)
+        for delay in delays:
+            engine.schedule(float(delay), sink)
+        engine.run()
+
+    seconds = _time_op(op, repeats=3)
+    result.add(
+        op="engine-calendar-drain",
+        backend=backend_name,
+        n=n,
+        calls=1,
+        ns_per_element=seconds / n * 1e9,
+    )
+
+
+def engine_ops() -> FigureResult:
+    """Run the kernel micro-benchmark suite over all backends."""
+    result = FigureResult(
+        figure="engine-ops",
+        title="Batch-engine kernel micro-benchmarks (per-op cost)",
+    )
+    backends = _backends()
+    for backend in backends:
+        for n in SIZES:
+            _bench_cohort_extraction(result, backend, n)
+            _bench_heap_drain(result, backend, n)
+            _bench_link_drain(result, backend, n)
+            _bench_engine_drain(result, backend.name, n)
+    result.note(
+        "backends available: "
+        + ", ".join(backend.name for backend in backends)
+        + ("" if kernels.numba_available() else " (numba not installed)")
+    )
+    result.note(
+        "timings are wall-clock (best-of-N); inputs are seeded and"
+        " deterministic, timings are not gated"
+    )
+    return result

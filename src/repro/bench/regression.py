@@ -78,6 +78,45 @@ METRIC_TOLERANCES: dict[str, float] = {
 MB = 1024 * 1024
 
 
+@dataclass(frozen=True)
+class PerfWorkload:
+    """One canonical perf-gate workload (topology + scale + baseline).
+
+    Every workload runs the same metric collection — adaptive/direct
+    audited shuffles plus a small end-to-end MG-Join — on its own
+    machine, and gates against its own committed ``BENCH_<name>.json``
+    baseline with an independent ``perf.self_time_seconds`` budget.
+    """
+
+    name: str
+    #: Key into the topology factory table below.
+    topology: str
+    num_gpus: int
+    seed: int = 42
+
+
+def _perf_machine(workload: "PerfWorkload"):
+    from repro.topology import dgx1_topology, dgx2_topology, multi_node_dgx1
+
+    factories = {
+        "dgx1": dgx1_topology,
+        "dgx2": dgx2_topology,
+        "dgx1x2": lambda: multi_node_dgx1(2),
+    }
+    return factories[workload.topology]()
+
+
+#: The gated perf workloads.  ``dgx1-8gpu`` is the historical default;
+#: ``dgx2-16gpu`` exercises the NVSwitch fabric and ``multinode`` the
+#: two-box NIC path, both at 16 GPUs where the batch engine's wide
+#: same-instant cohorts actually occur.
+PERF_WORKLOADS: dict[str, PerfWorkload] = {
+    "dgx1-8gpu": PerfWorkload(name="dgx1-8gpu", topology="dgx1", num_gpus=8),
+    "dgx2-16gpu": PerfWorkload(name="dgx2-16gpu", topology="dgx2", num_gpus=16),
+    "multinode": PerfWorkload(name="multinode", topology="dgx1x2", num_gpus=16),
+}
+
+
 def skewed_flows(gpu_ids: tuple[int, ...], hot_gpu: int | None = None,
                  hot_bytes: int = 48 * MB, base_bytes: int = 8 * MB) -> FlowMatrix:
     """All-to-all traffic with one hot receiver (paper §5.2 skew shape)."""
@@ -104,9 +143,17 @@ def _shuffle_with_audit(machine, gpu_ids, policy, conformance=None):
 
 
 def collect_perf_metrics(
-    num_gpus: int = 8, seed: int = 42, include_self_time: bool = True
+    num_gpus: int | None = None,
+    seed: int | None = None,
+    include_self_time: bool = True,
+    workload: str | PerfWorkload = "dgx1-8gpu",
 ) -> dict[str, float]:
-    """Run the canonical perf workload and return the metric dict.
+    """Run one canonical perf workload and return the metric dict.
+
+    ``workload`` names an entry of :data:`PERF_WORKLOADS` (or is one);
+    ``num_gpus`` / ``seed`` default to the workload's own values, and
+    the historical ``dgx1-8gpu`` defaults produce exactly the metric
+    dict this function always produced.
 
     Everything downstream of the RNG seed is deterministic, so two
     collections on the same code produce identical values — except
@@ -118,11 +165,23 @@ def collect_perf_metrics(
     import time
 
     from repro.core import MGJoin
-    from repro.topology import dgx1_topology
     from repro.workloads import WorkloadSpec, generate_workload
 
+    if isinstance(workload, str):
+        try:
+            workload = PERF_WORKLOADS[workload]
+        except KeyError:
+            raise ValueError(
+                f"unknown perf workload {workload!r};"
+                f" have {sorted(PERF_WORKLOADS)}"
+            ) from None
+    if num_gpus is None:
+        num_gpus = workload.num_gpus
+    if seed is None:
+        seed = workload.seed
+
     started = time.perf_counter()
-    machine = dgx1_topology()
+    machine = _perf_machine(workload)
     gpu_ids = tuple(machine.gpu_ids[:num_gpus])
 
     from repro.obs.conformance import ConformanceProbe
@@ -327,13 +386,16 @@ def run_gate(
     path: str | pathlib.Path | None = None,
     tolerance: float = DEFAULT_TOLERANCE,
     current: dict[str, float] | None = None,
+    workload: str | PerfWorkload = "dgx1-8gpu",
 ) -> GateResult:
     """Collect fresh metrics and gate them against the baseline file."""
     if path is None:
-        path = baseline_path()
+        path = baseline_path(
+            workload if isinstance(workload, str) else workload.name
+        )
     payload = load_baseline(path)
     if current is None:
-        current = collect_perf_metrics()
+        current = collect_perf_metrics(workload=workload)
     directions = dict(METRIC_DIRECTIONS)
     directions.update(payload.get("directions", {}))
     return compare(
@@ -346,6 +408,7 @@ def run_gate_from_store(
     run_id: str | None = None,
     tolerance: float = DEFAULT_TOLERANCE,
     current: dict[str, float] | None = None,
+    workload: str | PerfWorkload = "dgx1-8gpu",
 ) -> tuple[GateResult, str]:
     """Gate fresh metrics against a baseline read *through the store*.
 
@@ -369,7 +432,7 @@ def run_gate_from_store(
                 " 'repro perf --update --store ...' first"
             )
     if current is None:
-        current = collect_perf_metrics()
+        current = collect_perf_metrics(workload=workload)
     directions = dict(METRIC_DIRECTIONS)
     directions.update(record.directions)
     result = compare(

@@ -58,7 +58,10 @@ from repro.routing import (
     HopCountPolicy,
     LatencyPolicy,
 )
-from repro.sim import FlowMatrix, ShuffleSimulator
+from repro.bench.regression import PERF_WORKLOADS
+from repro.sim import ENGINE_MODES, FlowMatrix, ShuffleSimulator
+
+PERF_WORKLOAD_NAMES = tuple(PERF_WORKLOADS)
 from repro.topology import (
     dgx1_topology,
     dgx2_topology,
@@ -122,6 +125,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true",
         help="shorthand for --log-level warning",
+    )
+    parser.add_argument(
+        "--engine", dest="engine_mode", choices=ENGINE_MODES, default=None,
+        help="event-kernel mode for every simulation in this invocation:"
+        " 'fast' (default), 'batch' (array calendar + vectorized cost"
+        " kernels; backend via $REPRO_ENGINE_BACKEND), or 'reference'"
+        " (bit-exact all-heap kernel); overrides $REPRO_ENGINE",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -384,8 +394,14 @@ def build_parser() -> argparse.ArgumentParser:
         "perf", help="gate current perf metrics against a BENCH baseline"
     )
     perf.add_argument(
+        "--workload", choices=sorted(PERF_WORKLOAD_NAMES), default="dgx1-8gpu",
+        help="canonical perf workload to collect and gate"
+        " (default: dgx1-8gpu; each gates its own BENCH_<name>.json)",
+    )
+    perf.add_argument(
         "--baseline", metavar="PATH", default=None,
-        help="BENCH_*.json baseline file (default: repo BENCH_dgx1-8gpu.json)",
+        help="BENCH_*.json baseline file (default: the repo's"
+        " BENCH_<workload>.json)",
     )
     perf.add_argument(
         "--store", metavar="DIR", default=None,
@@ -595,6 +611,17 @@ def _configure_logging(args) -> None:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _configure_logging(args)
+    # dest is engine_mode, not engine: subcommands (tpch) own --engine
+    # for the *join* engine; the root flag picks the event kernel.
+    if getattr(args, "engine_mode", None) is not None:
+        # Simulations resolve their kernel through engine_factory_for(),
+        # which reads this env var; exporting it also covers worker
+        # processes forked by 'repro bench'.
+        import os
+
+        from repro.sim.engine import ENGINE_MODE_ENV
+
+        os.environ[ENGINE_MODE_ENV] = args.engine_mode
     handler = {
         "topology": _cmd_topology,
         "join": _cmd_join,
@@ -1327,12 +1354,14 @@ def _cmd_perf(args) -> int:
     from repro.bench import regression
     from repro.obs import run_metadata
 
-    path = args.baseline or regression.baseline_path()
-    current = regression.collect_perf_metrics()
+    workload = regression.PERF_WORKLOADS[args.workload]
+    path = args.baseline or regression.baseline_path(workload.name)
+    current = regression.collect_perf_metrics(workload=workload)
     if args.update:
         metadata = run_metadata(
-            topology="dgx1", num_gpus=8, seed=42,
-            policy="adaptive", workload="skewed-shuffle+mg-join",
+            topology=workload.topology, num_gpus=workload.num_gpus,
+            seed=workload.seed, policy="adaptive",
+            workload=f"skewed-shuffle+mg-join:{workload.name}",
         )
         regression.write_baseline(path, current, metadata)
         print(f"baseline updated: {path}")

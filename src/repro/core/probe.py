@@ -138,6 +138,91 @@ def probe_partitions(
     With an :class:`~repro.obs.Observer`, the per-co-partition match
     counts feed the ``probe.matches_per_copartition`` histogram — the
     skew forensics view of the probe phase.
+
+    The join runs as *one* whole-shard sorted pass instead of a Python
+    loop over co-partition buckets: both sides are already grouped by
+    bucket, so one stable ``lexsort`` of the build side by
+    ``(bucket, key)`` followed by a single ``searchsorted`` over packed
+    ``bucket:key`` probes reproduces the per-bucket kernels exactly —
+    match counts, histogram observations (bucket order), row-id output
+    order, everything.  Both probe methods compute identical output (a
+    run of equal keys is a hash group), which
+    ``tests/core/test_probe_vectorized.py`` pins against the bucketed
+    reference loop kept below.
+    """
+    if r_parts.bucket_bits != s_parts.bucket_bits:
+        raise ValueError("co-partitions were refined to different depths")
+    if method not in PROBE_METHODS:
+        raise ValueError(
+            f"unknown probe method {method!r}; have {sorted(PROBE_METHODS)}"
+        )
+    match_histogram = (
+        observer.metrics.histogram("probe.matches_per_copartition")
+        if observer is not None
+        else None
+    )
+    result = ProbeResult()
+    if r_parts.num_buckets == 0 or s_parts.num_buckets == 0:
+        return result.finalize(materialize)
+    shared, r_pos, _ = np.intersect1d(
+        r_parts.bucket_ids, s_parts.bucket_ids, return_indices=True
+    )
+    if len(shared) == 0:
+        return result.finalize(materialize)
+    result.buckets_probed = len(shared)
+    r_shard, s_shard = r_parts.shard, s_parts.shard
+    # Bucket-grouped views (the order the bucketed loop would visit).
+    r_rows = r_parts.order
+    s_rows = s_parts.order
+    r_buckets = np.repeat(r_parts.bucket_ids, np.diff(r_parts.boundaries))
+    s_buckets = np.repeat(s_parts.bucket_ids, np.diff(s_parts.boundaries))
+    # Pack (bucket, key) into one sortable uint64 probe key.  Bucket ids
+    # and keys are both < 2**32, so the packing is collision-free.
+    r_combo = (r_buckets.astype(np.uint64) << np.uint64(32)) | r_shard.keys[
+        r_rows
+    ].astype(np.uint64)
+    s_combo = (s_buckets.astype(np.uint64) << np.uint64(32)) | s_shard.keys[
+        s_rows
+    ].astype(np.uint64)
+    # Stable sort by (bucket, key): ties keep bucket-grouped order, i.e.
+    # exactly the per-bucket stable argsort the kernels perform.
+    s_order = np.lexsort((s_shard.keys[s_rows], s_buckets))
+    s_combo_sorted = s_combo[s_order]
+    left = np.searchsorted(s_combo_sorted, r_combo, side="left")
+    right = np.searchsorted(s_combo_sorted, r_combo, side="right")
+    counts = right - left
+    result.matches = int(counts.sum())
+    if match_histogram is not None:
+        per_bucket = np.add.reduceat(counts, r_parts.boundaries[:-1])
+        for pos in r_pos:
+            match_histogram.observe(int(per_bucket[pos]))
+    if materialize:
+        total = result.matches
+        result.r_ids = np.repeat(r_shard.ids[r_rows], counts)
+        offsets = np.repeat(left, counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        result.s_ids = s_shard.ids[s_rows][s_order[offsets + within]]
+        result._chunks = []
+        return result
+    return result.finalize(materialize)
+
+
+def probe_partitions_bucketed(
+    r_parts: LocalPartitions,
+    s_parts: LocalPartitions,
+    materialize: bool = False,
+    method: str = "nested-loop",
+    observer=None,
+) -> ProbeResult:
+    """Reference bucket-by-bucket probe loop.
+
+    Kept as the semantic specification of :func:`probe_partitions`: it
+    joins each shared co-partition with the selected kernel, one pair
+    at a time.  The vectorized path must match it exactly — counts,
+    ``buckets_probed``, histogram observations and materialized row-id
+    order — which the identity test enforces.
     """
     if r_parts.bucket_bits != s_parts.bucket_bits:
         raise ValueError("co-partitions were refined to different depths")

@@ -9,7 +9,17 @@ runs a flow matrix under a routing policy (:mod:`repro.sim.shuffle`) and
 the analytic GPU kernel cost model (:mod:`repro.sim.compute`).
 """
 
-from repro.sim.engine import Engine, Process, SimEvent, SimulationError
+from repro.sim.batch import BatchEngine
+from repro.sim.engine import (
+    ENGINE_MODES,
+    Engine,
+    Process,
+    SimEvent,
+    SimulationError,
+    engine_descriptor,
+    engine_factory_for,
+    resolve_engine_mode,
+)
 from repro.sim.integrity import IntegrityStats, PacketTamperer, TransportIntegrity
 from repro.sim.resources import RoutingBuffer, Store
 from repro.sim.linksim import LinkChannel, LinkStateBoard
@@ -20,7 +30,9 @@ from repro.sim.stats import LinkStats, RecoveryStats, ShuffleReport, bisection_c
 from repro.sim.trace import TraceEvent, Tracer
 
 __all__ = [
+    "BatchEngine",
     "CrashCoordinator",
+    "ENGINE_MODES",
     "Engine",
     "FlowMatrix",
     "GpuComputeModel",
@@ -46,4 +58,7 @@ __all__ = [
     "TransportIntegrity",
     "V100",
     "bisection_cut",
+    "engine_descriptor",
+    "engine_factory_for",
+    "resolve_engine_mode",
 ]

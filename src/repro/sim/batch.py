@@ -1,0 +1,320 @@
+"""Array-calendar event kernel: batch dispatch behind ``engine_factory``.
+
+:class:`BatchEngine` is the third engine mode (after the all-heap
+reference and the ready-deque fast path): pending timers live in a flat
+sorted calendar and move to the ready deque a whole same-instant cohort
+at a time, through the compiled-kernel seam in :mod:`repro.sim.kernels`.
+
+Data layout
+-----------
+
+* **Sorted run** — ``(time, seq)`` pairs ascending, consumed from a
+  moving head.  Draining the head cohort replaces per-event
+  ``heappop`` calls with one pass over the run.  Parallel
+  ``times``/``seqs`` numpy mirrors are rebuilt by every vectorized
+  merge and feed the backend kernels.
+* **Append buffer** — where ``schedule()`` lands.  When the ready
+  deque drains, the buffer is folded into the sorted run: a handful of
+  deferred timers insert scalar-wise (binary insertion beats array
+  round-trips at that size), while a buffer past the vectorization
+  threshold is merged with a single ``lexsort`` pass — the *heap
+  drain* kernel.  High-fan-out workloads (wide same-instant bursts)
+  spend their time in the kernel path; trickle workloads never pay
+  array overhead for two-element merges.
+* **Payload map** — ``{seq: (callback, args)}``.  Sequence numbers are
+  unique and already ride every entry, so merges never touch Python
+  callback objects, only primitive pairs.
+* **Ready deque** — identical to the fast engine: same-instant work in
+  FIFO sequence order.
+
+Order equivalence
+-----------------
+
+The dispatch contract is unchanged: among everything runnable *now*,
+the lowest global sequence number runs first, and time advances only
+when the ready deque is empty.  Cohort extraction preserves that
+order because
+
+1. cohorts are extracted only when the ready deque is empty, so the
+   extracted entries (ascending seq) become the entire deque;
+2. any work deferred *during* the cohort drew a later sequence number
+   than every cohort member, so FIFO appends keep global seq order;
+3. a timer scheduled mid-cohort for ``time <= now`` is caught by the
+   same head-vs-deque comparison the fast engine performs per
+   dispatch (``_next_key`` mirrors ``heap[0]``).
+
+Both merge paths produce the same calendar: ``(time, seq)`` keys are
+unique (one sequence counter), so the sorted order is total and
+insertion sort and lexsort cannot disagree.
+``tests/sim/test_batch_equivalence.py`` holds the three engine modes
+to byte-identical reports, digests and telemetry.
+
+:meth:`Engine.sleep` additionally refills its recycle pool a chunk at
+a time, and :meth:`~repro.sim.linksim.LinkChannel.transmit` recycles
+transfer-completion events through the same pool when driven by this
+engine (``engine.batch`` is the capability flag the simulation layers
+key off).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.sim.engine import Engine, SimEvent, SimulationError
+from repro.sim.kernels import KernelBackend, resolve_backend
+
+#: Same-time entries scanned scalar-wise before handing the cohort
+#: boundary search to a binary search (kernel or bisect).
+_SCAN_LIMIT = 4
+
+#: Buffered timers below this merge by binary insertion; at or above
+#: it the whole buffer folds in with one lexsort kernel pass.
+_VECTOR_THRESHOLD = 16
+
+#: Timeout-pool refill chunk (batched pool maintenance).
+_POOL_CHUNK = 32
+
+#: Upper bound for any sequence number in cohort bisection.
+_INF = float("inf")
+
+_EMPTY_TIMES = np.empty(0, dtype=np.float64)
+_EMPTY_SEQS = np.empty(0, dtype=np.int64)
+
+
+class BatchEngine(Engine):
+    """Event loop with a flat sorted calendar and batched dispatch."""
+
+    #: Capability flag: simulation layers (linksim/gpusim) take their
+    #: vectorized batch paths when the driving engine sets this.
+    batch = True
+
+    def __init__(self, backend: str | None = None) -> None:
+        super().__init__(fast=True)
+        self._kernels: KernelBackend = resolve_backend(backend)
+        #: Sorted calendar of ``(time, seq)`` pairs, live from ``_head``.
+        self._run: list[tuple[float, int]] = []
+        self._head = 0
+        #: Numpy mirrors of ``_run`` for the backend kernels; fresh
+        #: only when the last merge was the vectorized one (scalar
+        #: insertions invalidate them — head advances do not).
+        self._run_times = _EMPTY_TIMES
+        self._run_seqs = _EMPTY_SEQS
+        self._arrays_fresh = False
+        #: Unsorted append buffer (folded in by the next merge).
+        self._buf: list[tuple[float, int]] = []
+        #: ``{seq: (callback, args)}`` for every pending timer.
+        self._timer_payload: dict[int, tuple[Callable, Any]] = {}
+        #: Key of the earliest pending timer, mirroring ``heap[0]``.
+        self._next_key: tuple[float, int] | None = None
+        self._batch_drains = 0
+        self._max_batch = 0
+        self._vector_merges = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        """Name of the kernel backend in use (``numpy`` / ``numba``)."""
+        return self._kernels.name
+
+    @property
+    def pending(self) -> int:
+        return (len(self._run) - self._head) + len(self._buf) + len(self._ready)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Kernel counters; see :attr:`Engine.stats`.
+
+        ``heap_dispatches`` counts timers drained from the calendar and
+        ``ready_dispatches`` same-instant deferrals, so the totals line
+        up with the fast engine's; ``batch_drains`` / ``max_batch``
+        describe how much same-instant work each drain amortized, and
+        ``vector_merges`` how many merges crossed the lexsort-kernel
+        threshold.
+        """
+        base = super().stats
+        base["batch_drains"] = self._batch_drains
+        base["max_batch"] = self._max_batch
+        base["vector_merges"] = self._vector_merges
+        return base
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._events_scheduled += 1
+        seq = next(self._sequence)
+        if delay == 0.0:
+            self._ready_dispatches += 1
+            self._ready.append((seq, callback, args))
+            return
+        time = self._now + delay
+        self._buf.append((time, seq))
+        self._timer_payload[seq] = (callback, args)
+        next_key = self._next_key
+        if next_key is None or time < next_key[0]:
+            self._next_key = (time, seq)
+
+    def _defer(self, callback: Callable, event: SimEvent | None) -> None:
+        self._events_scheduled += 1
+        self._ready_dispatches += 1
+        self._ready.append((next(self._sequence), callback, (event,)))
+
+    # ------------------------------------------------------------------
+    # Calendar maintenance (merge + cohort extraction)
+    # ------------------------------------------------------------------
+
+    def _merge(self) -> None:
+        """Fold the append buffer into the sorted run."""
+        buf = self._buf
+        if not buf:
+            return
+        run = self._run
+        head = self._head
+        if len(buf) < _VECTOR_THRESHOLD:
+            if head:
+                del run[:head]
+                self._head = 0
+            for pair in buf:
+                insort(run, pair)
+            self._arrays_fresh = False
+            buf.clear()
+            return
+        # Vectorized path: one lexsort pass over live run + buffer.
+        buf_times = np.array([pair[0] for pair in buf], dtype=np.float64)
+        buf_seqs = np.array([pair[1] for pair in buf], dtype=np.int64)
+        if head < len(run):
+            if self._arrays_fresh:
+                live_times = self._run_times[head:]
+                live_seqs = self._run_seqs[head:]
+            else:
+                live = run[head:]
+                live_times = np.array([pair[0] for pair in live], dtype=np.float64)
+                live_seqs = np.array([pair[1] for pair in live], dtype=np.int64)
+            times = np.concatenate([live_times, buf_times])
+            seqs = np.concatenate([live_seqs, buf_seqs])
+        else:
+            times, seqs = buf_times, buf_seqs
+        order = self._kernels.merge_order(times, seqs)
+        self._run_times = times[order]
+        self._run_seqs = seqs[order]
+        self._run = list(zip(self._run_times.tolist(), self._run_seqs.tolist()))
+        self._head = 0
+        self._arrays_fresh = True
+        self._vector_merges += 1
+        buf.clear()
+
+    def _refresh_next_key(self) -> None:
+        head = self._head
+        run = self._run
+        self._next_key = run[head] if head < len(run) else None
+
+    def _pop_single(self) -> tuple[float, Callable, Any]:
+        """Pop the single earliest timer (the cross-check dispatch path)."""
+        self._merge()
+        head = self._head
+        time, seq = self._run[head]
+        self._head = head + 1
+        self._refresh_next_key()
+        self._heap_dispatches += 1
+        callback, args = self._timer_payload.pop(seq)
+        return time, callback, args
+
+    def _extract_cohort(self) -> float:
+        """Move the head same-instant cohort onto the ready deque.
+
+        Returns the cohort's timestamp.  Entries land in ascending
+        sequence order, which together with the FIFO deque reproduces
+        the reference dispatch order exactly.  Narrow cohorts resolve
+        with a couple of scalar compares; wide ones fall through to the
+        backend's binary-search kernel (or plain bisection when the
+        array mirrors are stale).
+        """
+        self._merge()
+        run = self._run
+        head = self._head
+        size = len(run)
+        time = run[head][0]
+        end = head + 1
+        scan = head + _SCAN_LIMIT
+        while end < size and end < scan and run[end][0] == time:
+            end += 1
+        if end < size and end == scan and run[end][0] == time:
+            if self._arrays_fresh:
+                end = self._kernels.cohort_end(self._run_times, head, size)
+            else:
+                end = bisect_right(run, (time, _INF), head, size)
+        payload = self._timer_payload
+        ready = self._ready
+        for index in range(head, end):
+            seq = run[index][1]
+            callback, args = payload.pop(seq)
+            ready.append((seq, callback, args))
+        self._head = end
+        self._refresh_next_key()
+        count = end - head
+        self._heap_dispatches += count
+        self._batch_drains += 1
+        if count > self._max_batch:
+            self._max_batch = count
+        return time
+
+    # ------------------------------------------------------------------
+    # Timeout-pool maintenance (batched)
+    # ------------------------------------------------------------------
+
+    def pooled_event(self) -> SimEvent:
+        """A recyclable untriggered event; the pool refills in chunks."""
+        pool = self._event_pool
+        if not pool:
+            for _ in range(_POOL_CHUNK):
+                event = SimEvent(self)
+                event._poolable = True
+                pool.append(event)
+        else:
+            self._timeout_pool_hits += 1
+        return pool.pop()
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        if self._running:
+            raise SimulationError("engine is already running")
+        self._running = True
+        ready = self._ready
+        try:
+            while True:
+                if ready:
+                    next_key = self._next_key
+                    if (
+                        next_key is not None
+                        and next_key[0] <= self._now
+                        and next_key[1] < ready[0][0]
+                    ):
+                        time, callback, args = self._pop_single()
+                        self._now = time
+                    else:
+                        _, callback, args = ready.popleft()
+                    callback(*args)
+                    continue
+                next_key = self._next_key
+                if next_key is None:
+                    break
+                time = next_key[0]
+                if until is not None and time > until:
+                    self._now = until
+                    return self._now
+                if time < self._now - 1e-12:
+                    raise SimulationError("event calendar went backwards in time")
+                self._now = self._extract_cohort()
+            if until is not None:
+                self._now = max(self._now, until)
+            return self._now
+        finally:
+            self._running = False

@@ -1,0 +1,218 @@
+"""Array kernels behind the batch engine's compiled-backend seam.
+
+:class:`~repro.sim.batch.BatchEngine` keeps its pending timers in flat
+numpy arrays (a sorted run plus an unsorted append buffer) instead of a
+Python tuple heap.  The two hot operations on that layout are
+
+* **ready-batch extraction** — find the end of the same-instant cohort
+  at the head of the sorted run (everything with the minimum timestamp
+  moves to the ready deque in one slice), and
+* **calendar merge** — fold the unsorted append buffer into the sorted
+  run with one ``lexsort`` pass keyed by ``(time, sequence)``.
+
+Both are pure array passes, so they can be compiled.  This module is
+the seam: every kernel has a pure-numpy implementation and, when numba
+is importable, an ``@njit`` twin.  Selection order:
+
+1. ``REPRO_ENGINE_BACKEND=numpy`` forces the numpy fallback.
+2. ``REPRO_ENGINE_BACKEND=numba`` requests the compiled backend; if
+   numba is not installed the numpy fallback is used (with a warning)
+   so the variable can be set unconditionally in CI matrices.
+3. unset / ``auto``: numba when importable, numpy otherwise.
+
+numba is *never* a hard dependency — the container images that run the
+tier-1 suite do not ship it, and every digest gate must hold on the
+fallback.  The kernels are deliberately value-identical between
+backends: they only reorder *bookkeeping* (sorting keys, slicing
+cohorts, summing forecast service times with sequential adds), never
+simulation floats, so backend choice cannot leak into results.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+log = logging.getLogger("repro.sim.kernels")
+
+#: Environment variable selecting the kernel backend.
+ENGINE_BACKEND_ENV = "REPRO_ENGINE_BACKEND"
+
+#: Recognized backend names (``auto`` resolves to one of the others).
+BACKENDS = ("auto", "numpy", "numba")
+
+
+class BackendError(ValueError):
+    """An unknown backend name was requested."""
+
+
+# ---------------------------------------------------------------------------
+# Pure-numpy kernels (the always-available reference implementations)
+# ---------------------------------------------------------------------------
+
+
+def _cohort_end_numpy(times: np.ndarray, lo: int, hi: int) -> int:
+    """End index of the equal-time prefix of ``times[lo:hi]``.
+
+    ``times[lo:hi]`` is sorted ascending; the cohort is every entry
+    whose timestamp equals ``times[lo]``.  One ``searchsorted`` pass.
+    """
+    return lo + int(np.searchsorted(times[lo:hi], times[lo], side="right"))
+
+
+def _merge_order_numpy(times: np.ndarray, seqs: np.ndarray) -> np.ndarray:
+    """Permutation sorting parallel ``(time, seq)`` arrays ascending.
+
+    Sequence numbers are unique, so the order is total; ``lexsort``
+    keys are (secondary, primary).
+    """
+    return np.lexsort((seqs, times))
+
+
+def _link_drain_numpy(
+    sizes: np.ndarray, free_at: float, now: float, latency: float, inv_bandwidth: float
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """FIFO drain forecast for a batch of transfers on one link.
+
+    Returns ``(starts, completions, busy_total)`` for submitting the
+    ``sizes`` array back-to-back starting from the link's current
+    ``free_at``.  This is a *forecast* kernel (micro-benchmarks,
+    what-if analysis): the in-simulation drain keeps its sequential
+    scalar adds because cumulative-sum reassociation changes float
+    results, and the engine's byte-identity contract forbids that.
+    """
+    service = latency + sizes * inv_bandwidth
+    head = now if now > free_at else free_at
+    completions = head + np.cumsum(service)
+    starts = completions - service
+    return starts, completions, float(service.sum())
+
+
+# ---------------------------------------------------------------------------
+# Optional numba twins
+# ---------------------------------------------------------------------------
+
+
+def _build_numba_kernels():
+    """Compile the numba twins; raises ImportError when numba is absent."""
+    import numba  # noqa: F401  (ImportError is the detection signal)
+    from numba import njit
+
+    @njit(cache=False)
+    def cohort_end(times, lo, hi):  # pragma: no cover - needs numba
+        head = times[lo]
+        end = lo + 1
+        while end < hi and times[end] == head:
+            end += 1
+        return end
+
+    @njit(cache=False)
+    def merge_order(times, seqs):  # pragma: no cover - needs numba
+        order = np.argsort(times, kind="mergesort")
+        # Stable sort on time; break ties by seq with an insertion pass
+        # (cohorts are small and seqs within a cohort are nearly sorted).
+        n = order.shape[0]
+        for i in range(1, n):
+            j = i
+            while (
+                j > 0
+                and times[order[j - 1]] == times[order[j]]
+                and seqs[order[j - 1]] > seqs[order[j]]
+            ):
+                order[j - 1], order[j] = order[j], order[j - 1]
+                j -= 1
+        return order
+
+    @njit(cache=False)
+    def link_drain(sizes, free_at, now, latency, inv_bandwidth):
+        # pragma: no cover - needs numba
+        n = sizes.shape[0]
+        starts = np.empty(n, dtype=np.float64)
+        completions = np.empty(n, dtype=np.float64)
+        head = now if now > free_at else free_at
+        busy = 0.0
+        acc = 0.0
+        for i in range(n):
+            service = latency + sizes[i] * inv_bandwidth
+            starts[i] = head + acc
+            acc += service
+            completions[i] = head + acc
+            busy += service
+        return starts, completions, busy
+
+    return cohort_end, merge_order, link_drain
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One resolved set of kernels plus the name that selected it."""
+
+    name: str
+    cohort_end: Callable[[np.ndarray, int, int], int]
+    merge_order: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    link_drain: Callable[..., tuple[np.ndarray, np.ndarray, float]]
+
+
+_NUMPY_BACKEND = KernelBackend(
+    name="numpy",
+    cohort_end=_cohort_end_numpy,
+    merge_order=_merge_order_numpy,
+    link_drain=_link_drain_numpy,
+)
+
+_RESOLVED: dict[str, KernelBackend] = {}
+
+
+def numba_available() -> bool:
+    """True when the numba compiler is importable."""
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def resolve_backend(name: str | None = None) -> KernelBackend:
+    """Resolve a backend by explicit name, env var, or auto-detection."""
+    requested = (name or os.environ.get(ENGINE_BACKEND_ENV, "") or "auto").lower()
+    if requested not in BACKENDS:
+        raise BackendError(
+            f"unknown engine backend {requested!r}; expected one of {BACKENDS}"
+        )
+    cached = _RESOLVED.get(requested)
+    if cached is not None:
+        return cached
+    if requested == "numpy":
+        backend = _NUMPY_BACKEND
+    else:
+        try:
+            cohort_end, merge_order, link_drain = _build_numba_kernels()
+            backend = KernelBackend(
+                name="numba",
+                cohort_end=cohort_end,
+                merge_order=merge_order,
+                link_drain=link_drain,
+            )
+        except ImportError:
+            if requested == "numba":
+                log.warning(
+                    "REPRO_ENGINE_BACKEND=numba requested but numba is not"
+                    " installed; falling back to the pure-numpy kernels"
+                )
+            backend = _NUMPY_BACKEND
+    _RESOLVED[requested] = backend
+    return backend
+
+
+def backend_name(name: str | None = None) -> str:
+    """The resolved backend's name (``numpy`` or ``numba``)."""
+    return resolve_backend(name).name

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.routing.base import RoutingContext, RoutingPolicy
-from repro.sim.engine import Engine, SimulationError
+from repro.sim.engine import Engine, SimulationError, engine_factory_for
 from repro.sim.gpusim import GpuNode, Packet
 from repro.sim.integrity import TransportIntegrity
 from repro.sim.linksim import LinkChannel, LinkStateBoard
@@ -142,14 +142,18 @@ class ShuffleSimulator:
         retry: RetryPolicy | None = None,
         recovery_bridge=None,
         recovery_config: RecoveryConfig | None = None,
-        engine_factory=Engine,
+        engine_factory=None,
     ) -> None:
         self.machine = machine
-        #: Builds the event kernel for each run.  The default is the
-        #: fast-path :class:`Engine`; pass e.g.
-        #: ``lambda: Engine(fast=False)`` to drive the all-heap
+        #: Builds the event kernel for each run.  ``None`` (the
+        #: default) resolves the mode from ``REPRO_ENGINE`` — fast,
+        #: batch, or reference — via
+        #: :func:`repro.sim.engine.engine_factory_for`; pass e.g.
+        #: ``lambda: Engine(fast=False)`` to pin the all-heap
         #: reference kernel (the equivalence tests do exactly that).
-        self.engine_factory = engine_factory
+        self.engine_factory = (
+            engine_factory if engine_factory is not None else engine_factory_for()
+        )
         self.tracer = tracer
         #: Observability sink (spans/metrics); ``None`` = off.
         self.observer = observer

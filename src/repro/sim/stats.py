@@ -58,10 +58,19 @@ class BisectionCut:
 def bisection_cut(
     machine: MachineTopology, gpu_ids: tuple[int, ...] | None = None
 ) -> BisectionCut:
-    """Find the minimum balanced bisection and its crossing links."""
+    """Find the minimum balanced bisection and its crossing links.
+
+    Memoized per machine instance: the topology is immutable and every
+    shuffle report on the same machine/subset re-derives the same cut,
+    which on 16 GPUs means re-pricing ``C(16, 8) / 2`` bipartitions.
+    """
     ids = tuple(sorted(gpu_ids if gpu_ids is not None else machine.gpu_ids))
     if len(ids) < 2:
         raise ValueError("bisection needs at least two GPUs")
+    cache: dict = machine._bisection_cut_cache
+    cached = cache.get(ids)
+    if cached is not None:
+        return cached
     half = len(ids) // 2
     best: tuple[float, tuple[int, ...]] | None = None
     seen: set[frozenset[int]] = set()
@@ -89,7 +98,7 @@ def bisection_cut(
         if src_side is None or dst_side is None or src_side == dst_side:
             continue
         (crossing_ab if src_side == "a" else crossing_ba).append(link.link_id)
-    return BisectionCut(
+    cut = BisectionCut(
         side_a=side_a,
         side_b=side_b,
         capacity_ab=capacity_ab,
@@ -97,6 +106,8 @@ def bisection_cut(
         crossing_ab=tuple(crossing_ab),
         crossing_ba=tuple(crossing_ba),
     )
+    cache[ids] = cut
+    return cut
 
 
 def _assign_node_sides(

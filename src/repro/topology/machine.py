@@ -62,6 +62,8 @@ class MachineTopology:
         object.__setattr__(self, "_outgoing_index_cache", None)
         object.__setattr__(self, "_nvlink_adjacency_cache", None)
         object.__setattr__(self, "_direct_paths", {})
+        object.__setattr__(self, "_cut_capacity_cache", {})
+        object.__setattr__(self, "_bisection_cut_cache", {})
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -222,7 +224,17 @@ class MachineTopology:
         Only the GPUs in the two sides participate; links touching any
         other GPU are excluded, because a non-participating GPU cannot
         relay traffic for the configuration being measured.
+
+        Results are memoized per instance: the topology is immutable,
+        and the bisection search of a 16-GPU machine prices thousands
+        of bipartitions that recur across every report built on the
+        same machine (perf harness, figures, chaos sweeps).
         """
+        cache: dict = self._cut_capacity_cache
+        cache_key = (side_a, side_b)
+        cached = cache.get(cache_key)
+        if cached is not None:
+            return cached
         participating = set(side_a) | set(side_b)
         index = {node: i for i, node in enumerate(self.nodes)}
         source = len(index)
@@ -239,7 +251,9 @@ class MachineTopology:
             network.add_edge(source, index[gpu(gpu_id)], infinite)
         for gpu_id in side_b:
             network.add_edge(index[gpu(gpu_id)], sink, infinite)
-        return network.max_flow(source, sink)
+        capacity = network.max_flow(source, sink)
+        cache[cache_key] = capacity
+        return capacity
 
     # ------------------------------------------------------------------
     # Internal caches (per instance: a machine's indexes die with it)

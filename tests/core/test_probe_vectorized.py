@@ -1,0 +1,109 @@
+"""Vectorized probe vs the bucketed reference loop: exact identity.
+
+``probe_partitions`` replaces the Python loop over co-partition buckets
+with one whole-shard sorted pass; ``probe_partitions_bucketed`` is kept
+as its semantic specification.  These tests fuzz both over skewed
+shards and hold them to identical output — match counts,
+``buckets_probed``, per-bucket histogram observations, and the
+materialized ``(r_id, s_id)`` row order — for both probe kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.local_partition import refine
+from repro.core.probe import (
+    PROBE_METHODS,
+    probe_partitions,
+    probe_partitions_bucketed,
+)
+from repro.core.relation import GpuShard
+from repro.obs import Observer
+
+
+def _shard(rng, size, key_space, start_id=0):
+    keys = rng.integers(0, key_space, size=size, dtype=np.uint32)
+    ids = np.arange(start_id, start_id + size, dtype=np.uint32)
+    return GpuShard(keys, ids)
+
+
+def _partitions(rng, size, key_space, passes=2, fanout=4, start_id=0):
+    return refine(
+        _shard(rng, size, key_space, start_id), global_bits=3, passes=passes, fanout=fanout
+    )
+
+
+def _histogram_state(observer):
+    hist = observer.metrics.histogram("probe.matches_per_copartition")
+    return (hist.count, hist.total, hist.vmin, hist.vmax, list(hist.samples))
+
+
+@pytest.mark.parametrize("method", sorted(PROBE_METHODS))
+@pytest.mark.parametrize("seed", range(8))
+def test_vectorized_matches_bucketed_reference(method, seed):
+    rng = np.random.default_rng(seed)
+    # Small key spaces force heavy duplication (the hard case for
+    # duplicate expansion); varied sizes cover empty/shared buckets.
+    key_space = int(rng.choice([8, 64, 1024, 1 << 20]))
+    r_parts = _partitions(rng, int(rng.integers(0, 800)), key_space)
+    s_parts = _partitions(rng, int(rng.integers(0, 800)), key_space, start_id=10_000)
+
+    for materialize in (False, True):
+        obs_fast, obs_ref = Observer(), Observer()
+        fast = probe_partitions(
+            r_parts, s_parts, materialize=materialize, method=method, observer=obs_fast
+        )
+        ref = probe_partitions_bucketed(
+            r_parts, s_parts, materialize=materialize, method=method, observer=obs_ref
+        )
+        assert fast.matches == ref.matches
+        assert fast.buckets_probed == ref.buckets_probed
+        assert _histogram_state(obs_fast) == _histogram_state(obs_ref)
+        if materialize:
+            assert np.array_equal(fast.r_ids, ref.r_ids)
+            assert np.array_equal(fast.s_ids, ref.s_ids)
+        else:
+            assert fast.r_ids is None and ref.r_ids is None
+
+
+def test_probe_methods_agree():
+    """Nested-loop and hash kernels are interchangeable (paper §3.2)."""
+    rng = np.random.default_rng(99)
+    r_parts = _partitions(rng, 500, 32)
+    s_parts = _partitions(rng, 700, 32, start_id=10_000)
+    nested = probe_partitions(r_parts, s_parts, materialize=True, method="nested-loop")
+    hashed = probe_partitions_bucketed(r_parts, s_parts, materialize=True, method="hash")
+    assert nested.matches == hashed.matches
+    assert np.array_equal(nested.r_ids, hashed.r_ids)
+    assert np.array_equal(nested.s_ids, hashed.s_ids)
+
+
+def test_empty_sides():
+    rng = np.random.default_rng(0)
+    empty = _partitions(rng, 0, 64)
+    full = _partitions(rng, 100, 64, start_id=10_000)
+    for r_parts, s_parts in ((empty, full), (full, empty), (empty, empty)):
+        fast = probe_partitions(r_parts, s_parts, materialize=True)
+        ref = probe_partitions_bucketed(r_parts, s_parts, materialize=True)
+        assert fast.matches == ref.matches == 0
+        assert fast.buckets_probed == ref.buckets_probed == 0
+        assert len(fast.r_ids) == 0 and len(fast.s_ids) == 0
+
+
+def test_mismatched_depths_rejected():
+    rng = np.random.default_rng(1)
+    shallow = _partitions(rng, 50, 64, passes=1)
+    deep = _partitions(rng, 50, 64, passes=3, start_id=10_000)
+    with pytest.raises(ValueError):
+        probe_partitions(shallow, deep)
+    with pytest.raises(ValueError):
+        probe_partitions_bucketed(shallow, deep)
+
+
+def test_unknown_method_rejected():
+    rng = np.random.default_rng(2)
+    parts = _partitions(rng, 10, 64)
+    with pytest.raises(ValueError):
+        probe_partitions(parts, parts, method="gpu-magic")
+    with pytest.raises(ValueError):
+        probe_partitions_bucketed(parts, parts, method="gpu-magic")

@@ -137,7 +137,9 @@ def test_perf_command_update_and_gate(capsys, tmp_path, monkeypatch):
     # The canonical collection takes ~10 s; stub it for the CLI test
     # (the real collection is covered by benchmarks/bench_perf_gate.py).
     metrics = {"shuffle.throughput_gbps": 100.0, "arm.mean_regret_us": 10.0}
-    monkeypatch.setattr(regression, "collect_perf_metrics", lambda: dict(metrics))
+    monkeypatch.setattr(
+        regression, "collect_perf_metrics", lambda **kwargs: dict(metrics)
+    )
     baseline = tmp_path / "BENCH_test.json"
     assert main(["perf", "--update", "--baseline", str(baseline)]) == 0
     assert "baseline updated" in capsys.readouterr().out
@@ -359,7 +361,7 @@ def test_experiments_ingest_and_perf_gate_through_store(
 
     metrics = {"shuffle.throughput_gbps": 100.0, "arm.mean_regret_us": 10.0}
     monkeypatch.setattr(
-        regression, "collect_perf_metrics", lambda: dict(metrics)
+        regression, "collect_perf_metrics", lambda **kwargs: dict(metrics)
     )
     store = str(tmp_path / "exp")
     baseline = tmp_path / "BENCH_test.json"

@@ -1,0 +1,137 @@
+"""Backend seam: resolution rules and kernel semantics."""
+
+import numpy as np
+import pytest
+
+from repro.sim import kernels
+from repro.sim.kernels import (
+    BACKENDS,
+    ENGINE_BACKEND_ENV,
+    BackendError,
+    backend_name,
+    numba_available,
+    resolve_backend,
+)
+
+
+class TestResolution:
+    def test_numpy_always_available(self):
+        backend = resolve_backend("numpy")
+        assert backend.name == "numpy"
+
+    def test_auto_resolves_to_an_installed_backend(self):
+        backend = resolve_backend("auto")
+        expected = "numba" if numba_available() else "numpy"
+        assert backend.name == expected
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_BACKEND_ENV, "numpy")
+        assert resolve_backend().name == "numpy"
+
+    def test_explicit_name_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_BACKEND_ENV, "numba")
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_numba_request_falls_back_when_missing(self):
+        backend = resolve_backend("numba")
+        if numba_available():
+            assert backend.name == "numba"
+        else:
+            # The CI matrix sets REPRO_ENGINE_BACKEND=numba on a leg
+            # without numba installed; that must degrade, not crash.
+            assert backend.name == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(BackendError):
+            resolve_backend("cuda")
+        assert "cuda" not in BACKENDS
+
+    def test_backend_name_helper(self):
+        assert backend_name("numpy") == "numpy"
+
+
+def _both_backends():
+    names = ["numpy"]
+    if numba_available():
+        names.append("numba")
+    return [resolve_backend(name) for name in names]
+
+
+@pytest.mark.parametrize("backend", _both_backends(), ids=lambda b: b.name)
+class TestKernelSemantics:
+    def test_cohort_end_finds_equal_time_prefix(self, backend):
+        times = np.array([1.0, 1.0, 1.0, 2.0, 3.0])
+        assert backend.cohort_end(times, 0, len(times)) == 3
+        assert backend.cohort_end(times, 3, len(times)) == 4
+        assert backend.cohort_end(times, 4, len(times)) == 5
+
+    def test_cohort_end_whole_array_one_cohort(self, backend):
+        times = np.full(7, 2.5)
+        assert backend.cohort_end(times, 0, 7) == 7
+        assert backend.cohort_end(times, 4, 7) == 7
+
+    def test_merge_order_sorts_by_time_then_seq(self, backend):
+        times = np.array([2.0, 1.0, 2.0, 1.0])
+        seqs = np.array([7, 9, 3, 1], dtype=np.int64)
+        order = np.asarray(backend.merge_order(times, seqs))
+        assert list(seqs[order]) == [1, 9, 3, 7]
+        assert list(times[order]) == [1.0, 1.0, 2.0, 2.0]
+
+    def test_merge_order_matches_python_sort_on_random_input(self, backend):
+        rng = np.random.default_rng(5)
+        for _ in range(25):
+            n = int(rng.integers(1, 200))
+            times = rng.integers(0, 20, size=n).astype(np.float64)
+            seqs = rng.permutation(n).astype(np.int64)
+            order = np.asarray(backend.merge_order(times, seqs))
+            got = list(zip(times[order], seqs[order]))
+            assert got == sorted(zip(times.tolist(), seqs.tolist()))
+
+    def test_link_drain_fifo_forecast(self, backend):
+        sizes = np.array([1e6, 2e6, 4e6])
+        latency, inv_bw = 5e-6, 1.0 / 25e9
+        starts, completions, busy = backend.link_drain(
+            sizes, 1e-3, 0.0, latency, inv_bw
+        )
+        service = latency + sizes * inv_bw
+        # FIFO: back-to-back from free_at (which is past `now` here).
+        assert starts[0] == 1e-3
+        assert np.allclose(completions - starts, service)
+        assert np.allclose(starts[1:], completions[:-1])
+        assert busy == pytest.approx(service.sum())
+
+    def test_link_drain_starts_at_now_when_link_free(self, backend):
+        sizes = np.array([1e6])
+        starts, completions, _ = backend.link_drain(
+            sizes, 0.0, 2e-3, 5e-6, 1.0 / 25e9
+        )
+        assert starts[0] == 2e-3
+        assert completions[0] > starts[0]
+
+
+@pytest.mark.skipif(not numba_available(), reason="numba not installed")
+class TestBackendAgreement:
+    """When both backends exist they must agree value-for-value."""
+
+    def test_kernels_agree_on_random_calendars(self):
+        np_backend = resolve_backend("numpy")
+        nb_backend = resolve_backend("numba")
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            n = int(rng.integers(2, 300))
+            times = np.sort(rng.integers(0, 30, size=n).astype(np.float64))
+            seqs = rng.permutation(n).astype(np.int64)
+            lo = int(rng.integers(0, n))
+            assert np_backend.cohort_end(times, lo, n) == nb_backend.cohort_end(
+                times, lo, n
+            )
+            assert np.array_equal(
+                np.asarray(np_backend.merge_order(times, seqs)),
+                np.asarray(nb_backend.merge_order(times, seqs)),
+            )
+            sizes = rng.integers(1, 1 << 22, size=n).astype(np.float64)
+            a = np_backend.link_drain(sizes, 1e-4, 0.0, 5e-6, 1.0 / 25e9)
+            b = nb_backend.link_drain(sizes, 1e-4, 0.0, 5e-6, 1.0 / 25e9)
+            assert np.array_equal(a[0], b[0])
+            assert np.array_equal(a[1], b[1])
+            assert a[2] == b[2]
