@@ -46,7 +46,7 @@ from repro.topology import (
 )
 from repro.workloads import WorkloadSpec, generate_workload
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AdaptiveArmPolicy",

@@ -14,7 +14,13 @@ Commands:
   attribution and the ARM decision-regret table.
 * ``chaos`` — run a join healthy and under a fault scenario (built-in
   preset or YAML/JSON plan), assert the result stayed correct and
-  report the throughput retained (see ``docs/robustness.md``).
+  report the throughput retained (see ``docs/robustness.md``);
+  ``--serve`` switches to the chaos-under-concurrency gate: many
+  queries multiplexed over one shared fabric while the fault fires,
+  every query's digest checked against its solo healthy run.
+* ``serve`` — multiplex many concurrent joins (a JSON request file or
+  ``--synthetic N``) over one shared fabric with admission control,
+  deadlines, per-query retry budgets and per-tenant SLA telemetry.
 * ``perf`` — collect the canonical perf metrics and gate them against
   a committed ``BENCH_*.json`` baseline (10% tolerance), or against
   the latest ``perf`` record of a results store (``--store``).
@@ -59,7 +65,7 @@ from repro.routing import (
     LatencyPolicy,
 )
 from repro.bench.regression import PERF_WORKLOADS
-from repro.sim import ENGINE_MODES, FlowMatrix, ShuffleSimulator
+from repro.sim import ARBITRATION_MODES, ENGINE_MODES, FlowMatrix, ShuffleSimulator
 
 PERF_WORKLOAD_NAMES = tuple(PERF_WORKLOADS)
 from repro.topology import (
@@ -344,6 +350,29 @@ def build_parser() -> argparse.ArgumentParser:
         " of repaired (default: on exactly when the plan has"
         " corruption-class faults)",
     )
+    chaos.add_argument(
+        "--serve", action="store_true",
+        help="chaos under concurrency: serve --queries N joins over one"
+        " shared fabric while the scenario fires, and gate every query's"
+        " match digest against its solo healthy run",
+    )
+    chaos.add_argument(
+        "--queries", type=int, default=12, metavar="N",
+        help="synthetic queries served concurrently (--serve; default 12)",
+    )
+    chaos.add_argument(
+        "--min-in-flight", type=int, default=12, metavar="N",
+        help="required concurrency peak for the --serve gate (default 12)",
+    )
+    chaos.add_argument(
+        "--arbitration", choices=(*ARBITRATION_MODES, "none"), default="fair",
+        help="shared-link bandwidth arbitration between queries (--serve)",
+    )
+    chaos.add_argument(
+        "--retry-budget", type=int, default=None, metavar="N",
+        help="per-query repair budget before a structured"
+        " retry-budget-exhausted failure (--serve; default unbounded)",
+    )
     chaos_sub = chaos.add_subparsers(dest="chaos_command")
     fuzz = chaos_sub.add_parser(
         "fuzz",
@@ -388,6 +417,89 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--store", metavar="DIR", default=None,
         help="also commit the fuzz report to this results store",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="multiplex many concurrent joins over one shared fabric",
+    )
+    serve.add_argument(
+        "requests", nargs="?", metavar="PATH", default=None,
+        help="JSON request file: a list of requests or {'requests': [...]}"
+        " (each: name, gpus or gpu_ids, tuples, arrival, priority,"
+        " deadline, seed)",
+    )
+    serve.add_argument(
+        "--synthetic", type=int, default=None, metavar="N",
+        help="serve N deterministic synthetic queries instead of a file",
+    )
+    serve.add_argument("--machine", choices=sorted(MACHINES), default="dgx1")
+    serve.add_argument("--policy", choices=sorted(POLICIES), default="adaptive")
+    serve.add_argument(
+        "--gpus", type=int, default=2,
+        help="GPUs per synthetic query (default 2)",
+    )
+    serve.add_argument(
+        "--tuples", type=parse_size, default=parse_size("2K"),
+        help="materialized tuples per relation per GPU for synthetic"
+        " queries (default 2K)",
+    )
+    serve.add_argument(
+        "--arrival-spacing", type=float, default=0.0, metavar="SECONDS",
+        help="inter-arrival spacing for synthetic queries (0 = all at"
+        " the same instant)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-query deadline for synthetic queries (measured from"
+        " arrival; expired queries are cancelled cleanly)",
+    )
+    serve.add_argument(
+        "--priority-period", type=int, default=0, metavar="N",
+        help="mark every Nth synthetic query high-priority (0 = never)",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=4, metavar="N",
+        help="admission-control cap on concurrently running queries",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=8, metavar="N",
+        help="bounded admission queue; overflow is shed with a"
+        " structured rejection, never a hang",
+    )
+    serve.add_argument(
+        "--arbitration", choices=(*ARBITRATION_MODES, "none"), default="fair",
+        help="shared-link bandwidth arbitration between queries"
+        " (default: fair)",
+    )
+    serve.add_argument(
+        "--retry-budget", type=int, default=None, metavar="N",
+        help="per-query repair budget (retries + host fallbacks) before"
+        " a structured retry-budget-exhausted failure",
+    )
+    serve.add_argument(
+        "--plan", metavar="PATH", default=None,
+        help="YAML/JSON fault plan (absolute times) injected into the"
+        " shared fabric; use 'repro chaos --serve' for scaled presets",
+    )
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the machine-readable serve report here",
+    )
+    serve.add_argument(
+        "--stream", metavar="PATH", default=None,
+        help="write the live NDJSON telemetry stream (per-query lanes)"
+        " here ('-' = stdout; tail it with 'repro top')",
+    )
+    serve.add_argument(
+        "--alerts", metavar="PATH", default=None,
+        help="write alerts fired over the stream (sla-breach,"
+        " admission-shed, ...) here as JSON lines",
+    )
+    serve.add_argument(
+        "--alert-rules", metavar="PATH", default=None,
+        help="JSON list of alert rules overriding the built-in defaults",
     )
 
     perf = commands.add_parser(
@@ -629,6 +741,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "analyze": _cmd_analyze,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
         "perf": _cmd_perf,
         "bench": _cmd_bench,
         "experiments": _cmd_experiments,
@@ -1023,6 +1136,8 @@ def _cmd_chaos(args) -> int:
 
     if getattr(args, "chaos_command", None) == "fuzz":
         return _cmd_chaos_fuzz(args)
+    if args.serve:
+        return _cmd_chaos_serve(args)
     if args.plan is None and args.preset is None:
         raise SystemExit("chaos needs --preset NAME or --plan PATH")
     machine = MACHINES[args.machine]()
@@ -1336,6 +1451,226 @@ def _cmd_chaos_fuzz(args) -> int:
             record = _resolve_store(args.store).put(fuzz_record(payload))
             print(f"ledger record  : {record.run_id} (rev {record.revision})")
     return 0 if report.ok else 1
+
+
+def _serve_observability(args):
+    """(observer, stream, alert_engine) for the serving-layer commands."""
+    from repro.obs import Observer
+
+    observer = Observer()
+    stream = None
+    alert_engine = None
+    if args.stream or args.alerts or args.alert_rules:
+        from repro.obs.alerts import AlertEngine, load_rules
+        from repro.obs.stream import TelemetryStream, open_stream
+
+        stream = (
+            open_stream(args.stream) if args.stream else TelemetryStream(None)
+        )
+        rules = (
+            load_rules(args.alert_rules)
+            if args.alert_rules is not None
+            else None
+        )
+        alert_engine = AlertEngine(stream, rules, path=args.alerts)
+        observer.stream = stream
+    return observer, stream, alert_engine
+
+
+def _say_alert_summary(say, alert_engine) -> None:
+    if alert_engine is None:
+        return
+    fired = alert_engine.summary()
+    severities = ", ".join(
+        f"{name}={count}"
+        for name, count in sorted(fired["by_severity"].items())
+    )
+    say(
+        f"alerts fired         : {fired['fired']}"
+        + (f" ({severities})" if severities else "")
+    )
+
+
+def _cmd_serve(args) -> int:
+    """Serve a request batch (file or synthetic) over one shared fabric."""
+    import json
+
+    from repro.faults import FaultPlan, FaultPlanError
+    from repro.serve import QueryScheduler, load_requests, synthetic_requests
+    from repro.sim import SimulationError
+
+    if (args.requests is None) == (args.synthetic is None):
+        raise SystemExit("serve needs a request file or --synthetic N (not both)")
+    machine = MACHINES[args.machine]()
+    try:
+        if args.synthetic is not None:
+            requests = synthetic_requests(
+                args.synthetic,
+                gpus=args.gpus,
+                tuples=args.tuples,
+                arrival_spacing=args.arrival_spacing,
+                deadline=args.deadline,
+                priority_period=args.priority_period,
+                seed=args.seed,
+            )
+        else:
+            requests = load_requests(args.requests)
+        plan = FaultPlan.from_file(args.plan) if args.plan is not None else None
+    except (FaultPlanError, OSError, ValueError) as exc:
+        print(f"serve cannot load its inputs: {exc}", file=sys.stderr)
+        return 2
+    observer, stream, alert_engine = _serve_observability(args)
+    try:
+        report = QueryScheduler(
+            machine,
+            requests,
+            policy_factory=POLICIES[args.policy],
+            max_in_flight=args.max_in_flight,
+            queue_depth=args.queue_depth,
+            arbitration=(
+                None if args.arbitration == "none" else args.arbitration
+            ),
+            faults=plan,
+            retry_budget=args.retry_budget,
+            observer=observer,
+        ).run()
+    except (FaultPlanError, SimulationError, ValueError) as exc:
+        print(f"serve cannot run: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if alert_engine is not None:
+            alert_engine.close()
+        if stream is not None:
+            stream.close()
+    say = log.info if args.stream == "-" else print
+    for line in report.summary_lines():
+        say(line)
+    _say_alert_summary(say, alert_engine)
+    if args.json is not None:
+        import pathlib
+
+        pathlib.Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=1)
+        )
+        say(f"serve report         : {args.json}")
+    return report.exit_code
+
+
+def _cmd_chaos_serve(args) -> int:
+    """Chaos under concurrency: crash the fabric under many queries."""
+    import json
+    from dataclasses import asdict
+
+    from repro.core.recovery import RecoveryError
+    from repro.faults import ChaosError, FaultPlan, FaultPlanError
+    from repro.obs import run_metadata
+    from repro.serve import run_serve_chaos, synthetic_requests
+    from repro.sim import SimulationError
+    from repro.sim.recovery import RecoveryConfig, RetryPolicy
+
+    if args.plan is None and args.preset is None:
+        raise SystemExit("chaos --serve needs --preset NAME or --plan PATH")
+    machine = MACHINES[args.machine]()
+    requests = synthetic_requests(
+        args.queries,
+        gpus=args.gpus,
+        tuples=args.real_tuples,
+        seed=args.seed,
+    )
+    cli_retry = {
+        key: value
+        for key, value in (
+            ("max_attempts", args.max_attempts),
+            ("acquire_timeout", args.acquire_timeout),
+            ("host_bandwidth", args.host_bandwidth),
+        )
+        if value is not None
+    }
+    recovery = (
+        RecoveryConfig(checkpoint_interval=args.checkpoint_interval)
+        if args.checkpoint_interval is not None
+        else None
+    )
+    observer, stream, alert_engine = _serve_observability(args)
+    try:
+        scenario = (
+            FaultPlan.from_file(args.plan)
+            if args.plan is not None
+            else args.preset
+        )
+        retry = None
+        if cli_retry:
+            base = (
+                scenario.retry_kwargs
+                if isinstance(scenario, FaultPlan)
+                else {}
+            )
+            retry = RetryPolicy(**{**base, **cli_retry})
+        report = run_serve_chaos(
+            machine,
+            requests,
+            scenario,
+            policy_factory=POLICIES[args.policy],
+            seed=args.seed,
+            min_in_flight=args.min_in_flight,
+            arbitration=(
+                None if args.arbitration == "none" else args.arbitration
+            ),
+            retry=retry,
+            recovery=recovery,
+            retry_budget=args.retry_budget,
+            observer=observer,
+            strict=False,
+        )
+    except (
+        ChaosError,
+        FaultPlanError,
+        RecoveryError,
+        SimulationError,
+        ValueError,
+    ) as exc:
+        print(f"chaos --serve cannot run this scenario: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if alert_engine is not None:
+            alert_engine.close()
+        if stream is not None:
+            stream.close()
+    say = log.info if args.stream == "-" else print
+    for line in report.summary_lines():
+        say(line)
+    _say_alert_summary(say, alert_engine)
+    if not report.correct:
+        say("FAIL: concurrency-identity gate broken (see DIVERGED lines)")
+    if args.out_dir is not None or args.store is not None:
+        import pathlib
+
+        effective_retry = retry or RetryPolicy(**report.plan.retry_kwargs)
+        metadata = run_metadata(
+            topology=args.machine,
+            num_gpus=args.gpus,
+            seed=args.seed,
+            policy=args.policy,
+            scenario=report.plan.name,
+            queries=args.queries,
+            retry=asdict(effective_retry),
+            recovery=asdict(recovery or RecoveryConfig()),
+        )
+        payload = dict(report.to_dict(), run=dict(metadata))
+        if alert_engine is not None:
+            payload["alerts"] = alert_engine.fired
+        if args.out_dir is not None:
+            out_dir = pathlib.Path(args.out_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            report_path = out_dir / "serve_chaos_report.json"
+            report_path.write_text(json.dumps(payload, indent=1))
+            say(f"serve-chaos report: {report_path}")
+        if args.store is not None:
+            from repro.experiments.store import serve_chaos_record
+
+            record = _resolve_store(args.store).put(serve_chaos_record(payload))
+            say(f"ledger record  : {record.run_id} (rev {record.revision})")
+    return 0 if report.correct else 1
 
 
 def _resolve_store(path: str | None):

@@ -409,6 +409,64 @@ def chaos_record(payload: dict) -> RunRecord:
     )
 
 
+def serve_chaos_record(payload: dict) -> RunRecord:
+    """A ``serve_chaos_report.json`` payload as a store record.
+
+    Per-query verdicts (status, digest vs the solo reference, crashed
+    GPUs) ride in the telemetry blob so a broken concurrency-identity
+    gate is diagnosable from the ledger alone.
+    """
+    serve = payload.get("serve", {})
+    metrics = {
+        "serve.chaos_correct": 1.0 if payload.get("correct") else 0.0,
+        "serve.in_flight_peak": float(payload.get("in_flight_peak", 0)),
+        "serve.completed": float(serve.get("completed", 0)),
+        "serve.rejected": float(serve.get("rejected", 0)),
+        "serve.failed": float(serve.get("failed", 0)),
+        "serve.elapsed_ms": float(serve.get("elapsed", 0.0)) * 1e3,
+        "serve.recovered_queries": float(
+            len(payload.get("recovered_queries", ()))
+        ),
+    }
+    directions = {
+        "serve.chaos_correct": "higher",
+        "serve.in_flight_peak": "track",
+        "serve.completed": "higher",
+        "serve.rejected": "track",
+        "serve.failed": "lower",
+        "serve.elapsed_ms": "lower",
+        "serve.recovered_queries": "track",
+    }
+    telemetry = {
+        "queries": payload.get("queries", {}),
+        "mismatches": payload.get("mismatches", []),
+        "recovered_queries": list(payload.get("recovered_queries", ())),
+    }
+    alerts = payload.get("alerts")
+    if alerts is not None:
+        telemetry["alerts"] = alerts
+        metrics["serve.alerts_fired"] = float(len(alerts))
+        directions["serve.alerts_fired"] = "lower"
+    meta = dict(payload.get("run", {}))
+    config = {
+        "scenario": payload.get("plan"),
+        "seed": payload.get("seed"),
+        "min_in_flight": payload.get("min_in_flight"),
+        "topology": meta.get("topology"),
+        "num_gpus": meta.get("num_gpus"),
+        "queries": meta.get("queries"),
+        "policy": meta.get("policy"),
+    }
+    return RunRecord.build(
+        "serve-chaos",
+        config=config,
+        metrics=metrics,
+        directions=directions,
+        meta=meta,
+        telemetry=telemetry,
+    )
+
+
 def fuzz_record(payload: dict) -> RunRecord:
     """A ``fuzz_report.json`` payload as a store record.
 

@@ -52,7 +52,15 @@ _AXIS_PARSERS: dict[str, Callable[[str], object]] = {
     "tuples_per_gpu": int,
     "real_tuples": int,
     "seed": int,
+    "queries": int,
+    "arrival": float,
 }
+
+#: Fault presets the serving layer cannot host (verified transport is a
+#: per-run facility, not a shared-fabric one) — mirror the check in
+#: :meth:`repro.serve.fabric.ServeFabric.bind_faults` so a serve sweep
+#: fails at parse/validate time, not mid-batch.
+_SERVE_UNSUPPORTED_PRESETS = ("payload-corrupt", "packet-dup", "packet-reorder")
 
 
 class SweepError(ValueError):
@@ -70,6 +78,11 @@ class SweepPoint:
     tuples_per_gpu: int = 64 * 1024 * 1024
     real_tuples: int = 32 * 1024
     seed: int = 42
+    #: > 1 turns the point into a serving-layer run: ``queries``
+    #: concurrent joins multiplexed over one shared fabric, separated
+    #: by ``arrival`` seconds (0 = all at the same instant).
+    queries: int = 1
+    arrival: float = 0.0
 
     def config(self) -> dict:
         """The JSON-able configuration that defines this point's ID."""
@@ -77,6 +90,8 @@ class SweepPoint:
 
     @property
     def run_kind(self) -> str:
+        if self.queries > 1:
+            return "serve"
         return "chaos" if self.faults else "join"
 
     @property
@@ -86,6 +101,8 @@ class SweepPoint:
     @property
     def label(self) -> str:
         parts = [self.topology, self.policy, f"{self.scale}gpu"]
+        if self.queries > 1:
+            parts.append(f"{self.queries}q")
         if self.faults:
             parts.append(self.faults)
         return "/".join(parts)
@@ -175,6 +192,15 @@ def validate_point(point: SweepPoint) -> None:
             )
     if point.scale < 1:
         raise SweepError("scale (GPU count) must be >= 1")
+    if point.queries < 1:
+        raise SweepError("queries must be >= 1")
+    if point.arrival < 0.0:
+        raise SweepError("arrival (inter-arrival spacing, seconds) must be >= 0")
+    if point.queries > 1 and point.faults in _SERVE_UNSUPPORTED_PRESETS:
+        raise SweepError(
+            f"fault preset {point.faults!r} is not supported with queries > 1 "
+            f"(corruption faults need per-query verified transport)"
+        )
 
 
 def _build_workload(point: SweepPoint, gpu_ids: tuple[int, ...]):
@@ -248,6 +274,81 @@ def _join_metrics(result) -> tuple[dict, dict]:
     return metrics, directions
 
 
+def _run_serve_point(
+    point: SweepPoint, machine, policy_cls, observer, telemetry: dict
+) -> tuple[dict, dict]:
+    """Execute a ``queries > 1`` point through the serving layer."""
+    from repro.serve import QueryScheduler, run_serve_chaos, synthetic_requests
+
+    requests = synthetic_requests(
+        point.queries,
+        gpus=point.scale,
+        tuples=point.real_tuples,
+        arrival_spacing=point.arrival,
+        seed=point.seed,
+    )
+    chaos = None
+    if point.faults is None:
+        report = QueryScheduler(
+            machine,
+            requests,
+            policy_factory=policy_cls,
+            max_in_flight=point.queries,
+            observer=observer,
+        ).run()
+    else:
+        chaos = run_serve_chaos(
+            machine,
+            requests,
+            point.faults,
+            policy_factory=policy_cls,
+            seed=point.seed,
+            # Staggered arrivals legitimately lower the concurrency
+            # peak, so only the all-at-once case gates on it.
+            min_in_flight=point.queries if point.arrival == 0.0 else 1,
+            observer=observer,
+            strict=False,
+        )
+        report = chaos.serve
+    latencies = [o.latency for o in report.outcomes if o.latency is not None]
+    waits = [o.queue_wait for o in report.outcomes if o.queue_wait is not None]
+    admitted = report.completed + report.failed
+    metrics = {
+        "serve.elapsed_ms": report.elapsed * 1e3,
+        "serve.completed": float(report.completed),
+        "serve.rejected": float(report.rejected),
+        "serve.failed": float(report.failed),
+        "serve.in_flight_peak": float(report.in_flight_peak),
+        "serve.queue_peak": float(report.queue_peak),
+        "serve.latency_max_ms": max(latencies, default=0.0) * 1e3,
+        "serve.queue_wait_max_ms": max(waits, default=0.0) * 1e3,
+        "serve.retention_ratio": (
+            report.completed / admitted if admitted else 1.0
+        ),
+    }
+    directions = {
+        "serve.elapsed_ms": "lower",
+        "serve.completed": "higher",
+        "serve.rejected": "track",
+        "serve.failed": "lower",
+        "serve.in_flight_peak": "track",
+        "serve.queue_peak": "track",
+        "serve.latency_max_ms": "lower",
+        "serve.queue_wait_max_ms": "lower",
+        "serve.retention_ratio": "higher",
+    }
+    if chaos is not None:
+        metrics["chaos.correct"] = 1.0 if chaos.correct else 0.0
+        metrics["chaos.recovered_queries"] = float(len(chaos.recovered_queries))
+        directions["chaos.correct"] = "higher"
+        directions["chaos.recovered_queries"] = "track"
+    telemetry["serve"] = {
+        "statuses": {o.name: o.status for o in report.outcomes},
+        "arbitration": report.arbitration,
+    }
+    return metrics, directions
+
+
 def run_one(
     point: SweepPoint, store: ResultsStore | None = None
 ) -> RunRecord:
@@ -266,12 +367,19 @@ def run_one(
         )
     gpu_ids = tuple(machine.gpu_ids[: point.scale])
     policy_cls = _policies()[point.policy]
-    workload = _build_workload(point, gpu_ids)
+    # Serve points size their tenants from the request stream instead of
+    # one bench workload, so skip the (cached but large) build.
+    workload = None if point.queries > 1 else _build_workload(point, gpu_ids)
     observer = Observer()
     telemetry: dict = {}
     started = time.perf_counter()
+    result = None
     with run_scope(point.run_id):
-        if point.faults is None:
+        if point.queries > 1:
+            metrics, directions = _run_serve_point(
+                point, machine, policy_cls, observer, telemetry
+            )
+        elif point.faults is None:
             from repro.core import MGJoin
 
             result = MGJoin(
@@ -331,7 +439,7 @@ def run_one(
         directions=directions,
         meta=meta,
         phases=observer.spans.self_times(),
-        links=_link_breakdown(result.shuffle_report),
+        links=_link_breakdown(result.shuffle_report if result is not None else None),
         telemetry=telemetry,
         snapshot=observer.metrics.snapshot(),
     )

@@ -62,13 +62,27 @@ class FaultInjector:
         self._engine: "Engine | None" = None
         self._links: dict[int, "LinkChannel"] = {}
         self._board: "LinkStateBoard | None" = None
-        self._nodes: dict[int, "GpuNode"] = {}
-        self._enumerator: "RouteEnumerator | None" = None
         self._machine: "MachineTopology | None" = None
         self._packet_size = 0
         self._observer: "Observer | None" = None
-        self._coordinator: "CrashCoordinator | None" = None
         self._integrity: "TransportIntegrity | None" = None
+        #: Recovery scopes the faults fan out to.  A classic run has
+        #: exactly one (its nodes/enumerator/coordinator); the serving
+        #: layer registers one per admitted query so a shared-fabric
+        #: fault reaches every affected query's own recovery stack.
+        self._groups: list[
+            tuple[
+                dict[int, "GpuNode"],
+                "RouteEnumerator | None",
+                "CrashCoordinator | None",
+            ]
+        ] = []
+        self._gpu_universe: set[int] = set()
+        #: Fabric damage already applied, so scopes registered *after*
+        #: a permanent fault can seed their route enumerators and the
+        #: admission layer can refuse queries on dead GPUs.
+        self.failed_links: set[int] = set()
+        self.crashed_gpus: set[int] = set()
 
     def bind(
         self,
@@ -77,27 +91,67 @@ class FaultInjector:
         links: dict[int, "LinkChannel"],
         board: "LinkStateBoard",
         nodes: dict[int, "GpuNode"],
-        enumerator: "RouteEnumerator",
+        enumerator: "RouteEnumerator | None",
         machine: "MachineTopology",
         packet_size: int,
         observer: "Observer | None" = None,
         coordinator: "CrashCoordinator | None" = None,
         integrity: "TransportIntegrity | None" = None,
+        gpu_universe: "set[int] | None" = None,
     ) -> None:
-        """Attach to one simulation run and schedule every fault."""
+        """Attach to one simulation run and schedule every fault.
+
+        ``gpu_universe`` overrides the set of GPUs that count as fault
+        targets: the serving layer passes the union of every admitted
+        query's GPU set (its node groups register later, via
+        :meth:`register_group`), while a classic single-query run
+        defaults to the bound ``nodes``.
+        """
         self._engine = engine
         self._links = links
         self._board = board
-        self._nodes = nodes
-        self._enumerator = enumerator
         self._machine = machine
         self._packet_size = packet_size
         self._observer = observer
-        self._coordinator = coordinator
         self._integrity = integrity
+        self._groups = []
+        if nodes or enumerator is not None or coordinator is not None:
+            self._groups.append((nodes, enumerator, coordinator))
+        self._gpu_universe = (
+            set(gpu_universe) if gpu_universe is not None else set(nodes)
+        )
         for event in self.plan.events:
             self._validate(event)
             engine.schedule(event.at, self._inject, event)
+
+    def register_group(
+        self,
+        *,
+        nodes: dict[int, "GpuNode"],
+        enumerator: "RouteEnumerator | None" = None,
+        coordinator: "CrashCoordinator | None" = None,
+    ) -> None:
+        """Register one more recovery scope (a serving session).
+
+        Faults injected from now on fan out to this scope too: its
+        enumerator learns failed links, its nodes take stragglers and
+        its coordinator (if any) is told about crashes of GPUs it owns.
+        Damage already on the fabric is replayed into the enumerator
+        immediately so late-admitted queries never route over a link
+        that died before they arrived.
+        """
+        for link_id in self.failed_links:
+            if enumerator is not None:
+                enumerator.fail_link(link_id)
+        if enumerator is not None and self.failed_links:
+            enumerator.cache.invalidate()
+        self._groups.append((nodes, enumerator, coordinator))
+
+    def unregister_group(self, nodes: dict[int, "GpuNode"]) -> None:
+        """Drop a finished session's scope (matched by its nodes dict)."""
+        self._groups = [
+            group for group in self._groups if group[0] is not nodes
+        ]
 
     # ------------------------------------------------------------------
     # Target resolution
@@ -105,7 +159,7 @@ class FaultInjector:
 
     def _validate(self, event: FaultEvent) -> None:
         if event.kind in (FaultKind.GPU_STRAGGLER, FaultKind.GPU_CRASH):
-            if event.gpu not in self._nodes:
+            if event.gpu not in self._gpu_universe:
                 raise FaultPlanError(
                     f"{event.kind.value} targets gpu{event.gpu}, which is "
                     f"not participating in this shuffle"
@@ -140,12 +194,23 @@ class FaultInjector:
     # Injection / restoration
     # ------------------------------------------------------------------
 
-    def _inject(self, event: FaultEvent) -> None:
-        self.faults_injected += 1
+    def _invalidate_caches(self) -> None:
         # Static route quantities (link lists, latency sums, T_R) are
         # recomputed from scratch after any fault broadcast, so a
         # faulted run can never evaluate routes against a stale cache.
-        self._enumerator.cache.invalidate()
+        for _nodes, enumerator, _coordinator in self._groups:
+            if enumerator is not None:
+                enumerator.cache.invalidate()
+
+    def _fail_link_everywhere(self, link_id: int) -> None:
+        self.failed_links.add(link_id)
+        for _nodes, enumerator, _coordinator in self._groups:
+            if enumerator is not None:
+                enumerator.fail_link(link_id)
+
+    def _inject(self, event: FaultEvent) -> None:
+        self.faults_injected += 1
+        self._invalidate_caches()
         kind = event.kind
         if kind is FaultKind.LINK_DEGRADE:
             for channel in self._link_pair(event):
@@ -171,23 +236,29 @@ class FaultInjector:
                 self._board.publish_fault(
                     channel.spec.link_id, LINK_DOWN_PENALTY
                 )
-                self._enumerator.fail_link(channel.spec.link_id)
+                self._fail_link_everywhere(channel.spec.link_id)
         elif kind is FaultKind.GPU_STRAGGLER:
-            self._nodes[event.gpu].apply_slowdown(event.magnitude)
+            for nodes, _enumerator, _coordinator in self._groups:
+                if event.gpu in nodes:
+                    nodes[event.gpu].apply_slowdown(event.magnitude)
         elif kind is FaultKind.GPU_CRASH:
+            self.crashed_gpus.add(event.gpu)
             for channel in self._gpu_channels(event.gpu):
                 channel.take_down()
                 channel.fault_penalty = LINK_DOWN_PENALTY
                 self._board.publish_fault(
                     channel.spec.link_id, LINK_DOWN_PENALTY
                 )
-                self._enumerator.fail_link(channel.spec.link_id)
-            if self._coordinator is not None:
+                self._fail_link_everywhere(channel.spec.link_id)
+            for nodes, _enumerator, coordinator in self._groups:
                 # Join-level recovery: the crash is a real compute loss
                 # (queues drained, received data discarded, detection
                 # scheduled) — not just dead links.  Without a
-                # coordinator the legacy link-only semantics apply.
-                self._coordinator.notice_crash(event.gpu)
+                # coordinator the legacy link-only semantics apply; a
+                # serving session whose query never touches the dead
+                # GPU is left entirely alone.
+                if coordinator is not None and event.gpu in nodes:
+                    coordinator.notice_crash(event.gpu)
         elif kind in CORRUPTION_KINDS:
             self._install_tamperer(event)
         self._emit("fault.inject", event)
@@ -195,7 +266,7 @@ class FaultInjector:
             self._engine.schedule(event.duration, self._restore, event)
 
     def _restore(self, event: FaultEvent) -> None:
-        self._enumerator.cache.invalidate()
+        self._invalidate_caches()
         kind = event.kind
         if kind is FaultKind.LINK_DEGRADE:
             for channel in self._link_pair(event):
@@ -208,7 +279,9 @@ class FaultInjector:
                 channel.fault_penalty = 0.0
                 self._board.publish_fault(channel.spec.link_id, 0.0)
         elif kind is FaultKind.GPU_STRAGGLER:
-            self._nodes[event.gpu].clear_slowdown()
+            for nodes, _enumerator, _coordinator in self._groups:
+                if event.gpu in nodes:
+                    nodes[event.gpu].clear_slowdown()
         elif kind in CORRUPTION_KINDS:
             for channel in self._link_pair(event):
                 channel.tamper = None

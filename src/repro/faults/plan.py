@@ -250,6 +250,8 @@ class FaultPlan:
         self,
         machine: "MachineTopology",
         gpu_ids: "tuple[int, ...] | None" = None,
+        *,
+        queries: "dict[str, tuple[int, ...]] | None" = None,
     ) -> "FaultPlan":
         """Check every event against the actual machine at load time.
 
@@ -258,7 +260,22 @@ class FaultPlan:
         :class:`FaultPlanError` naming the offending target here, not a
         ``KeyError`` in the middle of a simulated run.  Returns the
         plan, so loaders can chain ``FaultPlan.from_file(p).validate(m)``.
+
+        ``queries`` is the serving context: a mapping of admitted query
+        id to the GPU set that query runs on.  When given, participants
+        default to the union of every query's GPUs, and each event must
+        be *reachable* by at least one admitted query — a GPU fault
+        must hit a GPU some query runs on, and a link fault needs one
+        query whose GPU set contains both endpoints (otherwise no
+        tenant's traffic can ever cross that link).  Violations name
+        the offending event and the admitted queries, so a bad serve
+        chaos plan fails before any query is admitted.
         """
+        if queries is not None and gpu_ids is None:
+            union: set[int] = set()
+            for query_gpus in queries.values():
+                union.update(query_gpus)
+            gpu_ids = tuple(sorted(union))
         participants = tuple(sorted(gpu_ids)) if gpu_ids else machine.gpu_ids
         unknown = set(participants) - set(machine.gpu_ids)
         if unknown:
@@ -295,8 +312,40 @@ class FaultPlan:
                         f"gpu{event.src}<->gpu{event.dst}, but no NVLink "
                         f"connects them on this machine"
                     )
+        if queries is not None:
+            self._validate_serve_reach(queries)
         self._validate_permanent_conflicts()
         return self
+
+    def _validate_serve_reach(
+        self, queries: "dict[str, tuple[int, ...]]"
+    ) -> None:
+        """Reject events no admitted query can reach (serving context)."""
+        admitted = {
+            name: frozenset(query_gpus)
+            for name, query_gpus in queries.items()
+        }
+        roster = ", ".join(
+            f"{name}={sorted(gpus)}" for name, gpus in sorted(admitted.items())
+        ) or "(none)"
+        for event in self.events:
+            if event.kind in GPU_KINDS:
+                if not any(event.gpu in gpus for gpus in admitted.values()):
+                    raise FaultPlanError(
+                        f"plan {self.name!r}: {event.kind.value} at "
+                        f"t={event.at} targets gpu{event.gpu}, which no "
+                        f"admitted query runs on (admitted: {roster})"
+                    )
+            else:
+                pair = {event.src, event.dst}
+                if not any(pair <= gpus for gpus in admitted.values()):
+                    raise FaultPlanError(
+                        f"plan {self.name!r}: {event.kind.value} at "
+                        f"t={event.at} targets "
+                        f"gpu{event.src}<->gpu{event.dst}, a link no "
+                        f"admitted query's traffic can cross (admitted: "
+                        f"{roster})"
+                    )
 
     def _validate_permanent_conflicts(self) -> None:
         """Reject events targeting something a permanent fault removed.

@@ -108,8 +108,8 @@ class AlertRule:
 
 
 #: Default SLO surface: link saturation, blackout, retry budget,
-#: straggler presence, cost-model residual drift, and verified-transport
-#: checksum failures.
+#: straggler presence, cost-model residual drift, verified-transport
+#: checksum failures, and the serving layer's shed/SLA signals.
 DEFAULT_RULES: tuple[AlertRule, ...] = (
     AlertRule(
         name="link-saturation",
@@ -157,6 +157,24 @@ DEFAULT_RULES: tuple[AlertRule, ...] = (
         where=(("kind", "checksum-failure"),),
         severity="critical",
         message="verified transport caught a payload checksum mismatch",
+    ),
+    AlertRule(
+        name="admission-shed",
+        event_type="query",
+        where=(("action", "rejected"),),
+        severity="warning",
+        message="admission control shed a query (structured rejection)",
+    ),
+    AlertRule(
+        name="sla-breach",
+        event_type="query",
+        where=(("action", "completed"),),
+        field="latency",
+        op=">=",
+        threshold=1.0,
+        severity="critical",
+        cooldown=0.0,
+        message="a served query's end-to-end latency breached the 1 s SLA",
     ),
 )
 

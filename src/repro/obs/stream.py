@@ -60,6 +60,9 @@ EVENT_TYPES: dict[str, tuple[str, ...]] = {
     "sweep.finished": ("finished",),
     "alert": ("rule", "severity"),
     "conformance": ("count",),
+    #: Serving-layer query lifecycle (submitted/queued/admitted/
+    #: rejected/delivered/completed/deadline-expired/...).
+    "query": ("action", "query"),
 }
 
 _CLOCKS = ("sim", "wall")

@@ -42,6 +42,8 @@ class TopModel:
         self.counters = {"retries": 0, "fallbacks": 0, "recovered": 0, "faults": 0}
         self.sweep: dict = {}
         self.conformance: dict | None = None
+        #: Serving-layer lanes: query name -> {phase, queue_wait, retries, ...}.
+        self.queries: dict[str, dict] = {}
         self.events = 0
         self.invalid = 0
 
@@ -99,6 +101,21 @@ class TopModel:
             self.sweep[etype] = event
         elif etype == "conformance":
             self.conformance = event
+        elif etype == "query":
+            name = event.get("query")
+            if isinstance(name, str):
+                lane = self.queries.setdefault(
+                    name, {"phase": "submitted", "queue_wait": 0.0, "retries": 0}
+                )
+                action = event.get("action")
+                if action == "retry":
+                    lane["retries"] += 1
+                elif isinstance(action, str):
+                    lane["phase"] = action
+                    if action == "admitted":
+                        lane["queue_wait"] = event.get("queue_wait", 0.0)
+                    elif action == "completed":
+                        lane["latency"] = event.get("latency")
 
 
 def _phase_bar(model: TopModel) -> str:
@@ -155,6 +172,24 @@ def render(model: TopModel, width: int = 72) -> str:
             f" q={sample.get('queue', 0.0) * 1e6:8.2f}us"
             f" {_sparkline(model.link_history.get(link_id))}{state}"
         )
+    if model.queries:
+        lines.append("")
+        lines.append("queries (serving lanes)")
+        for name in sorted(model.queries)[:12]:
+            lane = model.queries[name]
+            latency = lane.get("latency")
+            tail = (
+                f" lat={latency * 1e6:9.2f}us"
+                if isinstance(latency, (int, float))
+                else ""
+            )
+            lines.append(
+                f"  {name:<12} {lane['phase']:<22}"
+                f" wait={lane['queue_wait'] * 1e6:9.2f}us"
+                f" retries={lane['retries']}{tail}"
+            )
+        if len(model.queries) > 12:
+            lines.append(f"  ... and {len(model.queries) - 12} more")
     lines.append("")
     counts = model.counters
     lines.append(

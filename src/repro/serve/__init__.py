@@ -1,0 +1,55 @@
+"""Multi-query serving: many concurrent MG-Joins on one shared machine.
+
+The paper runs one join at a time; a real deployment multiplexes many.
+This package adds the serving layer on top of the simulated fabric:
+
+* :mod:`repro.serve.requests` — request/outcome structures, request
+  files and deterministic synthetic streams;
+* :mod:`repro.serve.fabric` — the shared fabric (one clock, one set of
+  link channels, optional per-link bandwidth arbitration, one fault
+  injector) and the per-query session that keeps routing, recovery and
+  retry budgets isolated per tenant;
+* :mod:`repro.serve.scheduler` — admission control (bounded in-flight
+  queries + bounded queue, structured shed-load rejections), deadlines
+  with clean cancellation, and per-tenant SLA telemetry;
+* :mod:`repro.serve.chaos` — the chaos-under-concurrency gate: a GPU
+  crash with >= N queries in flight must leave every query's canonical
+  match digest byte-identical to its solo healthy run.
+"""
+
+from repro.serve.chaos import ServeChaosReport, run_serve_chaos
+from repro.serve.fabric import BudgetedRecoveryManager, QuerySession, ServeFabric
+from repro.serve.requests import (
+    REJECT_REASONS,
+    TERMINAL_STATUSES,
+    QueryOutcome,
+    QueryRejected,
+    QueryRequest,
+    load_requests,
+    synthetic_requests,
+)
+from repro.serve.scheduler import (
+    QueryScheduler,
+    ServeReport,
+    resolve_gpu_ids,
+    workload_for,
+)
+
+__all__ = [
+    "BudgetedRecoveryManager",
+    "QueryOutcome",
+    "QueryRejected",
+    "QueryRequest",
+    "QueryScheduler",
+    "QuerySession",
+    "REJECT_REASONS",
+    "ServeChaosReport",
+    "ServeFabric",
+    "ServeReport",
+    "TERMINAL_STATUSES",
+    "load_requests",
+    "resolve_gpu_ids",
+    "run_serve_chaos",
+    "synthetic_requests",
+    "workload_for",
+]

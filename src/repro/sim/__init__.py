@@ -22,7 +22,12 @@ from repro.sim.engine import (
 )
 from repro.sim.integrity import IntegrityStats, PacketTamperer, TransportIntegrity
 from repro.sim.resources import RoutingBuffer, Store
-from repro.sim.linksim import LinkChannel, LinkStateBoard
+from repro.sim.linksim import (
+    ARBITRATION_MODES,
+    LinkArbiter,
+    LinkChannel,
+    LinkStateBoard,
+)
 from repro.sim.compute import GpuComputeModel, GpuSpec, V100
 from repro.sim.recovery import CrashCoordinator, RecoveryConfig, RetryPolicy
 from repro.sim.shuffle import FlowMatrix, ShuffleConfig, ShuffleSimulator
@@ -30,6 +35,7 @@ from repro.sim.stats import LinkStats, RecoveryStats, ShuffleReport, bisection_c
 from repro.sim.trace import TraceEvent, Tracer
 
 __all__ = [
+    "ARBITRATION_MODES",
     "BatchEngine",
     "CrashCoordinator",
     "ENGINE_MODES",
@@ -38,6 +44,7 @@ __all__ = [
     "GpuComputeModel",
     "GpuSpec",
     "IntegrityStats",
+    "LinkArbiter",
     "LinkChannel",
     "LinkStateBoard",
     "LinkStats",

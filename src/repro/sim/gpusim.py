@@ -117,6 +117,7 @@ class GpuNode:
         recovery: "RecoveryManager | None" = None,
         coordinator: "CrashCoordinator | None" = None,
         integrity: "TransportIntegrity | None" = None,
+        query_tag: "int | None" = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -145,9 +146,16 @@ class GpuNode:
         #: Verified-transport envelope state; ``None`` = packets are
         #: never stamped or checked, the legacy path runs unchanged.
         self.integrity = integrity
+        #: Serving-layer query id stamped onto every wire transfer this
+        #: node submits, so shared-link arbiters can tell tenants apart;
+        #: ``None`` (every pre-serve run) leaves transfers untagged.
+        self.query_tag = query_tag
         #: Set by :meth:`crash`: this GPU does no further work.
         self.crashed = False
         self.crash_time: float | None = None
+        #: Set by :meth:`cancel_remaining` (deadline expiry / retry
+        #: give-up): outstanding work is dropped without crash books.
+        self.cancelled = False
         #: ``remaining`` dicts of the live injector processes, so flows
         #: toward a dead destination can be cancelled at the source.
         self._active_remaining: list[dict[int, int]] = []
@@ -222,10 +230,11 @@ class GpuNode:
             # so every flow makes progress and congestion information
             # from earlier batches can influence later route choices.
             for dst in list(remaining):
-                if self.crashed:
+                if self.crashed or self.cancelled:
                     # Un-injected bytes stay in the planned-minus-
                     # injected books; the coordinator re-sends them
-                    # host-side once this GPU is declared dead.
+                    # host-side once this GPU is declared dead.  A
+                    # cancelled query simply stops injecting.
                     return
                 if dst not in remaining:
                     continue  # cancelled while an earlier flow slept
@@ -257,7 +266,7 @@ class GpuNode:
                 if sync_cost > 0:
                     self.stats.sync_time += sync_cost
                     yield self.engine.sleep(sync_cost)
-                    if self.crashed:
+                    if self.crashed or self.cancelled:
                         return
                 if coordinator is not None and coordinator.is_dead(dst):
                     # Declared dead while this batch was being built:
@@ -478,6 +487,9 @@ class GpuNode:
             first_link = self.links[path[0].link_id]
             self._active_sends[next_gpu] = self._active_sends.get(next_gpu, 0) + 1
             for packet in batch:
+                if self.cancelled:
+                    self._discard(packet)
+                    continue
                 if self.coordinator is not None and (
                     self.crashed or self.coordinator.is_dead(packet.flow_dst)
                 ):
@@ -508,10 +520,15 @@ class GpuNode:
                 # into the hop's first link; downstream links of a staged
                 # path are traversed by a detached process so the next
                 # packet of the batch pipelines behind this one.
-                transfer = first_link.transmit(packet.wire_bytes)
+                transfer = first_link.transmit(
+                    packet.wire_bytes, tag=self.query_tag
+                )
                 yield transfer
                 if self.crashed:
                     self._orphan(packet)
+                    continue
+                if self.cancelled:
+                    self._discard(packet)
                     continue
                 if transfer.value is False and self.recovery is not None:
                     packet.held_buffer.release()
@@ -547,10 +564,13 @@ class GpuNode:
         for spec in remaining_path:
             link = self.links[spec.link_id]
             self._fulfill_link(packet, link)
-            transfer = link.transmit(packet.wire_bytes)
+            transfer = link.transmit(packet.wire_bytes, tag=self.query_tag)
             yield transfer
             if self.crashed:
                 self._orphan(packet)
+                return
+            if self.cancelled:
+                self._discard(packet)
                 return
             if transfer.value is False and self.recovery is not None:
                 # Lost mid-hop on a staged path: give back the reserved
@@ -578,6 +598,30 @@ class GpuNode:
         for link_id in list(packet.pending_links):
             self.links[link_id].fulfill(packet.wire_bytes)
         packet.pending_links.clear()
+
+    def _discard(self, packet: Packet) -> None:
+        """Drop a cancelled query's packet without crash bookkeeping."""
+        if packet.held_buffer is not None:
+            packet.held_buffer.release()
+            packet.held_buffer = None
+        self._return_commits(packet)
+
+    def cancel_remaining(self) -> None:
+        """Stop this query's outstanding work (deadline / retry give-up).
+
+        Un-injected flow bytes are dropped, queued packets are discarded
+        with their link commitments returned, and the injector/sender
+        processes park at their next resumption.  Unlike :meth:`crash`
+        this touches no coordinator books — the query is being abandoned
+        cleanly, not recovered — and transfers already on the wire
+        complete (and are discarded) harmlessly.
+        """
+        self.cancelled = True
+        for remaining in self._active_remaining:
+            remaining.clear()
+        for queue in self._queues.values():
+            while queue:
+                self._discard(queue.popleft())
 
     # ------------------------------------------------------------------
     # Crash semantics (driven by the CrashCoordinator)
@@ -681,6 +725,9 @@ class GpuNode:
         # Return committed-but-untraversed load so the adaptive metric
         # stops charging a route the packet has abandoned.
         self._return_commits(packet)
+        if self.cancelled:
+            self._discard(packet)
+            return
         if self.coordinator is not None and (
             self.crashed or self.coordinator.is_dead(packet.flow_dst)
         ):
@@ -697,6 +744,9 @@ class GpuNode:
     def _retry(self, packet: Packet, reason: str):
         recovery = self.recovery
         yield self.engine.sleep(recovery.retry_delay(packet.attempts - 1))
+        if self.cancelled:
+            self._discard(packet)
+            return
         if self.coordinator is not None and (
             self.crashed or self.coordinator.is_dead(packet.flow_dst)
         ):

@@ -22,6 +22,7 @@ propagation-delay broadcast path as queue-delay changes.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from typing import TYPE_CHECKING
@@ -82,6 +83,11 @@ class LinkChannel:
     #: sending GPU after a successful transmit, and only when the run's
     #: integrity layer is active — healthy runs never look at it.
     tamper: "object | None" = None
+    #: Per-query bandwidth arbitration (:class:`LinkArbiter`), installed
+    #: by the serving layer; ``None`` = the legacy virtual-FIFO booking,
+    #: byte-identical to every pre-serve run.  Untagged transfers bypass
+    #: the arbiter even when one is installed.
+    arbiter: "LinkArbiter | None" = None
 
     def service_time(self, nbytes: float) -> float:
         return self.spec.latency + nbytes / (self.spec.bandwidth * self.bandwidth_scale)
@@ -140,6 +146,8 @@ class LinkChannel:
         its own ports' health immediately.
         """
         backlog = max(0.0, self._free_at - self.engine.now) + self.committed_load
+        if self.arbiter is not None:
+            backlog += self.arbiter.queued_service
         return backlog + self.fault_penalty
 
     def take_down(self) -> None:
@@ -170,17 +178,23 @@ class LinkChannel:
                 label=str(self.spec),
             )
 
-    def transmit(self, nbytes: int) -> SimEvent:
+    def transmit(self, nbytes: int, tag: "object | None" = None) -> SimEvent:
         """Enqueue a transfer; the event triggers at completion.
 
         The event's value is ``True`` when the bytes crossed the wire
         and ``False`` when the link was down at submission or failed
         before the transfer completed (the packet is lost).
+
+        ``tag`` identifies the submitting query to the per-link
+        :class:`LinkArbiter` when one is installed; untagged transfers
+        (or an arbiter-free link) take the legacy immediate-booking
+        path.
         """
         if nbytes <= 0:
             raise ValueError(f"transfer size must be positive, got {nbytes}")
+        if self.arbiter is not None and tag is not None:
+            return self.arbiter.submit(nbytes, tag)
         engine = self.engine
-        now = engine.now
         # Under the batch kernel, completion events are recycled through
         # the engine's event pool: a transfer event is yielded exactly
         # once by the DMA-engine process and its value is read before
@@ -192,8 +206,18 @@ class LinkChannel:
             self.transfers_lost += 1
             self.engine.schedule(self.spec.latency, event.succeed, False)
             return event
+        self._book(nbytes, self.service_time(nbytes), event)
+        return event
+
+    def _book(self, nbytes: int, service: float, event: SimEvent) -> None:
+        """Book one transfer on the wire's virtual FIFO.
+
+        Shared by the legacy immediate path (booked at submission) and
+        the arbiter path (booked when the request wins arbitration); the
+        accounting and completion scheduling are identical in both.
+        """
+        now = self.engine.now
         start = max(now, self._free_at)
-        service = self.service_time(nbytes)
         completion = start + service
         self._free_at = completion
         self.busy_time += service
@@ -224,13 +248,128 @@ class LinkChannel:
         self.engine.schedule(
             completion - now, self._finish_transfer, event, self._outage_epoch
         )
-        return event
 
     def _finish_transfer(self, event: SimEvent, epoch: int) -> None:
         delivered = self.up and epoch == self._outage_epoch
         if not delivered:
             self.transfers_lost += 1
         event.succeed(delivered)
+
+
+ARBITRATION_MODES = ("fair", "priority")
+
+
+@dataclass
+class LinkArbiter:
+    """Per-packet bandwidth arbitration between tagged (per-query) flows.
+
+    Without an arbiter a link is a virtual FIFO: every submitted
+    transfer is booked immediately, so one query's burst occupies the
+    wire for its whole duration and a later query waits behind all of
+    it.  The arbiter instead holds tagged requests in per-tag queues
+    and re-arbitrates at every packet boundary:
+
+    * ``fair`` — round-robin over the tags that have waiting requests,
+      so N concurrent queries each get ~1/N of the wire regardless of
+      how deep any one query's backlog is;
+    * ``priority`` — highest :attr:`priorities` value first (default 0),
+      round-robin among equals, so a latency-critical tenant preempts
+      batch traffic at packet granularity.
+
+    A single-tag workload is timing-identical to the legacy path: with
+    no competing tag, each request books at exactly the completion
+    boundary of its predecessor, which yields the same start times as
+    immediate virtual-FIFO booking.  Waiting requests are visible to
+    the routing metric through :attr:`queued_service`, which
+    :meth:`LinkChannel.queue_delay` folds into the paper's ``Q_i``.
+    """
+
+    channel: LinkChannel
+    mode: str = "fair"
+    #: tag -> priority (higher wins); missing tags rank 0.
+    priorities: dict = field(default_factory=dict)
+    #: Service seconds of requests waiting in arbitration (not yet on
+    #: the wire) — the cross-query backlog for ``queue_delay``.
+    queued_service: float = 0.0
+    _waiting: dict = field(default_factory=dict)
+    _rotation: list = field(default_factory=list)
+    _inflight: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in ARBITRATION_MODES:
+            raise ValueError(
+                f"unknown arbitration mode {self.mode!r};"
+                f" have {ARBITRATION_MODES}"
+            )
+
+    def submit(self, nbytes: int, tag: object) -> SimEvent:
+        """Queue one tagged transfer; the event triggers at completion."""
+        channel = self.channel
+        engine = channel.engine
+        event = engine.pooled_event() if engine.batch else SimEvent(engine)
+        if not channel.up:
+            # Dead port: fail fast after the launch latency, exactly
+            # like the arbiter-free path.
+            channel.transfers_lost += 1
+            engine.schedule(channel.spec.latency, event.succeed, False)
+            return event
+        queue = self._waiting.get(tag)
+        if queue is None:
+            queue = self._waiting[tag] = deque()
+            if self._inflight and self._rotation:
+                # The tag now on the wire already rotated to the back;
+                # a newly arriving tag slots in just ahead of it so it
+                # waits one packet, not the whole in-flight backlog.
+                self._rotation.insert(len(self._rotation) - 1, tag)
+            else:
+                self._rotation.append(tag)
+        service = channel.service_time(nbytes)
+        queue.append((nbytes, service, event))
+        self.queued_service += service
+        if not self._inflight:
+            self._dispatch_next()
+        return event
+
+    def _dispatch_next(self) -> None:
+        channel = self.channel
+        engine = channel.engine
+        while True:
+            tag = self._pick_tag()
+            if tag is None:
+                self._inflight = False
+                return
+            nbytes, service, event = self._waiting[tag].popleft()
+            self.queued_service -= service
+            if not channel.up:
+                # The link died while this request waited its turn; the
+                # loss surfaces at the packet's own retry machinery.
+                channel.transfers_lost += 1
+                engine.schedule(channel.spec.latency, event.succeed, False)
+                continue
+            channel._book(nbytes, service, event)
+            self._inflight = True
+            # Re-arbitrate at the completion boundary whether or not
+            # the wire delivered (an outage mid-flight must not stall
+            # the other queries' waiting requests).
+            engine.schedule(channel._free_at - engine.now, self._dispatch_next)
+            return
+
+    def _pick_tag(self) -> "object | None":
+        eligible = [tag for tag in self._rotation if self._waiting[tag]]
+        if not eligible:
+            return None
+        if self.mode == "priority":
+            top = max(self.priorities.get(tag, 0) for tag in eligible)
+            eligible = [
+                tag for tag in eligible
+                if self.priorities.get(tag, 0) == top
+            ]
+        tag = eligible[0]
+        # Served tags rotate to the back so equal-rank tags share the
+        # wire packet-for-packet.
+        self._rotation.remove(tag)
+        self._rotation.append(tag)
+        return tag
 
 
 @dataclass

@@ -143,6 +143,7 @@ class ShuffleSimulator:
         recovery_bridge=None,
         recovery_config: RecoveryConfig | None = None,
         engine_factory=None,
+        query_tag: "int | None" = None,
     ) -> None:
         self.machine = machine
         #: Builds the event kernel for each run.  ``None`` (the
@@ -172,6 +173,10 @@ class ShuffleSimulator:
         self.recovery_config = recovery_config or RecoveryConfig()
         #: The coordinator of the most recent run (telemetry access).
         self.coordinator: CrashCoordinator | None = None
+        #: Serving-layer query id stamped onto every node this shuffle
+        #: creates (see :class:`~repro.sim.gpusim.GpuNode.query_tag`);
+        #: ``None`` = untagged single-tenant traffic.
+        self.query_tag = query_tag
         self.gpu_ids = tuple(sorted(gpu_ids if gpu_ids is not None else machine.gpu_ids))
         if len(self.gpu_ids) < 2:
             raise ValueError("a shuffle needs at least two GPUs")
@@ -305,6 +310,7 @@ class ShuffleSimulator:
                 recovery=recovery,
                 coordinator=coordinator,
                 integrity=integrity,
+                query_tag=self.query_tag,
             )
         for node in nodes.values():
             node.peers = nodes

@@ -5,6 +5,32 @@ from __future__ import annotations
 from repro.workloads import WorkloadSpec, generate_workload
 
 
+def solo_join(machine, request, policy_factory=None):
+    """Reference result for a serve request: joined alone, healthy."""
+    from repro.core.config import MGJoinConfig
+    from repro.core.mgjoin import MGJoin
+    from repro.routing import AdaptiveArmPolicy
+    from repro.serve import workload_for
+
+    factory = policy_factory or AdaptiveArmPolicy
+    return MGJoin(
+        machine,
+        config=MGJoinConfig(materialize=True),
+        policy=factory(),
+    ).run(workload_for(machine, request))
+
+
+def healthy_latency(machine, request):
+    """Simulated seconds a serve request takes alone and healthy."""
+    from repro.routing import AdaptiveArmPolicy
+    from repro.serve import QueryScheduler
+
+    report = QueryScheduler(
+        machine, [request], policy_factory=AdaptiveArmPolicy
+    ).run()
+    return report.outcome(request.name).latency
+
+
 def make_workload(
     num_gpus: int = 4,
     real: int = 2048,

@@ -560,3 +560,97 @@ def test_chaos_fuzz_writes_minimized_reproducer(capsys, tmp_path):
     reproducer = tmp_path / f"{failure['plan']['name']}.min.json"
     plan = FaultPlan.from_file(reproducer)  # loadable as a plan file
     assert len(plan.events) <= len(failure["plan"]["events"])
+
+
+def test_serve_command_synthetic(capsys, tmp_path):
+    import json
+
+    report_path = tmp_path / "serve.json"
+    code = main([
+        "serve", "--synthetic", "3", "--gpus", "2", "--tuples", "1K",
+        "--max-in-flight", "2", "--json", str(report_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "completed            : 3" in out
+    report = json.loads(report_path.read_text())
+    assert report["exit_code"] == 0
+    assert {q["status"] for q in report["queries"]} == {"completed"}
+
+
+def test_serve_command_requires_one_input_source():
+    with pytest.raises(SystemExit):
+        main(["serve"])
+    with pytest.raises(SystemExit):
+        main(["serve", "requests.json", "--synthetic", "2"])
+
+
+def test_serve_command_retry_budget_exhaustion(capsys, tmp_path):
+    """The retry-exhaustion regression: the victim fails alone with a
+    structured status and exit code 1 while its sibling's digest is
+    untouched."""
+    import json
+
+    requests = tmp_path / "requests.json"
+    requests.write_text(json.dumps({"requests": [
+        {"name": "victim", "gpu_ids": [0, 1], "tuples": 4096, "seed": 7},
+        {"name": "bystander", "gpu_ids": [4, 5], "tuples": 4096, "seed": 8},
+    ]}))
+    plan = tmp_path / "blackout.json"
+    plan.write_text(json.dumps({
+        "name": "blackout-01", "seed": 42,
+        "events": [{"kind": "link-blackout", "at": 0.0, "src": 0,
+                    "dst": 1, "duration": 0.005}],
+    }))
+    argv = [
+        "serve", str(requests), "--policy", "direct",
+        "--plan", str(plan),
+    ]
+    healthy_path = tmp_path / "healthy.json"
+    assert main(argv + ["--json", str(healthy_path)]) == 0
+    code = main(argv + ["--retry-budget", "0",
+                        "--json", str(tmp_path / "starved.json")])
+    assert code == 1
+    capsys.readouterr()
+    healthy = json.loads(healthy_path.read_text())
+    starved = json.loads((tmp_path / "starved.json").read_text())
+    by_name = {q["name"]: q for q in starved["queries"]}
+    assert by_name["victim"]["status"] == "retry-budget-exhausted"
+    assert by_name["bystander"]["status"] == "completed"
+    healthy_by_name = {q["name"]: q for q in healthy["queries"]}
+    assert (by_name["bystander"]["match_digest"]
+            == healthy_by_name["bystander"]["match_digest"])
+
+
+def test_serve_command_rejects_bad_inputs(capsys, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    assert main(["serve", str(bad)]) == 2
+
+
+def test_chaos_serve_command_gate(capsys, tmp_path):
+    import json
+
+    store = tmp_path / "store"
+    code = main([
+        "chaos", "--serve", "--preset", "gpu-crash", "--gpus", "4",
+        "--real-tuples", "1K", "--queries", "12",
+        "--out-dir", str(tmp_path), "--store", str(store),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "digest identity : OK" in out
+    report = json.loads((tmp_path / "serve_chaos_report.json").read_text())
+    assert report["correct"] is True
+    assert report["in_flight_peak"] >= 12
+    assert report["recovered_queries"]
+    from repro.experiments.store import ResultsStore
+
+    record = ResultsStore(store).latest(kind="serve-chaos")
+    assert record is not None
+    assert record.metrics["serve.chaos_correct"] == 1.0
+
+
+def test_chaos_serve_requires_a_scenario():
+    with pytest.raises(SystemExit):
+        main(["chaos", "--serve", "--gpus", "4"])

@@ -1,0 +1,106 @@
+"""Serving-layer observability: query events, alerts, top lanes."""
+
+from repro.obs.alerts import DEFAULT_RULES, AlertEngine
+from repro.obs.stream import TelemetryStream, validate_event
+from repro.obs.top import TopModel, render
+
+
+def query_event(action, name="q000", t=0.0, **fields):
+    return dict(
+        type="query", t=t, clock="sim", v=1, action=action, query=name,
+        **fields,
+    )
+
+
+class TestQueryEvents:
+    def test_schema_accepts_query_lifecycle_events(self):
+        assert validate_event(query_event("admitted", tag=0)) == []
+        assert validate_event(query_event("completed", latency=0.1)) == []
+
+    def test_schema_requires_action_and_query(self):
+        problems = validate_event(
+            {"type": "query", "t": 0.0, "clock": "sim", "v": 1}
+        )
+        assert any("action" in p for p in problems)
+        assert any("query" in p for p in problems)
+
+
+class TestServeAlertRules:
+    def make_engine(self):
+        stream = TelemetryStream(None)
+        return stream, AlertEngine(stream, DEFAULT_RULES)
+
+    def test_admission_shed_fires_on_rejections(self):
+        stream, engine = self.make_engine()
+        stream.emit(
+            "query", t=0.0, clock="sim", action="rejected", query="q1",
+            reason="queue-full",
+        )
+        fired = [a for a in engine.fired if a["rule"] == "admission-shed"]
+        assert len(fired) == 1
+        assert fired[0]["severity"] == "warning"
+
+    def test_sla_breach_fires_on_slow_completions_only(self):
+        stream, engine = self.make_engine()
+        stream.emit(
+            "query", t=0.5, clock="sim", action="completed", query="fast",
+            latency=0.5,
+        )
+        assert not [a for a in engine.fired if a["rule"] == "sla-breach"]
+        stream.emit(
+            "query", t=2.0, clock="sim", action="completed", query="slow",
+            latency=2.0,
+        )
+        breaches = [a for a in engine.fired if a["rule"] == "sla-breach"]
+        assert len(breaches) == 1
+        assert breaches[0]["severity"] == "critical"
+
+    def test_admissions_and_retries_do_not_alert(self):
+        stream, engine = self.make_engine()
+        stream.emit(
+            "query", t=0.0, clock="sim", action="admitted", query="q1",
+            queue_wait=0.0,
+        )
+        stream.emit(
+            "query", t=0.1, clock="sim", action="retry", query="q1", spent=1,
+        )
+        assert engine.fired == []
+
+
+class TestTopQueryLanes:
+    def test_lane_follows_the_query_lifecycle(self):
+        model = TopModel()
+        model.ingest(query_event("submitted"))
+        assert model.queries["q000"]["phase"] == "submitted"
+        model.ingest(query_event("queued", depth=1))
+        model.ingest(query_event("admitted", t=0.2, queue_wait=0.2))
+        lane = model.queries["q000"]
+        assert lane["phase"] == "admitted"
+        assert lane["queue_wait"] == 0.2
+        model.ingest(query_event("retry", spent=1))
+        model.ingest(query_event("retry", spent=2))
+        # Retries count without clobbering the lifecycle phase.
+        assert lane["phase"] == "admitted"
+        assert lane["retries"] == 2
+        model.ingest(query_event("completed", t=0.9, latency=0.9))
+        assert lane["phase"] == "completed"
+        assert lane["latency"] == 0.9
+
+    def test_render_shows_serving_lanes(self):
+        model = TopModel()
+        model.ingest(query_event("admitted", name="tenant-a", queue_wait=0.0))
+        model.ingest(query_event("rejected", name="tenant-b"))
+        text = render(model)
+        assert "queries (serving lanes)" in text
+        assert "tenant-a" in text and "admitted" in text
+        assert "tenant-b" in text and "rejected" in text
+
+    def test_render_caps_the_lane_list(self):
+        model = TopModel()
+        for index in range(15):
+            model.ingest(query_event("admitted", name=f"q{index:03d}",
+                                     queue_wait=0.0))
+        assert "... and 3 more" in render(model)
+
+    def test_no_lane_section_without_query_events(self):
+        assert "serving lanes" not in render(TopModel())

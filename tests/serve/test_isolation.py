@@ -1,0 +1,107 @@
+"""Fault isolation: damage stays scoped to the queries it touches."""
+
+import pytest
+from helpers import healthy_latency, solo_join
+
+from repro.faults import FaultEvent, FaultKind, FaultPlan, FaultPlanError
+from repro.routing import AdaptiveArmPolicy
+from repro.serve import QueryRequest, QueryScheduler
+
+
+class TestCrashIsolation:
+    def test_crash_recovers_victim_and_spares_bystander(self, dgx1):
+        """gpu1 dies mid-shuffle: the (0,1) query must recover to its
+        solo digest while the disjoint (4,5) query never notices."""
+        victim = QueryRequest(name="victim", gpu_ids=(0, 1), tuples=4096)
+        budget = healthy_latency(dgx1, victim)
+        plan = FaultPlan(
+            name="isolated-crash",
+            seed=1,
+            events=(
+                FaultEvent(kind=FaultKind.GPU_CRASH, at=budget * 0.3, gpu=1),
+            ),
+        )
+        bystander = QueryRequest(
+            name="bystander", gpu_ids=(4, 5), tuples=4096, seed=9,
+        )
+        report = QueryScheduler(
+            dgx1,
+            [victim, bystander],
+            policy_factory=AdaptiveArmPolicy,
+            faults=plan,
+        ).run()
+        recovered = report.outcome("victim")
+        assert recovered.status == "completed"
+        assert recovered.crashed_gpus == (1,)
+        assert recovered.match_digest == solo_join(dgx1, victim).match_digest
+        untouched = report.outcome("bystander")
+        assert untouched.status == "completed"
+        assert untouched.crashed_gpus == ()
+        assert untouched.match_digest == solo_join(dgx1, bystander).match_digest
+        # The recovered join runs longer than the untouched one.
+        assert recovered.latency > untouched.latency
+        assert report.exit_code == 0
+
+    def test_late_arrival_is_shed_from_crashed_hardware(self, dgx1):
+        """A query arriving after the crash must be rejected, not
+        started against dead hardware."""
+        early = QueryRequest(name="early", gpu_ids=(0, 1), tuples=2048)
+        budget = healthy_latency(dgx1, early)
+        plan = FaultPlan(
+            name="crash-then-arrival",
+            seed=1,
+            events=(
+                FaultEvent(kind=FaultKind.GPU_CRASH, at=budget * 0.3, gpu=1),
+            ),
+        )
+        late = QueryRequest(
+            name="late", gpu_ids=(1, 2), tuples=1024,
+            arrival=budget * 0.6,  # after the crash
+        )
+        report = QueryScheduler(
+            dgx1,
+            [early, late],
+            policy_factory=AdaptiveArmPolicy,
+            faults=plan,
+        ).run()
+        assert report.outcome("early").status == "completed"
+        shed = report.outcome("late")
+        assert shed.status == "rejected"
+        assert shed.rejection.reason == "gpu-unavailable"
+        assert report.exit_code == 0
+
+
+class TestServeContextPlanValidation:
+    QUERIES = {"a": (0, 1), "b": (2, 3)}
+
+    def plan(self, *events):
+        return FaultPlan(name="probe", seed=0, events=tuple(events))
+
+    def test_gpu_fault_must_hit_a_member_gpu(self, dgx1):
+        plan = self.plan(
+            FaultEvent(kind=FaultKind.GPU_CRASH, at=0.0, gpu=7),
+        )
+        with pytest.raises(FaultPlanError, match="gpu7"):
+            plan.validate(dgx1, queries=self.QUERIES)
+
+    def test_link_fault_needs_one_query_spanning_both_ends(self, dgx1):
+        """GPUs 1 and 2 are both members, but of *different* queries —
+        no single query's traffic crosses that link."""
+        plan = self.plan(
+            FaultEvent(
+                kind=FaultKind.LINK_BLACKOUT, at=0.0, src=1, dst=2,
+                duration=1e-3,
+            ),
+        )
+        with pytest.raises(FaultPlanError, match="no admitted query"):
+            plan.validate(dgx1, queries=self.QUERIES)
+
+    def test_reachable_plan_validates_and_chains(self, dgx1):
+        plan = self.plan(
+            FaultEvent(kind=FaultKind.GPU_CRASH, at=0.0, gpu=2),
+            FaultEvent(
+                kind=FaultKind.LINK_BLACKOUT, at=0.0, src=0, dst=1,
+                duration=1e-3,
+            ),
+        )
+        assert plan.validate(dgx1, queries=self.QUERIES) is plan

@@ -1,0 +1,113 @@
+"""Request structures: validation, files, the synthetic stream."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    REJECT_REASONS,
+    TERMINAL_STATUSES,
+    QueryOutcome,
+    QueryRejected,
+    QueryRequest,
+    load_requests,
+    synthetic_requests,
+)
+
+
+class TestQueryRequest:
+    def test_roundtrip_through_dict(self):
+        request = QueryRequest(
+            name="tenant-a", arrival=0.5, gpu_ids=(3, 1), tuples=4096,
+            logical_tuples=8192, priority=2, deadline=1.5, seed=7,
+        )
+        assert QueryRequest.from_dict(request.to_dict()) == request
+
+    def test_gpu_ids_are_sorted(self):
+        request = QueryRequest(name="q", gpu_ids=(5, 2, 0))
+        assert request.gpu_ids == (0, 2, 5)
+        assert request.num_gpus == 3
+
+    def test_gpus_used_when_no_explicit_placement(self):
+        assert QueryRequest(name="q", gpus=4).num_gpus == 4
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(name=""),
+        dict(name="q", arrival=-1.0),
+        dict(name="q", gpu_ids=(0, 0)),
+        dict(name="q", gpu_ids=()),
+        dict(name="q", gpus=0),
+        dict(name="q", tuples=0),
+        dict(name="q", tuples=100, logical_tuples=150),  # not a multiple
+        dict(name="q", deadline=0.0),
+    ])
+    def test_invalid_requests_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            QueryRequest(**kwargs)
+
+    def test_rejection_reason_vocabulary_is_closed(self):
+        with pytest.raises(ValueError, match="unknown rejection reason"):
+            QueryRejected(name="q", reason="cosmic-ray", at=0.0,
+                          in_flight=0, queued=0)
+        for reason in REJECT_REASONS:
+            QueryRejected(name="q", reason=reason, at=0.0,
+                          in_flight=0, queued=0)
+
+    def test_outcome_status_vocabulary_is_closed(self):
+        with pytest.raises(ValueError, match="unknown outcome status"):
+            QueryOutcome(name="q", status="vanished")
+        for status in TERMINAL_STATUSES:
+            outcome = QueryOutcome(name="q", status=status)
+            # Rejections are graceful shed-load, not serving failures.
+            assert outcome.ok == (status in ("completed", "rejected"))
+
+
+class TestLoadRequests:
+    def test_accepts_bare_list_and_wrapped_object(self, tmp_path):
+        entries = [{"name": "a"}, {"name": "b", "gpus": 4}]
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(entries))
+        wrapped = tmp_path / "wrapped.json"
+        wrapped.write_text(json.dumps({"requests": entries}))
+        assert load_requests(bare) == load_requests(wrapped)
+        assert [r.name for r in load_requests(bare)] == ["a", "b"]
+
+    def test_malformed_entry_names_its_index(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"name": "ok"}, {"gpus": 2}]))
+        with pytest.raises(ValueError, match="request #1"):
+            load_requests(path)
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        path = tmp_path / "dup.json"
+        path.write_text(json.dumps([{"name": "q"}, {"name": "q"}]))
+        with pytest.raises(ValueError, match="duplicate query name"):
+            load_requests(path)
+
+    def test_non_list_payload_rejected(self, tmp_path):
+        path = tmp_path / "scalar.json"
+        path.write_text("42")
+        with pytest.raises(ValueError, match="expected a JSON list"):
+            load_requests(path)
+
+
+class TestSyntheticRequests:
+    def test_deterministic_and_distinct_seeds(self):
+        first = synthetic_requests(4, seed=10)
+        second = synthetic_requests(4, seed=10)
+        assert first == second
+        assert [r.name for r in first] == ["q000", "q001", "q002", "q003"]
+        # Each tenant carries distinct data.
+        assert len({r.seed for r in first}) == 4
+
+    def test_arrival_spacing_and_priority_period(self):
+        requests = synthetic_requests(
+            4, arrival_spacing=0.25, priority_period=2, deadline=3.0,
+        )
+        assert [r.arrival for r in requests] == [0.0, 0.25, 0.5, 0.75]
+        assert [r.priority for r in requests] == [1, 0, 1, 0]
+        assert all(r.deadline == 3.0 for r in requests)
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            synthetic_requests(0)

@@ -1,0 +1,106 @@
+"""Chaos under concurrency: the per-query digest-identity gate."""
+
+import pytest
+
+from repro.faults.chaos import ChaosError
+from repro.routing import AdaptiveArmPolicy
+from repro.serve import run_serve_chaos, synthetic_requests
+from repro.sim import ENGINE_MODES, engine_factory_for
+
+#: Twelve four-GPU tenants — the ISSUE's headline concurrency bar.
+REQUESTS = synthetic_requests(12, gpus=4, tuples=1024)
+
+
+@pytest.fixture(scope="module")
+def gpu_crash_report(dgx1):
+    """One graded gpu-crash run shared by the inspection tests."""
+    return run_serve_chaos(
+        dgx1,
+        REQUESTS,
+        "gpu-crash",
+        policy_factory=AdaptiveArmPolicy,
+        min_in_flight=12,
+    )
+
+
+class TestConcurrencyIdentityGate:
+    def test_gpu_crash_with_twelve_in_flight(self, gpu_crash_report):
+        report = gpu_crash_report
+        assert report.correct
+        assert report.concurrent_enough
+        assert report.serve.in_flight_peak >= 12
+        assert report.serve.completed == 12
+        assert report.mismatches == []
+        # The crash actually hit someone: at least one query recovered.
+        assert report.recovered_queries
+        for name in report.recovered_queries:
+            outcome = report.serve.outcome(name)
+            assert outcome.crashed_gpus
+            assert outcome.match_digest == report.solo[name].match_digest
+
+    @pytest.mark.parametrize(
+        "mode", [m for m in ENGINE_MODES if m != "reference"]
+    )
+    def test_gate_holds_on_every_engine(self, dgx1, mode):
+        report = run_serve_chaos(
+            dgx1,
+            REQUESTS,
+            "gpu-crash",
+            policy_factory=AdaptiveArmPolicy,
+            min_in_flight=12,
+            engine_factory=engine_factory_for(mode),
+        )
+        assert report.correct
+        assert report.recovered_queries
+
+
+class TestReportShape:
+    def test_to_dict_carries_per_query_verdicts(self, gpu_crash_report):
+        payload = gpu_crash_report.to_dict()
+        assert payload["correct"] is True
+        assert payload["min_in_flight"] == 12
+        assert payload["in_flight_peak"] >= 12
+        assert set(payload["queries"]) == {r.name for r in REQUESTS}
+        for verdict in payload["queries"].values():
+            assert verdict["status"] == "completed"
+            assert verdict["digest"] == verdict["solo_digest"]
+        assert payload["serve"]["exit_code"] == 0
+
+    def test_summary_names_the_gate(self, gpu_crash_report):
+        text = "\n".join(gpu_crash_report.summary_lines())
+        assert "digest identity : OK" in text
+        assert "recovered" in text
+
+
+class TestGuards:
+    def test_too_few_requests_for_the_gate(self, dgx1):
+        with pytest.raises(ValueError, match="at least 12"):
+            run_serve_chaos(
+                dgx1,
+                synthetic_requests(3, gpus=2, tuples=1024),
+                "gpu-crash",
+                policy_factory=AdaptiveArmPolicy,
+                min_in_flight=12,
+            )
+
+    def test_corruption_scenarios_rejected(self, dgx1):
+        """Serving has no per-query verified transport yet; corruption
+        plans must be refused up front, not silently mis-graded."""
+        with pytest.raises(ValueError, match="not .*supported by the serving"):
+            run_serve_chaos(
+                dgx1,
+                synthetic_requests(2, gpus=2, tuples=1024),
+                "payload-corrupt",
+                policy_factory=AdaptiveArmPolicy,
+                min_in_flight=2,
+            )
+
+    def test_single_gpu_workloads_cannot_be_graded(self, dgx1):
+        with pytest.raises(ChaosError, match="shuffle"):
+            run_serve_chaos(
+                dgx1,
+                synthetic_requests(2, gpus=1, tuples=1024),
+                "gpu-crash",
+                policy_factory=AdaptiveArmPolicy,
+                min_in_flight=2,
+            )
